@@ -1,0 +1,48 @@
+#include "bench_common.hpp"
+
+#include "baseline/network_only.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vor::bench {
+
+RunResult RunScheduler(const workload::ScenarioParams& params,
+                       core::SchedulerOptions options) {
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const core::VorScheduler scheduler(scenario.topology, scenario.catalog,
+                                     options);
+  const auto result = scheduler.Solve(scenario.requests);
+  if (!result.ok()) {
+    std::cerr << "scheduler error: " << result.error().message << '\n';
+    std::abort();
+  }
+  RunResult out;
+  out.final_cost = result->final_cost.value();
+  out.phase1_cost = result->phase1_cost.value();
+  out.had_overflow = result->sorp.HadOverflow();
+  out.resolved = result->sorp.Resolved();
+  out.victims = result->sorp.victims_rescheduled;
+  return out;
+}
+
+double RunNetworkOnly(const workload::ScenarioParams& params) {
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  return cm.TotalCost(baseline::NetworkOnlySchedule(scenario.requests, cm))
+      .value();
+}
+
+void ParallelSweep(std::size_t n,
+                   const std::function<void(std::size_t)>& body) {
+  static util::ThreadPool pool;  // shared across sweeps in one binary
+  pool.ParallelFor(n, body);
+}
+
+void EmitTable(const util::Table& table) {
+  table.PrintPretty(std::cout);
+  std::cout << "\n--- CSV BEGIN ---\n";
+  table.PrintCsv(std::cout);
+  std::cout << "--- CSV END ---\n" << std::endl;
+}
+
+}  // namespace vor::bench

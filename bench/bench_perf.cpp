@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) of the library's hot paths: routing,
+// the analytic timelines, Zipf sampling, the phase-1 greedy, and the full
+// two-phase scheduler at paper scale.
+#include <benchmark/benchmark.h>
+
+#include "baseline/online_lru.hpp"
+#include "core/ivsp.hpp"
+#include "core/scheduler.hpp"
+#include "net/routing.hpp"
+#include "storage/usage_timeline.hpp"
+#include "util/piecewise.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace vor;
+
+void BM_ZipfAliasSample(benchmark::State& state) {
+  const util::ZipfDistribution zipf(
+      static_cast<std::size_t>(state.range(0)), 0.271);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfAliasSample)->Arg(500)->Arg(100000);
+
+void BM_ZipfInversionSample(benchmark::State& state) {
+  const util::ZipfDistribution zipf(
+      static_cast<std::size_t>(state.range(0)), 0.271);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.SampleByInversion(rng));
+  }
+}
+BENCHMARK(BM_ZipfInversionSample)->Arg(500)->Arg(100000);
+
+void BM_RouterConstruction(benchmark::State& state) {
+  net::PaperTopologyParams params;
+  params.storage_count = static_cast<std::size_t>(state.range(0));
+  params.hub_count = std::max<std::size_t>(2, params.storage_count / 5);
+  params.base_nrate = util::NetworkRate{5e-7};
+  const net::Topology topo = net::MakePaperTopology(params);
+  for (auto _ : state) {
+    net::Router router(topo);
+    benchmark::DoNotOptimize(router.RouteRate(0, 1));
+  }
+}
+BENCHMARK(BM_RouterConstruction)->Arg(19)->Arg(100)->Arg(400);
+
+void BM_PiecewiseRegionsAbove(benchmark::State& state) {
+  util::Rng rng(7);
+  util::PiecewiseLinear timeline;
+  for (int i = 0; i < state.range(0); ++i) {
+    const double t0 = rng.Uniform(0.0, 86000.0);
+    const double t1 = t0 + rng.Uniform(100.0, 20000.0);
+    timeline.Add(util::LinearPiece{util::Seconds{t0}, util::Seconds{t1},
+                                   util::Seconds{t1 + 5400.0},
+                                   rng.Uniform(1e9, 4e9),
+                                   static_cast<std::uint64_t>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timeline.RegionsAbove(5e9));
+  }
+}
+BENCHMARK(BM_PiecewiseRegionsAbove)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_IvspSolvePaperScale(benchmark::State& state) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::IvspSolve(scenario.requests, cm, core::IvspOptions{}));
+  }
+}
+BENCHMARK(BM_IvspSolvePaperScale);
+
+void BM_FullSolveLooseCapacity(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(50);
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+  for (auto _ : state) {
+    auto result = scheduler.Solve(scenario.requests);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullSolveLooseCapacity);
+
+void BM_FullSolveTightCapacity(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+  for (auto _ : state) {
+    auto result = scheduler.Solve(scenario.requests);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullSolveTightCapacity);
+
+void BM_FullSolveLargeScale(benchmark::State& state) {
+  // Beyond-paper scale: 50 neighborhoods x 20 users = 1000 reservations
+  // over 2000 titles.
+  workload::ScenarioParams params;
+  params.storage_count = static_cast<std::size_t>(state.range(0));
+  params.users_per_neighborhood = 20;
+  params.catalog_size = 2000;
+  params.is_capacity = util::GB(8);
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+  for (auto _ : state) {
+    auto result = scheduler.Solve(scenario.requests);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenario.requests.size()));
+}
+BENCHMARK(BM_FullSolveLargeScale)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineLruLargeScale(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.storage_count = 50;
+  params.users_per_neighborhood = 20;
+  params.catalog_size = 2000;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baseline::OnlineLruSchedule(scenario.requests, cm));
+  }
+}
+BENCHMARK(BM_OnlineLruLargeScale)->Unit(benchmark::kMillisecond);
+
+void BM_UsageMapBuild(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  const core::Schedule schedule =
+      core::IvspSolve(scenario.requests, cm, core::IvspOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::BuildUsage(schedule, cm));
+  }
+}
+BENCHMARK(BM_UsageMapBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

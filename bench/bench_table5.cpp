@@ -1,0 +1,50 @@
+// Table 5 — Performance of the four heat metrics (Sec. 5.5).
+//
+// The paper runs 785 combinations of network charging rate, storage
+// charging rate, IS size, and access pattern; 622 of them incur a cost
+// change from overflow resolution.  Among those, the length-per-cost
+// metric (M2, Eq. 9) is best in 63%, the time-space-per-cost metric
+// (M4, Eq. 11) in 70%, and one of the two in 98%.  Resolution raises the
+// schedule cost by 12% on average and 34% worst-case.
+//
+// We reproduce the experiment over the clean Table-4 grid (768 combos —
+// the closest reconstruction Table 4 admits; the paper's exact 785 is not
+// derivable from it) via core/shootout, which runs every combo under all
+// four metrics and votes for the cheapest overflow-free schedule.
+#include "bench_common.hpp"
+#include "core/shootout.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace vor;
+
+  const workload::ScenarioParams base;
+  util::PrintBenchHeader(
+      std::cout, "Table 5",
+      "Heat-metric shootout over the Table-4 grid: which victim-selection\n"
+      "metric yields the cheapest overflow-free schedule",
+      base.seed);
+
+  util::ThreadPool pool;
+  const core::ShootoutSummary s =
+      core::RunShootout(workload::Table4Grid(), &pool);
+
+  util::Table table({"quantity", "this repro", "paper"});
+  auto pct = [](double share) {
+    return util::Table::Num(share * 100.0, 0) + "%";
+  };
+  table.AddRow({"total cases", std::to_string(s.total_cases), "785"});
+  table.AddRow({"cases with overflow", std::to_string(s.overflow_cases),
+                "622"});
+  table.AddRow({"M1 best (Eq.8)", pct(s.BestShare(0)), "-"});
+  table.AddRow({"M2 best (Eq.9)", pct(s.BestShare(1)), "63%"});
+  table.AddRow({"M3 best (Eq.10)", pct(s.BestShare(2)), "-"});
+  table.AddRow({"M4 best (Eq.11)", pct(s.BestShare(3)), "70%"});
+  table.AddRow({"M2 or M4 best", pct(s.M2OrM4Share()), "98%"});
+  table.AddRow({"avg cost increase (M4)",
+                util::Table::Num(s.avg_increase * 100.0, 1) + "%", "12%"});
+  table.AddRow({"worst cost increase (M4)",
+                util::Table::Num(s.worst_increase * 100.0, 1) + "%", "34%"});
+  bench::EmitTable(table);
+  return 0;
+}

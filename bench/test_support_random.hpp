@@ -1,0 +1,64 @@
+// Random small single-file instances shared by the optimality and
+// ablation benches.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "media/catalog.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "workload/request.hpp"
+
+namespace vor::bench {
+
+struct SmallInstance {
+  net::Topology topology;
+  media::Catalog catalog;
+  std::vector<workload::Request> requests;  // all for video 0, chronological
+};
+
+inline SmallInstance MakeSmallInstance(util::Rng& rng, std::size_t storages,
+                                       double srate_per_gb_hour,
+                                       std::size_t max_requests) {
+  SmallInstance inst;
+  const net::NodeId vw = inst.topology.AddWarehouse("VW");
+  const util::StorageRate srate{srate_per_gb_hour / 3.6e12};
+  net::NodeId prev = vw;
+  std::vector<net::NodeId> nodes;
+  for (std::size_t i = 0; i < storages; ++i) {
+    const net::NodeId n = inst.topology.AddStorage(
+        "IS" + std::to_string(i), util::GB(100), srate);
+    inst.topology.AddLink(prev, n,
+                          util::NetworkRate{rng.Uniform(5.0, 20.0) / 1e9});
+    nodes.push_back(n);
+    prev = n;
+  }
+  // A couple of random shortcuts so routing has choices.
+  if (storages >= 3) {
+    inst.topology.AddLink(vw, nodes[storages - 1],
+                          util::NetworkRate{rng.Uniform(10.0, 40.0) / 1e9});
+  }
+
+  media::Video v;
+  v.title = "title";
+  v.size = util::GB(1.0);
+  v.playback = util::Hours(1.0);
+  v.bandwidth = v.size / v.playback;
+  inst.catalog.Add(v);
+
+  const std::size_t n = 2 + rng.NextBounded(max_requests - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.requests.push_back(
+        {static_cast<workload::UserId>(i), 0,
+         util::Seconds{rng.Uniform(0.0, 12.0 * 3600.0)},
+         nodes[rng.NextBounded(nodes.size())]});
+  }
+  std::sort(inst.requests.begin(), inst.requests.end(),
+            [](const auto& a, const auto& b) {
+              return a.start_time < b.start_time;
+            });
+  return inst;
+}
+
+}  // namespace vor::bench

@@ -1,0 +1,68 @@
+// bandwidth_rollout: "our backbone links are capped — how much link
+// capacity do we need before reservations stop being squeezed?"
+//
+// Exercises the bandwidth-constrained extension (the paper's Sec. 6
+// future work): sweeps a per-link cap, comparing the bandwidth-aware
+// scheduler (which admits streams against per-link step-function load)
+// to the cap-oblivious one, and reports the smallest cap with no forced
+// (overloading) reservations.
+//
+//   $ ./bandwidth_rollout
+#include <iostream>
+#include <vector>
+
+#include "vor/vor.hpp"
+
+int main() {
+  using namespace vor;
+
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(8.0);
+  params.nrate_per_gb = 600.0;
+  params.srate_per_gb_hour = 4.0;
+  params.start_profile = workload::StartTimeProfile::kEveningPeak;
+
+  // A typical title streams at size/playback; express caps in "streams".
+  const double one_stream = 3.3e9 / (95.0 * 60.0);  // ~0.58 MB/s
+
+  std::cout << "bandwidth_rollout: evening-peak cycle, caps in concurrent "
+               "streams per link\n\n";
+
+  util::Table table({"cap", "cost ($)", "forced", "overloaded links",
+                     "worst link util"});
+  double smallest_clean_cap = -1.0;
+
+  for (const double cap : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0}) {
+    workload::Scenario scenario = workload::MakeScenario(params);
+    scenario.topology.SetUniformBandwidthCap(
+        util::BytesPerSecond{cap * one_stream});
+    ext::BandwidthAwareScheduler scheduler(scenario.topology,
+                                           scenario.catalog);
+    const auto result = scheduler.Solve(scenario.requests);
+    if (!result.ok()) {
+      std::cerr << result.error().message << '\n';
+      return 1;
+    }
+    table.AddRow({util::Table::Num(cap, 0),
+                  util::Table::Num(result->final_cost.value(), 0),
+                  std::to_string(result->forced_requests),
+                  std::to_string(result->overloaded_links),
+                  util::Table::Num(result->worst_utilization, 2)});
+    if (smallest_clean_cap < 0.0 && result->forced_requests == 0) {
+      smallest_clean_cap = cap;
+    }
+  }
+  table.PrintPretty(std::cout);
+
+  if (smallest_clean_cap > 0.0) {
+    std::cout << "\nprovision at least " << smallest_clean_cap
+              << " concurrent streams per link: above that point, every\n"
+                 "reservation is admitted without overloading any link,\n"
+                 "with the scheduler shifting repeats onto caches behind\n"
+                 "the congested hops.\n";
+  } else {
+    std::cout << "\neven the largest swept cap still forces reservations "
+                 "through\nsaturated links; increase the sweep.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every paper
+# figure/table, and runs the examples — the repository's one-button check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "==== figure/table benches ===="
+for b in build/bench/bench_*; do "$b"; done
+
+echo "==== examples ===="
+for e in build/examples/*; do "$e"; done

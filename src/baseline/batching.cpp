@@ -1,0 +1,99 @@
+#include "baseline/batching.hpp"
+
+#include <unordered_map>
+
+#include "util/piecewise.hpp"
+#include "workload/generator.hpp"
+
+namespace vor::baseline {
+
+namespace {
+
+struct OpenBatch {
+  /// Index into the file's residencies.
+  std::size_t residency_index = 0;
+  /// Batch opener's start time; the window closes at open + W.
+  util::Seconds opened{0.0};
+};
+
+}  // namespace
+
+core::Schedule BatchingSchedule(const std::vector<workload::Request>& requests,
+                                const core::CostModel& cost_model,
+                                const BatchingOptions& options) {
+  const net::NodeId vw = cost_model.topology().warehouse();
+  core::Schedule schedule;
+  // Cross-file capacity bookkeeping; tags key (video, residency index).
+  std::unordered_map<net::NodeId, util::PiecewiseLinear> usage;
+
+  for (const auto& [video, indices] : workload::GroupByVideo(requests)) {
+    core::FileSchedule file;
+    file.video = video;
+    // One open batch per neighborhood at a time.
+    std::unordered_map<net::NodeId, OpenBatch> open;
+
+    for (const std::size_t idx : indices) {
+      const workload::Request& req = requests[idx];
+      const net::NodeId home = req.neighborhood;
+      const double capacity = cost_model.topology().node(home).capacity.value();
+
+      core::Delivery d;
+      d.video = video;
+      d.start = req.start_time;
+      d.request_index = idx;
+
+      const auto it = open.find(home);
+      if (it != open.end() &&
+          req.start_time <= it->second.opened + options.window) {
+        // Try to join the open batch: swap the copy's reservation for the
+        // extended one if it still fits.
+        core::Residency& cache = file.residencies[it->second.residency_index];
+        const std::uint64_t tag =
+            it->second.residency_index +
+            1'000'000 * (static_cast<std::uint64_t>(video) + 1);
+        core::Residency extended = cache;
+        extended.t_last = req.start_time;
+        const util::LinearPiece new_piece =
+            cost_model.OccupancyPiece(extended, tag);
+        util::PiecewiseLinear& node_usage = usage[home];
+        const util::LinearPiece old_piece = cost_model.OccupancyPiece(cache, tag);
+        node_usage.RemoveByTag(tag);
+        if (node_usage.FitsUnder(new_piece, capacity)) {
+          node_usage.Add(new_piece);
+          cache.t_last = req.start_time;
+          cache.services.push_back(idx);
+          d.route = {home};
+          file.deliveries.push_back(std::move(d));
+          continue;
+        }
+        // Does not fit: restore the old reservation and fall through to
+        // open a fresh batch via a direct delivery.
+        if (old_piece.height > 0.0) node_usage.Add(old_piece);
+      }
+
+      // Open a new batch anchored to this direct delivery.
+      d.route = cost_model.router().CheapestPath(vw, home).nodes;
+      core::Residency cache;
+      cache.video = video;
+      cache.location = home;
+      cache.source = vw;
+      cache.t_start = req.start_time;
+      cache.t_last = req.start_time;
+      open[home] =
+          OpenBatch{file.residencies.size(), req.start_time};
+      file.residencies.push_back(std::move(cache));
+      file.deliveries.push_back(std::move(d));
+    }
+
+    // Prune batches nobody joined (gamma = 0 reservations, zero cost).
+    std::vector<core::Residency> kept;
+    for (core::Residency& c : file.residencies) {
+      if (!c.services.empty()) kept.push_back(std::move(c));
+    }
+    file.residencies = std::move(kept);
+    schedule.files.push_back(std::move(file));
+  }
+  return schedule;
+}
+
+}  // namespace vor::baseline

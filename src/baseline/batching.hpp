@@ -1,0 +1,37 @@
+// Time-window batching baseline.
+//
+// Classic video-on-demand batching (the policy family the paper's related
+// work compares against, cf. Dan & Sitaram): requests for the same title
+// whose start times fall within a fixed window W of the window opener are
+// "batched" — the opener's stream populates a copy at each requester's
+// local IS and the followers replay from that copy.  No cost model is
+// consulted; the window is the only knob.
+//
+// This brackets the paper's cost-driven scheduler from a third direction
+// (NetworkOnly = never cache, LocalCache = always cache, Batching = cache
+// for a fixed horizon), and doubles as the "find_video_schedule
+// alternative" ablation subject referenced in DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "util/units.hpp"
+#include "workload/request.hpp"
+
+namespace vor::baseline {
+
+struct BatchingOptions {
+  /// Requests within this window of the batch opener share its copy.
+  util::Seconds window = util::Minutes(60.0);
+};
+
+/// Capacity-aware: a follower joins a batch only if extending the copy's
+/// reservation still fits its IS; otherwise it opens a new batch (or goes
+/// direct when nothing fits).
+[[nodiscard]] core::Schedule BatchingSchedule(
+    const std::vector<workload::Request>& requests,
+    const core::CostModel& cost_model, const BatchingOptions& options = {});
+
+}  // namespace vor::baseline

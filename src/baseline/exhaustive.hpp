@@ -1,0 +1,50 @@
+// Exhaustive (branch-and-bound) per-file scheduler for small instances.
+//
+// The Video Scheduling Problem is NP-complete (Sec. 2.3), so this solver
+// is only practical for a handful of requests — exactly what is needed to
+// measure how far the greedy heuristic lands from the optimum (the paper
+// quotes ~15% for the phase-1 heuristic and ~30% end-to-end, Sec. 5.5).
+//
+// The search explores the same decision space as the greedy (direct /
+// extend / new anchored cache, capacity ignored) but considers every
+// branch, not just the locally cheapest, with cost-bound pruning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "workload/request.hpp"
+
+namespace vor::baseline {
+
+struct ExhaustiveOptions {
+  /// Hard cap on explored search nodes; the result is marked incomplete
+  /// (and is then only an upper bound on the optimum) when exceeded.
+  std::size_t max_nodes = 2'000'000;
+};
+
+struct ExhaustiveResult {
+  core::FileSchedule schedule;
+  util::Money cost{0.0};
+  /// False when the node cap stopped the search early.
+  bool complete = true;
+  std::size_t explored_nodes = 0;
+};
+
+/// Minimum-cost schedule for one file's requests (chronological indices
+/// into `requests`), uncapacitated — the phase-1 setting.
+[[nodiscard]] ExhaustiveResult ExhaustiveFileSchedule(
+    media::VideoId video, const std::vector<workload::Request>& requests,
+    const std::vector<std::size_t>& indices, const core::CostModel& cost_model,
+    const ExhaustiveOptions& options = {});
+
+/// Sum of per-file optima over a whole request set.  In the uncapacitated
+/// setting files are independent, so this IS the global optimum; with
+/// capacities it is a lower bound on the optimal feasible cost.
+[[nodiscard]] ExhaustiveResult ExhaustiveSchedule(
+    const std::vector<workload::Request>& requests,
+    const core::CostModel& cost_model, const ExhaustiveOptions& options = {});
+
+}  // namespace vor::baseline

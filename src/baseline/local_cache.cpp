@@ -1,0 +1,108 @@
+#include "baseline/local_cache.hpp"
+
+#include <unordered_map>
+
+#include "util/piecewise.hpp"
+#include "workload/generator.hpp"
+
+namespace vor::baseline {
+
+core::Schedule LocalCacheSchedule(
+    const std::vector<workload::Request>& requests,
+    const core::CostModel& cost_model) {
+  const net::NodeId vw = cost_model.topology().warehouse();
+  core::Schedule schedule;
+
+  // Global per-node usage so capacity is respected across files.  The
+  // baseline commits residencies greedily in request order.
+  std::unordered_map<net::NodeId, util::PiecewiseLinear> usage;
+
+  for (const auto& [video, indices] : workload::GroupByVideo(requests)) {
+    core::FileSchedule file;
+    file.video = video;
+    // node -> index into file.residencies
+    std::unordered_map<net::NodeId, std::size_t> local_copy;
+
+    for (const std::size_t idx : indices) {
+      const workload::Request& req = requests[idx];
+      const net::NodeId home = req.neighborhood;
+      const double capacity =
+          cost_model.topology().node(home).capacity.value();
+
+      core::Delivery d;
+      d.video = video;
+      d.start = req.start_time;
+      d.request_index = idx;
+
+      const auto it = local_copy.find(home);
+      if (it != local_copy.end()) {
+        // Serve from the local copy; extend it if the larger reservation
+        // still fits (otherwise fall back to a direct delivery).
+        core::Residency& cache = file.residencies[it->second];
+        core::Residency extended = cache;
+        extended.t_last = req.start_time;
+        const util::LinearPiece new_piece =
+            cost_model.OccupancyPiece(extended, /*tag=*/0);
+        util::PiecewiseLinear& node_usage = usage[home];
+        node_usage.RemoveByTag(core::ResidencyRef{0, it->second}.Pack() ^
+                               (static_cast<std::uint64_t>(video) << 40));
+        if (node_usage.FitsUnder(new_piece, capacity)) {
+          cache.t_last = req.start_time;
+          cache.services.push_back(idx);
+          util::LinearPiece tagged = new_piece;
+          tagged.tag = core::ResidencyRef{0, it->second}.Pack() ^
+                       (static_cast<std::uint64_t>(video) << 40);
+          node_usage.Add(tagged);
+          d.route = {home};
+          file.deliveries.push_back(std::move(d));
+          continue;
+        }
+        // Restore the old reservation and deliver directly.
+        util::LinearPiece old_piece = cost_model.OccupancyPiece(cache, 0);
+        old_piece.tag = core::ResidencyRef{0, it->second}.Pack() ^
+                        (static_cast<std::uint64_t>(video) << 40);
+        node_usage.Add(old_piece);
+        d.route = cost_model.router().CheapestPath(vw, home).nodes;
+        file.deliveries.push_back(std::move(d));
+        continue;
+      }
+
+      // No local copy yet: deliver from the warehouse and try to leave a
+      // copy behind (anchored to this stream, so the copy costs no extra
+      // network transfer).
+      d.route = cost_model.router().CheapestPath(vw, home).nodes;
+
+      core::Residency cache;
+      cache.video = video;
+      cache.location = home;
+      cache.source = vw;
+      cache.t_start = req.start_time;
+      cache.t_last = req.start_time;
+      cache.services = {};
+      const util::LinearPiece piece = cost_model.OccupancyPiece(cache, /*tag=*/0);
+      util::PiecewiseLinear& node_usage = usage[home];
+      if (node_usage.FitsUnder(piece, capacity)) {
+        const std::size_t res_index = file.residencies.size();
+        util::LinearPiece tagged = piece;
+        tagged.tag = core::ResidencyRef{0, res_index}.Pack() ^
+                     (static_cast<std::uint64_t>(video) << 40);
+        node_usage.Add(tagged);
+        local_copy.emplace(home, res_index);
+        file.residencies.push_back(std::move(cache));
+      }
+      file.deliveries.push_back(std::move(d));
+    }
+
+    // Drop zero-service residencies: a copy nobody replayed carries no
+    // reservation (its gamma is 0) and would only add noise.
+    std::vector<core::Residency> kept;
+    for (core::Residency& c : file.residencies) {
+      if (!c.services.empty()) kept.push_back(std::move(c));
+    }
+    file.residencies = std::move(kept);
+    schedule.files.push_back(std::move(file));
+  }
+  return schedule;
+}
+
+}  // namespace vor::baseline

@@ -1,0 +1,22 @@
+// Naive local-caching baseline: a conventional proxy-cache policy with no
+// cost model.  Every delivery leaves a copy at the requester's local IS
+// whenever the copy fits; later local requests are served from that copy;
+// everything else comes straight from the warehouse.  This is what a CDN
+// without the paper's cost-driven placement would do, and it brackets the
+// two-phase scheduler from the opposite side than NetworkOnlySchedule.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "workload/request.hpp"
+
+namespace vor::baseline {
+
+/// Capacity-aware (never overflows an IS) but cost-blind.
+[[nodiscard]] core::Schedule LocalCacheSchedule(
+    const std::vector<workload::Request>& requests,
+    const core::CostModel& cost_model);
+
+}  // namespace vor::baseline

@@ -1,0 +1,20 @@
+// "Network only system" baseline (the reference line in Figs. 5 and 7):
+// every request is delivered directly from the video warehouse; no
+// intermediate storage is ever used.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "workload/request.hpp"
+
+namespace vor::baseline {
+
+/// Builds the all-direct schedule.  Never uses storage, so it is feasible
+/// under any IS capacity (including zero).
+[[nodiscard]] core::Schedule NetworkOnlySchedule(
+    const std::vector<workload::Request>& requests,
+    const core::CostModel& cost_model);
+
+}  // namespace vor::baseline

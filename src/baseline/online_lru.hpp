@@ -1,0 +1,52 @@
+// Online caching baseline: no reservations, no foresight.
+//
+// The paper's core motivation (Sec. 1.1) is that Video-On-Reservation
+// hands the provider the whole cycle's request set in advance, enabling
+// global optimization.  This baseline quantifies what that advance
+// knowledge is worth: it processes the same requests strictly in arrival
+// order, as an ordinary on-demand service would —
+//
+//   * a request is served from its local storage's cache when the title
+//     is resident, else fetched from the warehouse (leaving a copy
+//     behind when space allows, evicting least-recently-used copies
+//     first);
+//   * no anchoring in the past, no remote-cache planning, no victim
+//     rescheduling — decisions are myopic by construction.
+//
+// The emitted schedule uses the same record types and cost model as the
+// offline scheduler, so Psi(online) - Psi(two-phase) is exactly the
+// monetary value of reservation.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "workload/request.hpp"
+
+namespace vor::baseline {
+
+struct OnlineLruOptions {
+  /// Copies idle longer than this are dropped even without space
+  /// pressure (their residency cost would grow without bound otherwise).
+  /// <= 0 keeps copies until evicted by space pressure alone.
+  util::Seconds idle_ttl = util::Hours(6.0);
+};
+
+struct OnlineLruResult {
+  core::Schedule schedule;
+  /// Requests served from a local copy.
+  std::size_t cache_hits = 0;
+  /// Copies dropped for space.
+  std::size_t evictions = 0;
+};
+
+/// Runs the online policy over the request sequence (must be sorted by
+/// start time, as GenerateRequests produces).  Capacity accounting is
+/// conservative: each resident copy reserves its full size, so the
+/// resulting schedule always passes the analytic capacity check.
+[[nodiscard]] OnlineLruResult OnlineLruSchedule(
+    const std::vector<workload::Request>& requests,
+    const core::CostModel& cost_model, const OnlineLruOptions& options = {});
+
+}  // namespace vor::baseline

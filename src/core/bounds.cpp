@@ -1,0 +1,34 @@
+#include "core/bounds.hpp"
+
+#include <unordered_map>
+
+namespace vor::core {
+
+LowerBoundBreakdown UnavoidableNetworkLowerBound(
+    const std::vector<workload::Request>& requests,
+    const CostModel& cost_model) {
+  // Earliest request per video.
+  std::unordered_map<media::VideoId, const workload::Request*> first;
+  for (const workload::Request& r : requests) {
+    auto [it, inserted] = first.emplace(r.video, &r);
+    if (!inserted && r.start_time < it->second->start_time) {
+      it->second = &r;
+    }
+  }
+
+  const net::NodeId vw = cost_model.topology().warehouse();
+  LowerBoundBreakdown bound;
+  bound.videos = first.size();
+  for (const auto& [video, request] : first) {
+    // The end-to-end basis may discount multi-hop routes; RouteRate
+    // honours whichever basis the cost model is configured with, keeping
+    // the bound valid under both forms of Eq. (4).
+    bound.warehouse_egress +=
+        (cost_model.RouteRate(vw, request->neighborhood) *
+         cost_model.StreamBytes(video))
+            .value();
+  }
+  return bound;
+}
+
+}  // namespace vor::core

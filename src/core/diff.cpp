@@ -1,0 +1,128 @@
+#include "core/diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace vor::core {
+
+namespace {
+
+/// Identity of a residency for diffing purposes.
+using ResidencyKey = std::pair<net::NodeId, double>;
+
+std::map<ResidencyKey, const Residency*> IndexResidencies(
+    const FileSchedule& file) {
+  std::map<ResidencyKey, const Residency*> index;
+  for (const Residency& c : file.residencies) {
+    index.emplace(ResidencyKey{c.location, c.t_start.value()}, &c);
+  }
+  return index;
+}
+
+std::map<std::size_t, net::NodeId> ServiceOrigins(const FileSchedule& file) {
+  std::map<std::size_t, net::NodeId> origins;
+  for (const Delivery& d : file.deliveries) {
+    if (d.request_index != kNoRequest) {
+      origins.emplace(d.request_index, d.origin());
+    }
+  }
+  return origins;
+}
+
+FileDiff DiffFiles(const FileSchedule& before, const FileSchedule& after,
+                   const CostModel& cost_model) {
+  FileDiff diff;
+  diff.video = before.video;
+  diff.old_cost = cost_model.FileCost(before).value();
+  diff.new_cost = cost_model.FileCost(after).value();
+
+  const auto old_res = IndexResidencies(before);
+  const auto new_res = IndexResidencies(after);
+  for (const auto& [key, residency] : old_res) {
+    const auto it = new_res.find(key);
+    // Changed service sets count as remove+add, so extensions surface.
+    if (it == new_res.end() || it->second->t_last != residency->t_last) {
+      diff.removed_residencies.push_back(*residency);
+    }
+  }
+  for (const auto& [key, residency] : new_res) {
+    const auto it = old_res.find(key);
+    if (it == old_res.end() || it->second->t_last != residency->t_last) {
+      diff.added_residencies.push_back(*residency);
+    }
+  }
+
+  const auto old_origins = ServiceOrigins(before);
+  const auto new_origins = ServiceOrigins(after);
+  for (const auto& [request, origin] : old_origins) {
+    const auto it = new_origins.find(request);
+    if (it != new_origins.end() && it->second != origin) {
+      diff.retargeted.push_back(
+          FileDiff::RetargetedService{request, origin, it->second});
+    }
+  }
+  return diff;
+}
+
+}  // namespace
+
+ScheduleDiff DiffSchedules(const Schedule& before, const Schedule& after,
+                           const CostModel& cost_model) {
+  ScheduleDiff diff;
+  diff.old_total = cost_model.TotalCost(before).value();
+  diff.new_total = cost_model.TotalCost(after).value();
+
+  std::map<media::VideoId, const FileSchedule*> old_files;
+  std::map<media::VideoId, const FileSchedule*> new_files;
+  for (const FileSchedule& f : before.files) old_files.emplace(f.video, &f);
+  for (const FileSchedule& f : after.files) new_files.emplace(f.video, &f);
+
+  std::set<media::VideoId> videos;
+  for (const auto& [video, file] : old_files) videos.insert(video);
+  for (const auto& [video, file] : new_files) videos.insert(video);
+
+  const FileSchedule empty;
+  for (const media::VideoId video : videos) {
+    const auto before_it = old_files.find(video);
+    const auto after_it = new_files.find(video);
+    FileDiff fd = DiffFiles(
+        before_it != old_files.end() ? *before_it->second : empty,
+        after_it != new_files.end() ? *after_it->second : empty, cost_model);
+    fd.video = video;
+    if (!fd.Unchanged()) diff.files.push_back(std::move(fd));
+  }
+  return diff;
+}
+
+std::string ScheduleDiff::ToText(const net::Topology& topology) const {
+  std::ostringstream os;
+  os << "schedule diff: $" << util::Table::Num(old_total, 2) << " -> $"
+     << util::Table::Num(new_total, 2) << " (" << files.size()
+     << " file(s) changed)\n";
+  for (const FileDiff& fd : files) {
+    os << "  video " << fd.video << ": $" << util::Table::Num(fd.old_cost, 2)
+       << " -> $" << util::Table::Num(fd.new_cost, 2) << '\n';
+    for (const Residency& c : fd.removed_residencies) {
+      os << "    - copy at " << topology.node(c.location).name << " ["
+         << c.t_start.value() / 3600.0 << "h, " << c.t_last.value() / 3600.0
+         << "h]\n";
+    }
+    for (const Residency& c : fd.added_residencies) {
+      os << "    + copy at " << topology.node(c.location).name << " ["
+         << c.t_start.value() / 3600.0 << "h, " << c.t_last.value() / 3600.0
+         << "h]\n";
+    }
+    for (const auto& r : fd.retargeted) {
+      os << "    ~ request " << r.request_index << ": "
+         << topology.node(r.old_origin).name << " -> "
+         << topology.node(r.new_origin).name << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vor::core

@@ -1,0 +1,54 @@
+// Schedule diffing: what did rescheduling actually change?
+//
+// SORP rewrites whole per-file schedules; operators (and the heat_metrics
+// example) want to see the decisions, not re-derive them: which copies
+// moved, which services switched source, and what each file's cost did.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+
+namespace vor::core {
+
+struct FileDiff {
+  media::VideoId video = 0;
+  /// Residency placements only in the old / only in the new schedule,
+  /// keyed by (location, t_start) identity.
+  std::vector<Residency> removed_residencies;
+  std::vector<Residency> added_residencies;
+  /// Deliveries whose origin changed for the same request.
+  struct RetargetedService {
+    std::size_t request_index = 0;
+    net::NodeId old_origin = net::kInvalidNode;
+    net::NodeId new_origin = net::kInvalidNode;
+  };
+  std::vector<RetargetedService> retargeted;
+  double old_cost = 0.0;
+  double new_cost = 0.0;
+
+  [[nodiscard]] bool Unchanged() const {
+    return removed_residencies.empty() && added_residencies.empty() &&
+           retargeted.empty();
+  }
+};
+
+struct ScheduleDiff {
+  /// One entry per file that changed, ordered by video id.
+  std::vector<FileDiff> files;
+  double old_total = 0.0;
+  double new_total = 0.0;
+
+  [[nodiscard]] bool Unchanged() const { return files.empty(); }
+  [[nodiscard]] std::string ToText(const net::Topology& topology) const;
+};
+
+/// Diffs two schedules over the same request cycle.  Files are matched by
+/// video id; a file present on only one side diffs against an empty one.
+[[nodiscard]] ScheduleDiff DiffSchedules(const Schedule& before,
+                                         const Schedule& after,
+                                         const CostModel& cost_model);
+
+}  // namespace vor::core

@@ -1,0 +1,76 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/ivsp.hpp"
+#include "core/rejective_greedy.hpp"
+#include "workload/generator.hpp"
+
+namespace vor::core {
+
+util::Result<SolveOutput> IncrementalSolve(
+    const VorScheduler& scheduler, const SolveOutput& previous,
+    const std::vector<workload::Request>& original_requests,
+    const std::vector<workload::Request>& late_requests,
+    std::vector<workload::Request>* merged_requests,
+    IncrementalStats* stats) {
+  if (merged_requests == nullptr) {
+    return util::InvalidArgument("merged_requests must not be null");
+  }
+  const CostModel& cm = scheduler.cost_model();
+  for (const workload::Request& r : late_requests) {
+    if (!cm.catalog().Contains(r.video)) {
+      return util::NotFound("late request for unknown video id " +
+                            std::to_string(r.video));
+    }
+    if (!cm.topology().IsStorage(r.neighborhood)) {
+      return util::InvalidArgument(
+          "late request neighborhood is not an intermediate storage node");
+    }
+  }
+
+  *merged_requests = original_requests;
+  merged_requests->insert(merged_requests->end(), late_requests.begin(),
+                          late_requests.end());
+
+  std::set<media::VideoId> affected;
+  for (const workload::Request& r : late_requests) affected.insert(r.video);
+
+  // Phase 1, incrementally: recompute only affected files; everything
+  // else carries over (request indices into the original prefix stay
+  // valid because late requests are appended).
+  SolveOutput out;
+  IncrementalStats local_stats;
+  const auto groups = workload::GroupByVideo(*merged_requests);
+  out.schedule.files.reserve(groups.size());
+  for (const auto& [video, indices] : groups) {
+    if (affected.count(video) == 0) {
+      const std::size_t existing = previous.schedule.FindFile(video);
+      if (existing != static_cast<std::size_t>(-1)) {
+        out.schedule.files.push_back(previous.schedule.files[existing]);
+        ++local_stats.files_carried_over;
+        continue;
+      }
+    }
+    out.schedule.files.push_back(
+        ScheduleFileGreedy(video, *merged_requests, indices, cm,
+                           scheduler.options().ivsp, nullptr));
+    ++local_stats.files_rescheduled;
+  }
+  out.phase1_cost = cm.TotalCost(out.schedule);
+
+  // Phase 2 runs on the merged schedule as usual: overflow interactions
+  // are global, so no shortcut is sound there.
+  SorpOptions sorp_options;
+  sorp_options.heat = scheduler.options().heat;
+  sorp_options.ivsp = scheduler.options().ivsp;
+  sorp_options.max_iterations = scheduler.options().max_sorp_iterations;
+  out.sorp = SorpSolve(out.schedule, *merged_requests, cm, sorp_options);
+  out.final_cost = out.sorp.cost_after;
+
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace vor::core

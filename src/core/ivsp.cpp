@@ -1,0 +1,291 @@
+#include "core/ivsp.hpp"
+
+#include <algorithm>
+#include <map>
+#include <cassert>
+#include <limits>
+
+#include "workload/generator.hpp"
+
+namespace vor::core {
+
+bool ConstraintSet::ForbidsResidency(net::NodeId node,
+                                     util::Interval support) const {
+  for (const auto& [fnode, fwindow] : forbidden) {
+    if (fnode == node && util::Overlaps(fwindow, support)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// A stream of this video passed through a node at `time`, originating at
+/// `origin`; a cache opened here can copy its blocks from that stream.
+struct Anchor {
+  util::Seconds time{0.0};
+  net::NodeId origin = net::kInvalidNode;
+};
+
+/// Candidate kinds mirror the paper's three update choices.
+enum class CandidateKind : std::uint8_t { kDirect, kExtend, kNewCache };
+
+struct Candidate {
+  CandidateKind kind = CandidateKind::kDirect;
+  util::Money cost{std::numeric_limits<double>::infinity()};
+  /// kExtend: index into `caches`; kNewCache: the caching node.
+  std::size_t cache_index = 0;
+  net::NodeId cache_node = net::kInvalidNode;
+  Anchor anchor;
+
+  [[nodiscard]] bool Feasible() const {
+    return std::isfinite(cost.value());
+  }
+};
+
+class GreedyRun {
+ public:
+  GreedyRun(media::VideoId video, const std::vector<workload::Request>& requests,
+            const CostModel& cm, const IvspOptions& options,
+            const ConstraintSet* constraints)
+      : video_(video),
+        requests_(requests),
+        cm_(cm),
+        options_(options),
+        constraints_(constraints),
+        playback_(cm.catalog().video(video).playback),
+        vw_(cm.topology().warehouse()) {}
+
+  FileSchedule Run(const std::vector<std::size_t>& indices) {
+    for (const std::size_t idx : indices) {
+      const workload::Request& req = requests_[idx];
+      assert(req.video == video_);
+      ServeRequest(idx, req);
+    }
+    FileSchedule out;
+    out.video = video_;
+    out.deliveries = std::move(deliveries_);
+    out.residencies = std::move(caches_);
+    return out;
+  }
+
+ private:
+  /// Checks a hypothetical residency [t_start, t_last] at `node` against
+  /// forbidden windows and capacity.  `replacing` points at the current
+  /// residency being extended (so its own reservation is not double
+  /// counted), or nullptr for a brand-new cache.
+  bool ResidencyAllowed(net::NodeId node, util::Seconds t_start,
+                        util::Seconds t_last) const {
+    if (constraints_ == nullptr) return true;
+    const util::Interval support{t_start, t_last + playback_};
+    if (constraints_->ForbidsResidency(node, support)) return false;
+    if (constraints_->other_usage != nullptr) {
+      Residency probe;
+      probe.video = video_;
+      probe.location = node;
+      probe.t_start = t_start;
+      probe.t_last = t_last;
+      const util::LinearPiece piece = cm_.OccupancyPiece(probe, /*tag=*/0);
+      const double capacity = cm_.topology().node(node).capacity.value();
+      const auto it = constraints_->other_usage->find(node);
+      if (it == constraints_->other_usage->end()) {
+        return piece.height <= capacity;
+      }
+      return it->second.FitsUnder(piece, capacity);
+    }
+    return true;
+  }
+
+  bool RouteAllowed(const std::vector<net::NodeId>& route,
+                    util::Seconds t) const {
+    if (constraints_ == nullptr || !constraints_->route_ok) return true;
+    return constraints_->route_ok(route, t, video_);
+  }
+
+  void ConsiderDirect(const workload::Request& req, Candidate& best) const {
+    const auto& path = cm_.router().CheapestPath(vw_, req.neighborhood);
+    if (!RouteAllowed(path.nodes, req.start_time)) return;
+    const util::Money cost = cm_.RouteRate(vw_, req.neighborhood) *
+                             cm_.StreamBytes(video_);
+    if (cost < best.cost) {
+      best = Candidate{CandidateKind::kDirect, cost, 0, net::kInvalidNode, {}};
+    }
+  }
+
+  void ConsiderExtensions(const workload::Request& req, Candidate& best) const {
+    for (std::size_t j = 0; j < caches_.size(); ++j) {
+      const Residency& cache = caches_[j];
+      if (!options_.allow_remote_cache_service &&
+          cache.location != req.neighborhood) {
+        continue;
+      }
+      assert(cache.t_start <= req.start_time);
+      const util::Seconds new_last =
+          std::max(cache.t_last, req.start_time);
+      if (!ResidencyAllowed(cache.location, cache.t_start, new_last)) continue;
+      const auto& path =
+          cm_.router().CheapestPath(cache.location, req.neighborhood);
+      if (!RouteAllowed(path.nodes, req.start_time)) continue;
+      const util::Money storage_delta =
+          cm_.ResidencyCostAt(cache.location, video_, cache.t_start, new_last) -
+          cm_.ResidencyCostAt(cache.location, video_, cache.t_start,
+                              cache.t_last);
+      const util::Money network = cm_.RouteRate(cache.location, req.neighborhood) *
+                                  cm_.StreamBytes(video_);
+      const util::Money cost = storage_delta + network;
+      if (cost < best.cost) {
+        best.kind = CandidateKind::kExtend;
+        best.cost = cost;
+        best.cache_index = j;
+        best.cache_node = cache.location;
+      }
+    }
+  }
+
+  void ConsiderNewCaches(const workload::Request& req, Candidate& best) const {
+    for (const auto& [node, anchor] : anchors_) {
+      if (IsCached(node)) continue;  // extension candidate covers it
+      if (!options_.allow_remote_caching && node != req.neighborhood) continue;
+      assert(anchor.time <= req.start_time);
+      if (!ResidencyAllowed(node, anchor.time, req.start_time)) continue;
+      const auto& path = cm_.router().CheapestPath(node, req.neighborhood);
+      if (!RouteAllowed(path.nodes, req.start_time)) continue;
+      const util::Money storage =
+          cm_.ResidencyCostAt(node, video_, anchor.time, req.start_time);
+      const util::Money network =
+          cm_.RouteRate(node, req.neighborhood) * cm_.StreamBytes(video_);
+      const util::Money cost = storage + network;
+      if (cost < best.cost) {
+        best.kind = CandidateKind::kNewCache;
+        best.cost = cost;
+        best.cache_node = node;
+        best.anchor = anchor;
+      }
+    }
+  }
+
+  [[nodiscard]] bool IsCached(net::NodeId node) const {
+    return std::any_of(caches_.begin(), caches_.end(),
+                       [node](const Residency& c) { return c.location == node; });
+  }
+
+  void RecordDelivery(net::NodeId origin, const workload::Request& req,
+                      std::size_t request_index) {
+    Delivery d;
+    d.video = video_;
+    d.route = cm_.router().CheapestPath(origin, req.neighborhood).nodes;
+    d.start = req.start_time;
+    d.request_index = request_index;
+    // Every IS the stream touches becomes a (re-)anchoring opportunity:
+    // a later request may open a cache there that copies this stream's
+    // blocks.  The latest anchor is kept — a shorter caching interval is
+    // always cheaper for the same services.
+    if (options_.enable_caching) {
+      for (const net::NodeId n : d.route) {
+        if (!cm_.topology().IsStorage(n)) continue;
+        Anchor& a = anchors_[n];
+        if (a.origin == net::kInvalidNode || req.start_time >= a.time) {
+          a = Anchor{req.start_time, origin};
+        }
+      }
+    }
+    if (constraints_ != nullptr && constraints_->on_commit) {
+      constraints_->on_commit(d);
+    }
+    deliveries_.push_back(std::move(d));
+  }
+
+  void ServeRequest(std::size_t request_index, const workload::Request& req) {
+    Candidate best;
+    ConsiderDirect(req, best);
+    if (options_.enable_caching) {
+      ConsiderExtensions(req, best);
+      ConsiderNewCaches(req, best);
+    }
+    // Direct delivery is only infeasible under a route_ok hook that vetoes
+    // even the VW route; in that case fall back to direct delivery anyway
+    // (every reservation must be honoured) — the ext layer accounts for
+    // the violation.
+    if (!best.Feasible()) {
+      best = Candidate{CandidateKind::kDirect,
+                       cm_.RouteRate(vw_, req.neighborhood) *
+                           cm_.StreamBytes(video_),
+                       0, net::kInvalidNode, {}};
+    }
+
+    switch (best.kind) {
+      case CandidateKind::kDirect: {
+        RecordDelivery(vw_, req, request_index);
+        break;
+      }
+      case CandidateKind::kExtend: {
+        Residency& cache = caches_[best.cache_index];
+        cache.t_last = std::max(cache.t_last, req.start_time);
+        cache.services.push_back(request_index);
+        RecordDelivery(cache.location, req, request_index);
+        break;
+      }
+      case CandidateKind::kNewCache: {
+        Residency cache;
+        cache.video = video_;
+        cache.location = best.cache_node;
+        cache.source = best.anchor.origin;
+        cache.t_start = best.anchor.time;
+        cache.t_last = req.start_time;
+        cache.services.push_back(request_index);
+        caches_.push_back(std::move(cache));
+        RecordDelivery(best.cache_node, req, request_index);
+        break;
+      }
+    }
+  }
+
+  media::VideoId video_;
+  const std::vector<workload::Request>& requests_;
+  const CostModel& cm_;
+  const IvspOptions& options_;
+  const ConstraintSet* constraints_;
+  util::Seconds playback_;
+  net::NodeId vw_;
+
+  std::vector<Delivery> deliveries_;
+  std::vector<Residency> caches_;
+  std::map<net::NodeId, Anchor> anchors_;  // ordered: deterministic tie-breaks
+};
+
+}  // namespace
+
+FileSchedule ScheduleFileGreedy(media::VideoId video,
+                                const std::vector<workload::Request>& requests,
+                                const std::vector<std::size_t>& indices,
+                                const CostModel& cost_model,
+                                const IvspOptions& options,
+                                const ConstraintSet* constraints) {
+  GreedyRun run(video, requests, cost_model, options, constraints);
+  return run.Run(indices);
+}
+
+Schedule IvspSolve(const std::vector<workload::Request>& requests,
+                   const CostModel& cost_model, const IvspOptions& options,
+                   util::ThreadPool* pool) {
+  const auto groups = workload::GroupByVideo(requests);
+  Schedule schedule;
+  schedule.files.resize(groups.size());
+  if (pool == nullptr || groups.size() < 2) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      schedule.files[i] =
+          ScheduleFileGreedy(groups[i].first, requests, groups[i].second,
+                             cost_model, options, /*constraints=*/nullptr);
+    }
+  } else {
+    // Shared-nothing fan-out: each shard writes only its own slot, reads
+    // only const state (CP.1/CP.9 compliant by construction).
+    pool->ParallelFor(groups.size(), [&](std::size_t i) {
+      schedule.files[i] =
+          ScheduleFileGreedy(groups[i].first, requests, groups[i].second,
+                             cost_model, options, /*constraints=*/nullptr);
+    });
+  }
+  return schedule;
+}
+
+}  // namespace vor::core

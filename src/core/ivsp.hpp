@@ -1,0 +1,93 @@
+// Individual Video Scheduling (Sec. 3.2) and its constrained variant, the
+// Rejective Greedy (Sec. 4.4), share this implementation.
+//
+// For one video file, requests are processed in chronological order; for
+// each request u_k the scheduler evaluates every way of updating the
+// existing partial schedule (the decision set the paper enumerates):
+//
+//   (A) deliver directly from the video warehouse;
+//   (B) serve from an intermediate storage already caching the file,
+//       extending that residency's interval to t_k;
+//   (C) introduce a new caching IS, anchored to a previously scheduled
+//       stream of this file that passed through it (caches are filled by
+//       copying blocks out of on-going streams, so anchoring is free on
+//       the network).
+//
+// The update with the minimum incremental cost wins.  When a ConstraintSet
+// is supplied (phase 2), candidates that would cache inside a forbidden
+// (IS, interval) window, exceed an IS's remaining capacity, or violate the
+// caller's route feasibility hook are rejected — the "rejective" greedy.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "util/interval.hpp"
+#include "util/piecewise.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/request.hpp"
+
+namespace vor::core {
+
+struct IvspOptions {
+  /// Master switch; false degenerates to direct-from-VW for every request
+  /// (the paper's "network only system" reference line in Figs. 5 and 7).
+  bool enable_caching = true;
+  /// Allow opening a cache at an IS other than the requester's local one.
+  bool allow_remote_caching = true;
+  /// Allow serving a request from a cache in another neighborhood.
+  bool allow_remote_cache_service = true;
+};
+
+/// Phase-2 constraints for the rejective greedy.
+struct ConstraintSet {
+  /// The victim file must not be resident at `node` during `window`
+  /// (occupancy support vs. window overlap test).
+  std::vector<std::pair<net::NodeId, util::Interval>> forbidden;
+
+  /// Space already reserved at each IS by all *other* files.  Candidate
+  /// residencies must keep total usage within the node's capacity.
+  /// May be nullptr (no capacity enforcement).
+  const std::unordered_map<net::NodeId, util::PiecewiseLinear>* other_usage =
+      nullptr;
+
+  /// Optional route-feasibility hook (used by the bandwidth extension):
+  /// called with (route, start_time, video); returning false rejects the
+  /// candidate.
+  std::function<bool(const std::vector<net::NodeId>&, util::Seconds,
+                     media::VideoId)>
+      route_ok;
+
+  /// Optional commit notification: called for every delivery the greedy
+  /// records, so external trackers (bandwidth) stay current while later
+  /// requests of the same file are placed.
+  std::function<void(const Delivery&)> on_commit;
+
+  [[nodiscard]] bool ForbidsResidency(net::NodeId node,
+                                      util::Interval support) const;
+};
+
+/// Computes S_i for one file.  `indices` are positions into `requests`,
+/// already sorted by start time; all must reference `video`.
+/// `constraints` may be nullptr (pure phase-1 behaviour: capacity ignored).
+[[nodiscard]] FileSchedule ScheduleFileGreedy(
+    media::VideoId video, const std::vector<workload::Request>& requests,
+    const std::vector<std::size_t>& indices, const CostModel& cost_model,
+    const IvspOptions& options, const ConstraintSet* constraints);
+
+/// Phase 1, IVSP-solve (Table 2 of the paper): independent greedy per file,
+/// capacity ignored.  Returns one FileSchedule per distinct requested video,
+/// ordered by video id.
+///
+/// Files are scheduled independently (the definition of phase 1), so the
+/// per-file greedies are embarrassingly parallel: pass a thread pool to
+/// shard them across cores.  Results are identical to the serial run.
+[[nodiscard]] Schedule IvspSolve(const std::vector<workload::Request>& requests,
+                                 const CostModel& cost_model,
+                                 const IvspOptions& options,
+                                 util::ThreadPool* pool = nullptr);
+
+}  // namespace vor::core

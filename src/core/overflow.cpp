@@ -1,0 +1,53 @@
+#include "core/overflow.hpp"
+
+#include <algorithm>
+
+namespace vor::core {
+
+std::vector<OverflowWindow> DetectOverflowsIn(const storage::UsageMap& usage,
+                                              const net::Topology& topology) {
+  std::vector<OverflowWindow> overflows;
+  for (const auto& [node, timeline] : usage) {
+    const double capacity = topology.node(node).capacity.value();
+    for (const util::ExcessRegion& region : timeline.RegionsAbove(capacity)) {
+      OverflowWindow of;
+      of.node = node;
+      of.window = region.window;
+      of.peak_bytes = region.peak;
+      of.capacity_bytes = capacity;
+      of.contributors.reserve(region.contributors.size());
+      for (const std::uint64_t tag : region.contributors) {
+        of.contributors.push_back(ResidencyRef::Unpack(tag));
+      }
+      overflows.push_back(std::move(of));
+    }
+  }
+  std::sort(overflows.begin(), overflows.end(),
+            [](const OverflowWindow& a, const OverflowWindow& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.window.start < b.window.start;
+            });
+  return overflows;
+}
+
+std::vector<OverflowWindow> DetectOverflows(const core::Schedule& schedule,
+                                            const core::CostModel& cost_model) {
+  const storage::UsageMap usage = storage::BuildUsage(schedule, cost_model);
+  return DetectOverflowsIn(usage, cost_model.topology());
+}
+
+double TotalExcess(const storage::UsageMap& usage,
+                   const net::Topology& topology) {
+  double total = 0.0;
+  for (const auto& [node, timeline] : usage) {
+    const double capacity = topology.node(node).capacity.value();
+    for (const util::ExcessRegion& region : timeline.RegionsAbove(capacity)) {
+      // Integral of (usage - capacity) over the region.
+      total += timeline.IntegralOver(region.window) -
+               capacity * region.window.length().value();
+    }
+  }
+  return total;
+}
+
+}  // namespace vor::core

@@ -1,0 +1,51 @@
+#include "core/rejective_greedy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vor::core {
+
+std::vector<std::size_t> FileRequestIndices(
+    const FileSchedule& file, const std::vector<workload::Request>& requests) {
+  std::vector<std::size_t> indices;
+  indices.reserve(file.deliveries.size());
+  for (const Delivery& d : file.deliveries) {
+    if (d.request_index != kNoRequest) indices.push_back(d.request_index);
+  }
+  std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+    if (requests[a].start_time != requests[b].start_time) {
+      return requests[a].start_time < requests[b].start_time;
+    }
+    return a < b;
+  });
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
+}
+
+RescheduleResult RescheduleVictim(
+    const Schedule& schedule, std::size_t file_index,
+    const std::vector<workload::Request>& requests,
+    const CostModel& cost_model, const IvspOptions& options,
+    std::vector<std::pair<net::NodeId, util::Interval>> forbidden,
+    const storage::UsageMap& other_usage,
+    std::function<bool(const std::vector<net::NodeId>&, util::Seconds,
+                       media::VideoId)>
+        route_ok) {
+  assert(file_index < schedule.files.size());
+  const FileSchedule& old_file = schedule.files[file_index];
+
+  ConstraintSet constraints;
+  constraints.forbidden = std::move(forbidden);
+  constraints.other_usage = &other_usage;
+  constraints.route_ok = std::move(route_ok);
+
+  RescheduleResult result;
+  result.old_cost = cost_model.FileCost(old_file);
+  result.schedule = ScheduleFileGreedy(
+      old_file.video, requests, FileRequestIndices(old_file, requests),
+      cost_model, options, &constraints);
+  result.new_cost = cost_model.FileCost(result.schedule);
+  return result;
+}
+
+}  // namespace vor::core

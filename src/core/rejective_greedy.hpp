@@ -1,0 +1,53 @@
+// Victim rescheduling via the Rejective Greedy (Sec. 4.4).
+//
+// Rescheduling a file means re-arranging the delivery of ALL its requests
+// with (a) the overflow window forbidden for caching at the overflowing
+// IS and (b) every other candidate residency checked against the space
+// the remaining files already reserve — so resolving one overflow can
+// never create another.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/ivsp.hpp"
+#include "core/schedule.hpp"
+#include "storage/usage_timeline.hpp"
+#include "util/interval.hpp"
+#include "workload/request.hpp"
+
+namespace vor::core {
+
+struct RescheduleResult {
+  FileSchedule schedule;
+  util::Money old_cost{0.0};
+  util::Money new_cost{0.0};
+
+  /// The overhead cost of Sec. 4.2: Psi(S_new) - Psi(S_old).  Usually
+  /// positive, but can be negative because phase 1 is itself heuristic.
+  [[nodiscard]] util::Money Overhead() const { return new_cost - old_cost; }
+};
+
+/// Chronological request indices of the file at `file_index`, recovered
+/// from its delivery records.
+[[nodiscard]] std::vector<std::size_t> FileRequestIndices(
+    const FileSchedule& file, const std::vector<workload::Request>& requests);
+
+/// Recomputes S_i^new(dt, ISj) for the file at `file_index`:
+///   * `forbidden` — (node, interval) pairs the file must not be resident
+///     in (the overflow being resolved);
+///   * `other_usage` — reserved space of all other files; candidates must
+///     fit within each IS's remaining capacity.
+[[nodiscard]] RescheduleResult RescheduleVictim(
+    const Schedule& schedule, std::size_t file_index,
+    const std::vector<workload::Request>& requests,
+    const CostModel& cost_model, const IvspOptions& options,
+    std::vector<std::pair<net::NodeId, util::Interval>> forbidden,
+    const storage::UsageMap& other_usage,
+    std::function<bool(const std::vector<net::NodeId>&, util::Seconds,
+                       media::VideoId)>
+        route_ok = nullptr);
+
+}  // namespace vor::core

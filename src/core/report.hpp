@@ -1,0 +1,60 @@
+// Schedule reporting: turns a service schedule into the operational
+// summary a provider would read — cost split, cache effectiveness,
+// traffic volumes — independent of how the schedule was produced.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "workload/request.hpp"
+
+namespace vor::core {
+
+struct NodeReport {
+  net::NodeId node = net::kInvalidNode;
+  std::size_t residencies = 0;
+  std::size_t services_from_cache = 0;
+  double storage_cost = 0.0;
+  /// Peak reserved bytes (analytic).
+  double peak_bytes = 0.0;
+};
+
+struct ScheduleReport {
+  // ---- cost ------------------------------------------------------------
+  double total_cost = 0.0;
+  double network_cost = 0.0;
+  double storage_cost = 0.0;
+
+  // ---- service mix -----------------------------------------------------
+  std::size_t requests = 0;
+  /// Requests delivered straight from the warehouse.
+  std::size_t served_direct = 0;
+  /// Requests served out of an intermediate-storage copy.
+  std::size_t served_from_cache = 0;
+  /// served_from_cache / requests (0 when no requests).
+  double cache_hit_ratio = 0.0;
+
+  // ---- traffic -----------------------------------------------------------
+  /// Total bytes shipped summed over every link crossing.
+  double link_bytes = 0.0;
+  /// Deliveries by hop count; index = hops.
+  std::vector<std::size_t> hops_histogram;
+
+  // ---- storage ------------------------------------------------------------
+  std::size_t residencies = 0;
+  std::vector<NodeReport> nodes;
+
+  /// Render as an aligned text block.
+  [[nodiscard]] std::string ToText(const net::Topology& topology) const;
+};
+
+/// Builds the report.  `requests` must be the cycle the schedule serves.
+[[nodiscard]] ScheduleReport BuildReport(
+    const Schedule& schedule, const std::vector<workload::Request>& requests,
+    const CostModel& cost_model);
+
+}  // namespace vor::core

@@ -1,0 +1,24 @@
+#include "core/schedule.hpp"
+
+namespace vor::core {
+
+std::size_t Schedule::TotalDeliveries() const {
+  std::size_t total = 0;
+  for (const FileSchedule& f : files) total += f.deliveries.size();
+  return total;
+}
+
+std::size_t Schedule::TotalResidencies() const {
+  std::size_t total = 0;
+  for (const FileSchedule& f : files) total += f.residencies.size();
+  return total;
+}
+
+std::size_t Schedule::FindFile(media::VideoId video) const {
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i].video == video) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace vor::core

@@ -1,0 +1,51 @@
+#include "core/scheduler.hpp"
+
+#include <memory>
+
+#include "core/ivsp.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vor::core {
+
+VorScheduler::VorScheduler(const net::Topology& topology,
+                           const media::Catalog& catalog,
+                           SchedulerOptions options)
+    : topology_(&topology),
+      catalog_(&catalog),
+      options_(options),
+      router_(topology),
+      cost_model_(topology, router_, catalog, options.pricing) {}
+
+util::Result<SolveOutput> VorScheduler::Solve(
+    const std::vector<workload::Request>& requests) const {
+  if (const util::Status s = topology_->Validate(); !s.ok()) return s.error();
+  if (const util::Status s = catalog_->Validate(); !s.ok()) return s.error();
+  for (const workload::Request& r : requests) {
+    if (!catalog_->Contains(r.video)) {
+      return util::NotFound("request for unknown video id " +
+                            std::to_string(r.video));
+    }
+    if (!topology_->IsStorage(r.neighborhood)) {
+      return util::InvalidArgument(
+          "request neighborhood is not an intermediate storage node");
+    }
+  }
+
+  SolveOutput out;
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options_.phase1_threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(options_.phase1_threads);
+  }
+  out.schedule = IvspSolve(requests, cost_model_, options_.ivsp, pool.get());
+  out.phase1_cost = cost_model_.TotalCost(out.schedule);
+
+  SorpOptions sorp_options;
+  sorp_options.heat = options_.heat;
+  sorp_options.ivsp = options_.ivsp;
+  sorp_options.max_iterations = options_.max_sorp_iterations;
+  out.sorp = SorpSolve(out.schedule, requests, cost_model_, sorp_options);
+  out.final_cost = out.sorp.cost_after;
+  return out;
+}
+
+}  // namespace vor::core

@@ -1,0 +1,69 @@
+// VorScheduler: the two-phase Video Scheduler of Sec. 3.1.
+//
+//   Phase 1 — Individual Video Scheduling: minimum-cost greedy schedule
+//   per file, capacity ignored (IVSP-solve, Table 2).
+//   Phase 2 — Integration + Storage Overflow Resolution: the per-file
+//   schedules are integrated, overflows detected, and victims rescheduled
+//   by heat until the schedule fits every intermediate storage
+//   (SORP-solve, Table 3).
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "core/sorp.hpp"
+#include "media/catalog.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "util/result.hpp"
+#include "workload/request.hpp"
+
+namespace vor::core {
+
+struct SchedulerOptions {
+  HeatMetric heat = HeatMetric::kTimeSpacePerCost;
+  PricingOptions pricing;
+  IvspOptions ivsp;
+  std::size_t max_sorp_iterations = 10000;
+  /// Worker threads for the (embarrassingly parallel) phase 1:
+  /// 0 = serial, 1+ = pool size.  Output is identical either way.
+  std::size_t phase1_threads = 0;
+};
+
+struct SolveOutput {
+  Schedule schedule;
+  /// Psi of the integrated phase-1 schedule (may be infeasible).
+  util::Money phase1_cost{0.0};
+  /// Psi of the final overflow-free schedule.
+  util::Money final_cost{0.0};
+  SorpStats sorp;
+};
+
+class VorScheduler {
+ public:
+  /// The topology must Validate(); the catalog must Validate().  Both,
+  /// plus the router built here, are referenced for the scheduler's
+  /// lifetime.
+  VorScheduler(const net::Topology& topology, const media::Catalog& catalog,
+               SchedulerOptions options = {});
+
+  /// Computes a complete service schedule for one cycle of reservations.
+  /// Requests must reference catalog videos and storage-node
+  /// neighborhoods.
+  [[nodiscard]] util::Result<SolveOutput> Solve(
+      const std::vector<workload::Request>& requests) const;
+
+  [[nodiscard]] const CostModel& cost_model() const { return cost_model_; }
+  [[nodiscard]] const net::Router& router() const { return router_; }
+  [[nodiscard]] const SchedulerOptions& options() const { return options_; }
+
+ private:
+  const net::Topology* topology_;
+  const media::Catalog* catalog_;
+  SchedulerOptions options_;
+  net::Router router_;
+  CostModel cost_model_;
+};
+
+}  // namespace vor::core

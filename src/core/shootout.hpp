@@ -1,0 +1,73 @@
+// Heat-metric shootout (the machinery behind the paper's Table 5).
+//
+// Runs the two-phase scheduler under every heat metric over a set of
+// scenario parameter combinations and aggregates which metric produced
+// the cheapest overflow-free schedule, plus the cost overhead that
+// overflow resolution incurred.  Combos that never overflow are
+// identical under every metric and excluded from the vote, matching the
+// paper's 785-vs-622 accounting.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/heat.hpp"
+#include "core/scheduler.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::core {
+
+inline constexpr std::array<HeatMetric, 4> kAllHeatMetrics{
+    HeatMetric::kImprovedLength, HeatMetric::kLengthPerCost,
+    HeatMetric::kTimeSpace, HeatMetric::kTimeSpacePerCost};
+
+struct ShootoutCase {
+  workload::ScenarioParams params;
+  bool overflowed = false;
+  double phase1_cost = 0.0;
+  /// Final cost per metric, indexed like kAllHeatMetrics.
+  std::array<double, 4> final_cost{};
+};
+
+struct ShootoutSummary {
+  std::size_t total_cases = 0;
+  std::size_t overflow_cases = 0;
+  /// Ties count for every tying metric (the paper's percentages overlap).
+  std::array<std::size_t, 4> best_count{};
+  std::size_t best_m2_or_m4 = 0;
+  /// Relative resolution cost increase under M4 among overflow cases.
+  double avg_increase = 0.0;
+  double worst_increase = 0.0;
+
+  [[nodiscard]] double BestShare(std::size_t metric_index) const {
+    return overflow_cases == 0
+               ? 0.0
+               : static_cast<double>(best_count[metric_index]) /
+                     static_cast<double>(overflow_cases);
+  }
+  [[nodiscard]] double M2OrM4Share() const {
+    return overflow_cases == 0
+               ? 0.0
+               : static_cast<double>(best_m2_or_m4) /
+                     static_cast<double>(overflow_cases);
+  }
+};
+
+/// Runs one combo under every metric.  The M4 run also classifies
+/// whether the combo overflowed; overflow-free combos skip the other
+/// three runs (their results are identical by construction).
+[[nodiscard]] ShootoutCase RunShootoutCase(
+    const workload::ScenarioParams& params);
+
+/// Runs the whole grid (optionally in parallel) and aggregates.
+[[nodiscard]] ShootoutSummary RunShootout(
+    const std::vector<workload::ScenarioParams>& grid,
+    util::ThreadPool* pool = nullptr);
+
+/// Aggregation alone (exposed for tests and incremental runs).
+[[nodiscard]] ShootoutSummary SummarizeShootout(
+    const std::vector<ShootoutCase>& cases);
+
+}  // namespace vor::core

@@ -1,0 +1,120 @@
+#include "core/sorp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "core/overflow.hpp"
+#include "core/rejective_greedy.hpp"
+#include "storage/usage_timeline.hpp"
+
+namespace vor::core {
+
+namespace {
+
+struct VictimChoice {
+  double heat = -std::numeric_limits<double>::infinity();
+  std::size_t file_index = static_cast<std::size_t>(-1);
+  FileSchedule new_schedule;
+
+  [[nodiscard]] bool Found() const {
+    return file_index != static_cast<std::size_t>(-1);
+  }
+};
+
+}  // namespace
+
+SorpStats SorpSolve(Schedule& schedule,
+                    const std::vector<workload::Request>& requests,
+                    const CostModel& cost_model, const SorpOptions& options) {
+  SorpStats stats;
+  stats.cost_before = cost_model.TotalCost(schedule);
+
+  storage::UsageMap usage = storage::BuildUsage(schedule, cost_model);
+  std::vector<OverflowWindow> overflows =
+      DetectOverflowsIn(usage, cost_model.topology());
+  stats.initial_overflow_windows = overflows.size();
+  stats.initial_excess = TotalExcess(usage, cost_model.topology());
+  double excess = stats.initial_excess;
+
+  while (!overflows.empty() && stats.victims_rescheduled < options.max_iterations) {
+    VictimChoice best;
+    // (file, node, window-start) triples already evaluated this iteration:
+    // a file may contribute to several windows; each pairing is one
+    // candidate victim, per the paper's nested loops in Table 3.
+    std::set<std::pair<std::size_t, std::uint64_t>> evaluated;
+
+    for (const OverflowWindow& of : overflows) {
+      for (const ResidencyRef& ref : of.contributors) {
+        const FileSchedule& file = schedule.files[ref.file_index];
+        const Residency& c = file.residencies[ref.residency_index];
+
+        // Skip residencies with no actual demand inside the window —
+        // rescheduling them cannot reduce the excess.
+        const double ds = TimeSpaceImprovement(c, of, cost_model);
+        if (ds <= 0.0) continue;
+        const double chi = ImprovedLength(c, of, cost_model);
+
+        const std::uint64_t window_key =
+            (static_cast<std::uint64_t>(of.node) << 32) ^
+            static_cast<std::uint64_t>(of.window.start.value());
+        if (!evaluated.emplace(ref.file_index, window_key).second) continue;
+
+        const storage::UsageMap other =
+            options.capacity_aware_reschedule
+                ? storage::BuildUsageExcludingFile(schedule, cost_model,
+                                                   ref.file_index)
+                : storage::UsageMap{};
+        if (options.on_file_excluded) options.on_file_excluded(ref.file_index);
+        RescheduleResult attempt = RescheduleVictim(
+            schedule, ref.file_index, requests, cost_model, options.ivsp,
+            {{of.node, of.window}}, other, options.route_ok);
+        if (options.on_file_included) {
+          // Tentative evaluation: restore the victim's current streams.
+          options.on_file_included(ref.file_index,
+                                   schedule.files[ref.file_index]);
+        }
+        ++stats.evaluations;
+
+        const double heat = ComputeHeat(options.heat, chi, ds,
+                                        attempt.Overhead().value());
+        if (heat > best.heat ||
+            (options.victim_policy == VictimPolicy::kFirstContributor &&
+             !best.Found())) {
+          best.heat = heat;
+          best.file_index = ref.file_index;
+          best.new_schedule = std::move(attempt.schedule);
+        }
+        if (options.victim_policy == VictimPolicy::kFirstContributor &&
+            best.Found()) {
+          break;  // no shootout: commit the first eligible victim
+        }
+      }
+      if (options.victim_policy == VictimPolicy::kFirstContributor &&
+          best.Found()) {
+        break;
+      }
+    }
+
+    if (!best.Found()) break;  // nothing can improve any window
+
+    if (options.on_file_excluded) options.on_file_excluded(best.file_index);
+    schedule.files[best.file_index] = std::move(best.new_schedule);
+    if (options.on_file_included) {
+      options.on_file_included(best.file_index, schedule.files[best.file_index]);
+    }
+    ++stats.victims_rescheduled;
+
+    usage = storage::BuildUsage(schedule, cost_model);
+    overflows = DetectOverflowsIn(usage, cost_model.topology());
+    const double new_excess = TotalExcess(usage, cost_model.topology());
+    if (new_excess >= excess) break;  // defensive: no progress
+    excess = new_excess;
+  }
+
+  stats.final_excess = TotalExcess(usage, cost_model.topology());
+  stats.cost_after = cost_model.TotalCost(schedule);
+  return stats;
+}
+
+}  // namespace vor::core

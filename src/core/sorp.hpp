@@ -1,0 +1,80 @@
+// Storage Overflow Resolution (SORP-solve, Table 3 / Sec. 4.3).
+//
+// Iterates: detect all overflow windows; for every residency involved in
+// one, tentatively reschedule its file with the rejective greedy; compute
+// the heat of that rescheduling; commit the single hottest victim; repeat
+// until the integrated schedule is overflow free.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/heat.hpp"
+#include "core/ivsp.hpp"
+#include "core/schedule.hpp"
+#include "workload/request.hpp"
+
+namespace vor::core {
+
+/// How the victim is chosen among a round's candidates.
+enum class VictimPolicy : std::uint8_t {
+  /// The paper's rule: reschedule the file with the largest heat.
+  kMaxHeat,
+  /// Ablation: take the first contributor of the first overflow window
+  /// (node/time ordered) — no heat computation at all.
+  kFirstContributor,
+};
+
+struct SorpOptions {
+  HeatMetric heat = HeatMetric::kTimeSpacePerCost;  // M4: best in the paper
+  VictimPolicy victim_policy = VictimPolicy::kMaxHeat;
+  /// Ablation switch for the "rejective" part of the rejective greedy
+  /// (Sec. 4.4): when false, victim reschedules ignore the space other
+  /// files reserve, so resolving one overflow may create another — the
+  /// failure mode the paper's design avoids.  The loop still terminates
+  /// (progress guard), but may leave residual overflows.
+  bool capacity_aware_reschedule = true;
+  IvspOptions ivsp;
+  /// Hard stop for the resolution loop; the loop also stops on its own
+  /// when the total excess fails to decrease (defensive, should not fire).
+  std::size_t max_iterations = 10000;
+
+  // ---- extension hooks (src/ext) -------------------------------------
+  /// Candidate route filter threaded into every rejective reschedule
+  /// (the bandwidth extension vetoes saturated links here).
+  std::function<bool(const std::vector<net::NodeId>&, util::Seconds,
+                     media::VideoId)>
+      route_ok;
+  /// Called with the victim's file index just before its tentative or
+  /// final reschedule (so external trackers can exclude its current
+  /// streams) ...
+  std::function<void(std::size_t)> on_file_excluded;
+  /// ... and with the file schedule to re-include afterwards (the old one
+  /// after a tentative evaluation, the new one after a commit).
+  std::function<void(std::size_t, const FileSchedule&)> on_file_included;
+};
+
+struct SorpStats {
+  /// Overflow windows in the integrated phase-1 schedule.
+  std::size_t initial_overflow_windows = 0;
+  /// Victims rescheduled (committed, not tentative evaluations).
+  std::size_t victims_rescheduled = 0;
+  /// Tentative rejective-greedy evaluations performed.
+  std::size_t evaluations = 0;
+  util::Money cost_before{0.0};
+  util::Money cost_after{0.0};
+  /// Byte-seconds above capacity before/after.
+  double initial_excess = 0.0;
+  double final_excess = 0.0;
+  [[nodiscard]] bool Resolved() const { return final_excess <= 0.0; }
+  [[nodiscard]] bool HadOverflow() const { return initial_overflow_windows > 0; }
+};
+
+/// Resolves storage overflows in-place.  Returns resolution statistics.
+SorpStats SorpSolve(Schedule& schedule,
+                    const std::vector<workload::Request>& requests,
+                    const CostModel& cost_model, const SorpOptions& options);
+
+}  // namespace vor::core

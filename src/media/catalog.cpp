@@ -1,0 +1,68 @@
+#include "media/catalog.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vor::media {
+
+Catalog::Catalog(std::vector<Video> videos) : videos_(std::move(videos)) {
+  for (std::size_t i = 0; i < videos_.size(); ++i) {
+    videos_[i].id = static_cast<VideoId>(i);
+  }
+}
+
+VideoId Catalog::Add(Video video) {
+  const auto id = static_cast<VideoId>(videos_.size());
+  video.id = id;
+  videos_.push_back(std::move(video));
+  return id;
+}
+
+util::Bytes Catalog::MeanSize() const {
+  if (videos_.empty()) return util::Bytes{0.0};
+  double total = 0.0;
+  for (const Video& v : videos_) total += v.size.value();
+  return util::Bytes{total / static_cast<double>(videos_.size())};
+}
+
+util::Status Catalog::Validate() const {
+  if (videos_.empty()) return util::InvalidArgument("catalog is empty");
+  for (const Video& v : videos_) {
+    if (v.size.value() <= 0.0) {
+      return util::InvalidArgument("video " + v.title + " has non-positive size");
+    }
+    if (v.playback.value() <= 0.0) {
+      return util::InvalidArgument("video " + v.title +
+                                   " has non-positive playback length");
+    }
+    if (v.bandwidth.value() <= 0.0) {
+      return util::InvalidArgument("video " + v.title +
+                                   " has non-positive bandwidth");
+    }
+  }
+  return util::Status::Ok();
+}
+
+Catalog MakeSyntheticCatalog(const CatalogParams& params) {
+  assert(params.count > 0);
+  util::Rng rng(params.seed);
+  std::vector<Video> videos;
+  videos.reserve(params.count);
+  for (std::size_t i = 0; i < params.count; ++i) {
+    Video v;
+    v.title = "video-" + std::to_string(i);
+    v.size = util::Bytes{std::max(
+        params.min_size.value(),
+        rng.Normal(params.mean_size.value(), params.size_stddev.value()))};
+    v.playback = util::Seconds{std::max(
+        params.min_playback.value(),
+        rng.Normal(params.mean_playback.value(), params.playback_stddev.value()))};
+    v.bandwidth = v.size / v.playback;
+    videos.push_back(std::move(v));
+  }
+  Catalog catalog{std::move(videos)};
+  assert(catalog.Validate().ok());
+  return catalog;
+}
+
+}  // namespace vor::media

@@ -1,0 +1,24 @@
+// Video metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace vor::media {
+
+using VideoId = std::uint32_t;
+
+struct Video {
+  VideoId id = 0;
+  std::string title;
+  /// Stored size of the title (the paper's size_i).
+  util::Bytes size{0.0};
+  /// Playback length P_i.
+  util::Seconds playback{0.0};
+  /// Bandwidth B_i that must be reserved for a smooth stream.
+  util::BytesPerSecond bandwidth{0.0};
+};
+
+}  // namespace vor::media

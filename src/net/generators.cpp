@@ -1,0 +1,170 @@
+#include "net/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vor::net {
+
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(const GeneratorParams& params)
+      : params_(params), rng_(params.seed) {}
+
+  NodeId AddWarehouse(Topology& topo) { return topo.AddWarehouse("VW"); }
+
+  NodeId AddStorage(Topology& topo, std::size_t index) {
+    return topo.AddStorage("IS" + std::to_string(index),
+                           params_.storage_capacity, params_.srate);
+  }
+
+  util::NetworkRate JitteredRate(double scale = 1.0) {
+    const double j =
+        rng_.Uniform(1.0 - params_.rate_jitter, 1.0 + params_.rate_jitter);
+    return params_.base_nrate * (j * scale);
+  }
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  const GeneratorParams& params_;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+Topology MakeStarTopology(const GeneratorParams& params) {
+  assert(params.storage_count >= 1);
+  Topology topo;
+  Builder b(params);
+  const NodeId vw = b.AddWarehouse(topo);
+  for (std::size_t i = 0; i < params.storage_count; ++i) {
+    topo.AddLink(vw, b.AddStorage(topo, i), b.JitteredRate());
+  }
+  assert(topo.Validate().ok());
+  return topo;
+}
+
+Topology MakeChainTopology(const GeneratorParams& params) {
+  assert(params.storage_count >= 1);
+  Topology topo;
+  Builder b(params);
+  NodeId prev = b.AddWarehouse(topo);
+  for (std::size_t i = 0; i < params.storage_count; ++i) {
+    const NodeId n = b.AddStorage(topo, i);
+    topo.AddLink(prev, n, b.JitteredRate());
+    prev = n;
+  }
+  assert(topo.Validate().ok());
+  return topo;
+}
+
+Topology MakeRingTopology(const GeneratorParams& params) {
+  assert(params.storage_count >= 1);
+  Topology topo;
+  Builder b(params);
+  const NodeId vw = b.AddWarehouse(topo);
+  std::vector<NodeId> ring;
+  for (std::size_t i = 0; i < params.storage_count; ++i) {
+    ring.push_back(b.AddStorage(topo, i));
+  }
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (i + 1 < ring.size()) {
+      topo.AddLink(ring[i], ring[i + 1], b.JitteredRate());
+    }
+  }
+  if (ring.size() > 2) {
+    topo.AddLink(ring.back(), ring.front(), b.JitteredRate());
+  }
+  topo.AddLink(vw, ring.front(), b.JitteredRate());
+  assert(topo.Validate().ok());
+  return topo;
+}
+
+Topology MakeTreeTopology(const GeneratorParams& params, std::size_t arity) {
+  assert(params.storage_count >= 1);
+  assert(arity >= 1);
+  Topology topo;
+  Builder b(params);
+  const NodeId vw = b.AddWarehouse(topo);
+  // Breadth-first attach: node i's parent is node (i-1)/arity in the
+  // storage ordering (the first `arity` hang off the warehouse).
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < params.storage_count; ++i) {
+    const NodeId n = b.AddStorage(topo, i);
+    const NodeId parent = i < arity ? vw : nodes[(i - arity) / arity];
+    topo.AddLink(parent, n, b.JitteredRate());
+    nodes.push_back(n);
+  }
+  assert(topo.Validate().ok());
+  return topo;
+}
+
+Topology MakeGeometricTopology(const GeneratorParams& params,
+                               std::size_t neighbors) {
+  assert(params.storage_count >= 1);
+  Topology topo;
+  Builder b(params);
+  const NodeId vw = b.AddWarehouse(topo);
+
+  struct Point {
+    double x;
+    double y;
+  };
+  std::vector<Point> points;
+  points.push_back({0.5, 0.5});  // warehouse at the center
+  std::vector<NodeId> nodes{vw};
+  for (std::size_t i = 0; i < params.storage_count; ++i) {
+    points.push_back({b.rng().NextDouble(), b.rng().NextDouble()});
+    nodes.push_back(b.AddStorage(topo, i));
+  }
+
+  auto distance = [&](std::size_t a, std::size_t c) {
+    const double dx = points[a].x - points[c].x;
+    const double dy = points[a].y - points[c].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  // Rates scale with distance: a link twice as long charges about twice
+  // as much, anchored so the mean link is ~base_nrate (mean distance of
+  // k-nearest pairs is itself ~0.5 in the unit square; use 2*d).
+  auto link_rate = [&](std::size_t a, std::size_t c) {
+    return b.JitteredRate(std::max(0.1, 2.0 * distance(a, c)));
+  };
+
+  // Track existing links to avoid duplicates.
+  std::vector<std::vector<bool>> linked(
+      nodes.size(), std::vector<bool>(nodes.size(), false));
+  auto add_link = [&](std::size_t a, std::size_t c) {
+    if (a == c || linked[a][c]) return;
+    linked[a][c] = linked[c][a] = true;
+    topo.AddLink(nodes[a], nodes[c], link_rate(a, c));
+  };
+
+  // k-nearest links per node.
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    std::vector<std::size_t> order;
+    for (std::size_t c = 0; c < nodes.size(); ++c) {
+      if (c != a) order.push_back(c);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t u, std::size_t v) {
+      return distance(a, u) < distance(a, v);
+    });
+    for (std::size_t k = 0; k < std::min(neighbors, order.size()); ++k) {
+      add_link(a, order[k]);
+    }
+  }
+  // Connectivity backstop: chain every storage to its predecessor (these
+  // mostly duplicate existing k-nearest links and are skipped).
+  for (std::size_t a = 1; a + 1 < nodes.size(); ++a) add_link(a, a + 1);
+  add_link(0, 1);
+
+  assert(topo.Validate().ok());
+  return topo;
+}
+
+}  // namespace vor::net

@@ -1,0 +1,50 @@
+// Topology family generators.
+//
+// The paper evaluates one 20-node metro layout (its Fig. 4 print is
+// illegible; MakePaperTopology reproduces the spirit).  These generators
+// let the benches check that the paper's qualitative conclusions are not
+// artifacts of one layout: the same workload can be scheduled over star,
+// chain, ring, tree, and random-geometric infrastructures.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+
+namespace vor::net {
+
+/// Common knobs for every family.
+struct GeneratorParams {
+  std::size_t storage_count = 19;
+  util::Bytes storage_capacity = util::GB(5.0);
+  util::StorageRate srate{0.0};
+  /// Base per-link charging rate; links get +-jitter like the paper topo.
+  util::NetworkRate base_nrate{0.0};
+  double rate_jitter = 0.2;
+  std::uint64_t seed = 1997;
+};
+
+/// Every IS hangs directly off the warehouse (depth 1).  Caching can only
+/// save repeated deliveries into the same neighborhood.
+[[nodiscard]] Topology MakeStarTopology(const GeneratorParams& params);
+
+/// VW -> IS0 -> IS1 -> ... (depth N).  Distant neighborhoods pay long
+/// routes, making cache placement location-critical.
+[[nodiscard]] Topology MakeChainTopology(const GeneratorParams& params);
+
+/// A ring of storages with the warehouse attached to one of them; every
+/// pair has two disjoint routes.
+[[nodiscard]] Topology MakeRingTopology(const GeneratorParams& params);
+
+/// Balanced tree of the given arity rooted at the warehouse.
+[[nodiscard]] Topology MakeTreeTopology(const GeneratorParams& params,
+                                        std::size_t arity = 3);
+
+/// Storages scattered uniformly in the unit square, warehouse at the
+/// center; each node links to its `neighbors` nearest peers (plus a
+/// spanning chain for connectivity) and link rates scale with Euclidean
+/// distance — a rough metro-area model.
+[[nodiscard]] Topology MakeGeometricTopology(const GeneratorParams& params,
+                                             std::size_t neighbors = 3);
+
+}  // namespace vor::net

@@ -1,0 +1,88 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace vor::net {
+
+bool Path::Contains(NodeId id) const {
+  return std::find(nodes.begin(), nodes.end(), id) != nodes.end();
+}
+
+Router::Router(const Topology& topology) : topology_(&topology) {
+  const std::size_t n = topology.node_count();
+  paths_.resize(n);
+  for (NodeId src = 0; src < n; ++src) RunDijkstra(src);
+}
+
+void Router::RunDijkstra(NodeId source) {
+  const Topology& topo = *topology_;
+  const std::size_t n = topo.node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> prev(n, kInvalidNode);
+  dist[source] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, link_index] : topo.Adjacency(u)) {
+      const double nd = d + topo.links()[link_index].nrate.value();
+      // Tie-break deterministically toward fewer hops via strict `<`
+      // with an epsilon-free comparison: equal-cost paths keep the first
+      // one settled, which Dijkstra visits in node-id order.
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+
+  auto& row = paths_[source];
+  row.resize(n);
+  for (NodeId dst = 0; dst < n; ++dst) {
+    Path& p = row[dst];
+    p.rate = util::NetworkRate{dist[dst]};
+    if (!std::isfinite(dist[dst])) continue;  // unreachable; Validate() rejects
+    std::vector<NodeId> rev;
+    for (NodeId cur = dst; cur != kInvalidNode; cur = prev[cur]) {
+      rev.push_back(cur);
+      if (cur == source) break;
+    }
+    p.nodes.assign(rev.rbegin(), rev.rend());
+    assert(p.nodes.front() == source && p.nodes.back() == dst);
+  }
+}
+
+const Path& Router::CheapestPath(NodeId from, NodeId to) const {
+  assert(from < paths_.size() && to < paths_[from].size());
+  return paths_[from][to];
+}
+
+std::vector<std::vector<util::NetworkRate>> Router::EndToEndMatrix(
+    double discount) const {
+  const std::size_t n = paths_.size();
+  std::vector<std::vector<util::NetworkRate>> matrix(
+      n, std::vector<util::NetworkRate>(n, util::NetworkRate{0.0}));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const Path& p = paths_[i][j];
+      const double hops = static_cast<double>(p.hops());
+      const double factor = hops > 1.0 ? std::pow(discount, hops - 1.0) : 1.0;
+      matrix[i][j] = p.rate * factor;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace vor::net

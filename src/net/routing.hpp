@@ -1,0 +1,59 @@
+// Cheapest-path routing over the priced topology.
+//
+// The charging rate of a multi-hop route is additive over its links
+// (per-hop basis of Eq. 4).  The router precomputes all-pairs cheapest
+// paths with Dijkstra per source; the paper's topology has 20 nodes, but
+// the implementation scales to thousands.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/units.hpp"
+
+namespace vor::net {
+
+struct Path {
+  /// Node sequence, source first, destination last.  A path from a node to
+  /// itself is the single-element sequence with zero rate.
+  std::vector<NodeId> nodes;
+  /// Sum of link nrates along the path ($/byte end to end).
+  util::NetworkRate rate{0.0};
+
+  [[nodiscard]] std::size_t hops() const {
+    return nodes.empty() ? 0 : nodes.size() - 1;
+  }
+  [[nodiscard]] bool Contains(NodeId id) const;
+};
+
+class Router {
+ public:
+  explicit Router(const Topology& topology);
+
+  /// Cheapest path between two nodes.  Both must exist and be connected
+  /// (guaranteed by Topology::Validate()).
+  [[nodiscard]] const Path& CheapestPath(NodeId from, NodeId to) const;
+
+  /// End-to-end charging rate of the cheapest path.
+  [[nodiscard]] util::NetworkRate RouteRate(NodeId from, NodeId to) const {
+    return CheapestPath(from, to).rate;
+  }
+
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+
+  /// End-to-end rate matrix for the end-to-end pricing basis of Eq. (4):
+  /// rate(i,j) = per-hop-sum(i,j) * discount^(hops-1).  discount = 1
+  /// reproduces per-hop pricing exactly; discount < 1 models carriers that
+  /// price long routes sub-additively.
+  [[nodiscard]] std::vector<std::vector<util::NetworkRate>> EndToEndMatrix(
+      double discount) const;
+
+ private:
+  void RunDijkstra(NodeId source);
+
+  const Topology* topology_;
+  /// paths_[src][dst]
+  std::vector<std::vector<Path>> paths_;
+};
+
+}  // namespace vor::net

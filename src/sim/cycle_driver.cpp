@@ -1,0 +1,95 @@
+#include "sim/cycle_driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/bounds.hpp"
+#include "core/report.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace vor::sim {
+
+util::Result<CycleDriverResult> RunCycles(const CycleDriverParams& params) {
+  if (params.days == 0) {
+    return util::InvalidArgument("cycle driver needs at least one day");
+  }
+  if (params.popularity_drift < 0.0 || params.popularity_drift > 1.0) {
+    return util::InvalidArgument("popularity_drift must be in [0, 1]");
+  }
+
+  // Fixed infrastructure for the whole horizon.
+  const workload::Scenario base = workload::MakeScenario(params.scenario);
+  const core::VorScheduler scheduler(base.topology, base.catalog,
+                                     params.scheduler);
+
+  // Popularity ranking, drifting day over day.
+  std::vector<media::VideoId> rank_to_video(base.catalog.size());
+  for (std::size_t i = 0; i < rank_to_video.size(); ++i) {
+    rank_to_video[i] = static_cast<media::VideoId>(i);
+  }
+  util::Rng drift_rng(params.scenario.seed ^ 0xD81F7ULL);
+
+  CycleDriverResult result;
+  result.days.reserve(params.days);
+
+  for (std::size_t day = 0; day < params.days; ++day) {
+    if (day > 0 && params.popularity_drift > 0.0) {
+      // Re-rank a drift-sized slice: each chosen title jumps to a random
+      // rank (mostly upward jumps matter — the "new release" effect).
+      const auto moves = static_cast<std::size_t>(
+          params.popularity_drift * static_cast<double>(rank_to_video.size()));
+      for (std::size_t m = 0; m < moves; ++m) {
+        const std::size_t from = drift_rng.NextBounded(rank_to_video.size());
+        const std::size_t to = drift_rng.NextBounded(rank_to_video.size());
+        const media::VideoId moved = rank_to_video[from];
+        rank_to_video.erase(rank_to_video.begin() + static_cast<long>(from));
+        rank_to_video.insert(rank_to_video.begin() + static_cast<long>(to),
+                             moved);
+      }
+    }
+
+    workload::WorkloadParams wl;
+    wl.users_per_neighborhood = params.scenario.users_per_neighborhood;
+    wl.zipf_alpha = params.scenario.zipf_alpha;
+    wl.cycle_length = params.scenario.cycle_length;
+    wl.profile = params.scenario.start_profile;
+    wl.seed = params.scenario.seed + 0x9E3779B9ULL * (day + 1);
+    const std::vector<workload::Request> requests =
+        workload::GenerateRequestsRanked(base.topology, base.catalog, wl,
+                                         rank_to_video);
+
+    const auto solved = scheduler.Solve(requests);
+    if (!solved.ok()) return solved.error();
+
+    const core::ScheduleReport report =
+        core::BuildReport(solved->schedule, requests, scheduler.cost_model());
+    const core::LowerBoundBreakdown bound =
+        core::UnavoidableNetworkLowerBound(requests, scheduler.cost_model());
+
+    DayStats stats;
+    stats.day = day;
+    stats.requests = requests.size();
+    stats.final_cost = solved->final_cost.value();
+    stats.phase1_cost = solved->phase1_cost.value();
+    stats.victims_rescheduled = solved->sorp.victims_rescheduled;
+    stats.cache_hit_ratio = report.cache_hit_ratio;
+    stats.lower_bound = bound.total();
+    result.days.push_back(stats);
+  }
+
+  for (const DayStats& d : result.days) {
+    result.total_cost += d.final_cost;
+    result.mean_hit_ratio += d.cache_hit_ratio;
+    if (d.lower_bound > 0.0) {
+      result.mean_bound_ratio += d.final_cost / d.lower_bound;
+    }
+  }
+  const auto n = static_cast<double>(result.days.size());
+  result.mean_cost = result.total_cost / n;
+  result.mean_hit_ratio /= n;
+  result.mean_bound_ratio /= n;
+  return result;
+}
+
+}  // namespace vor::sim

@@ -1,0 +1,57 @@
+// Multi-cycle service driver.
+//
+// A VOR provider does not schedule one cycle and stop: every day it
+// collects the next batch of reservations and re-plans (Sec. 1.1 — the
+// whole point of Video-On-Reservation is that the request set for the
+// coming cycle is known in advance).  This driver runs a sequence of
+// daily cycles over a fixed infrastructure, with optional popularity
+// drift (new releases pushing yesterday's hits down the Zipf ranking),
+// and aggregates the operator-level statistics across days.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "media/catalog.hpp"
+#include "net/topology.hpp"
+#include "util/result.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::sim {
+
+struct CycleDriverParams {
+  /// Environment + per-day workload shape (its seed is re-derived daily).
+  workload::ScenarioParams scenario;
+  std::size_t days = 7;
+  /// Fraction of the catalog whose rank is re-drawn each day (0 = the
+  /// same titles stay hot all week; 1 = full reshuffle daily).
+  double popularity_drift = 0.1;
+  core::SchedulerOptions scheduler;
+};
+
+struct DayStats {
+  std::size_t day = 0;
+  std::size_t requests = 0;
+  double final_cost = 0.0;
+  double phase1_cost = 0.0;
+  std::size_t victims_rescheduled = 0;
+  double cache_hit_ratio = 0.0;
+  /// The day's unavoidable-network lower bound (core/bounds).
+  double lower_bound = 0.0;
+};
+
+struct CycleDriverResult {
+  std::vector<DayStats> days;
+  double total_cost = 0.0;
+  double mean_cost = 0.0;
+  double mean_hit_ratio = 0.0;
+  /// Mean final-cost / lower-bound ratio across days (>= 1).
+  double mean_bound_ratio = 0.0;
+};
+
+/// Runs the driver.  Fails only on invalid environment configuration.
+[[nodiscard]] util::Result<CycleDriverResult> RunCycles(
+    const CycleDriverParams& params);
+
+}  // namespace vor::sim

@@ -1,0 +1,59 @@
+// Schedule validation: checks that a service schedule is physically
+// executable in the distributed environment.
+//
+// This is the library's independent correctness oracle: it knows nothing
+// about how the scheduler made its choices, only what a legal schedule
+// looks like.  Tests run every scheduler output through it, including
+// fault-injection tests that corrupt schedules on purpose.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "workload/request.hpp"
+
+namespace vor::sim {
+
+struct Violation {
+  enum class Kind {
+    kUnservedRequest,       // a request has no delivery
+    kDuplicateService,      // a request has more than one delivery
+    kBadRouteEndpoints,     // delivery does not end at the requester's IS
+    kBrokenRoute,           // consecutive route nodes are not linked
+    kWrongStartTime,        // delivery starts at a different time
+    kInvalidSource,         // origin is neither VW nor a valid cache
+    kUnanchoredResidency,   // no stream passes the cache site at t_start
+    kInconsistentResidency, // t_last < t_start, or t_last != last service
+    kServiceOutsideWindow,  // cache service before t_start / after t_last
+    kCapacityExceeded,      // reserved space above IS capacity
+  };
+
+  Kind kind;
+  std::string detail;
+};
+
+struct ValidationOptions {
+  /// Phase-1 schedules legitimately overflow; set false to skip the
+  /// capacity check for them.
+  bool check_capacity = true;
+  /// Numerical slack on the capacity check (bytes).
+  double capacity_epsilon = 1.0;
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Validates `schedule` against the request cycle and the environment in
+/// `cost_model`.
+[[nodiscard]] ValidationReport ValidateSchedule(
+    const core::Schedule& schedule,
+    const std::vector<workload::Request>& requests,
+    const core::CostModel& cost_model, const ValidationOptions& options = {});
+
+[[nodiscard]] std::string ToString(Violation::Kind kind);
+
+}  // namespace vor::sim

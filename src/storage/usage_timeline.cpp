@@ -1,0 +1,41 @@
+#include "storage/usage_timeline.hpp"
+
+namespace vor::storage {
+
+namespace {
+
+UsageMap BuildUsageImpl(const core::Schedule& schedule,
+                        const core::CostModel& cost_model,
+                        std::size_t excluded_file) {
+  UsageMap usage;
+  for (std::size_t f = 0; f < schedule.files.size(); ++f) {
+    if (f == excluded_file) continue;
+    const core::FileSchedule& file = schedule.files[f];
+    for (std::size_t r = 0; r < file.residencies.size(); ++r) {
+      const core::Residency& c = file.residencies[r];
+      const core::ResidencyRef ref{f, r};
+      usage[c.location].Add(cost_model.OccupancyPiece(c, ref.Pack()));
+    }
+  }
+  return usage;
+}
+
+}  // namespace
+
+UsageMap BuildUsage(const core::Schedule& schedule,
+                    const core::CostModel& cost_model) {
+  return BuildUsageImpl(schedule, cost_model, static_cast<std::size_t>(-1));
+}
+
+UsageMap BuildUsageExcludingFile(const core::Schedule& schedule,
+                                 const core::CostModel& cost_model,
+                                 std::size_t excluded_file) {
+  return BuildUsageImpl(schedule, cost_model, excluded_file);
+}
+
+double PeakUsage(const UsageMap& usage, net::NodeId node) {
+  const auto it = usage.find(node);
+  return it == usage.end() ? 0.0 : it->second.Max();
+}
+
+}  // namespace vor::storage

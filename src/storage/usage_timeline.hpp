@@ -1,0 +1,34 @@
+// Per-storage reserved-space profiles for a whole schedule.
+//
+// Integrating the per-file schedules (Sec. 3.3) means summing every
+// residency's occupancy profile at its IS; capacity violations of that sum
+// are the paper's Storage Overflow situations.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/cost_model.hpp"
+#include "core/schedule.hpp"
+#include "util/piecewise.hpp"
+
+namespace vor::storage {
+
+/// Reserved-space profile per intermediate storage node.  Piece tags are
+/// ResidencyRef::Pack() values, so every byte of demand is traceable to a
+/// schedule entry.
+using UsageMap = std::unordered_map<net::NodeId, util::PiecewiseLinear>;
+
+/// Builds the aggregate usage of every residency in the schedule.
+[[nodiscard]] UsageMap BuildUsage(const core::Schedule& schedule,
+                                  const core::CostModel& cost_model);
+
+/// Same, excluding all residencies of one file — the backdrop against
+/// which that file's rejective reschedule is capacity-checked.
+[[nodiscard]] UsageMap BuildUsageExcludingFile(const core::Schedule& schedule,
+                                               const core::CostModel& cost_model,
+                                               std::size_t excluded_file);
+
+/// Peak reserved bytes at a node (0 when the node has no residencies).
+[[nodiscard]] double PeakUsage(const UsageMap& usage, net::NodeId node);
+
+}  // namespace vor::storage

@@ -1,0 +1,378 @@
+#include "util/json.hpp"
+
+// g++ 12 raises spurious -Wmaybe-uninitialized warnings for moved-from
+// std::variant storage in the recursive-descent parser (GCC PR105593
+// family); every path value-initializes before use.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace vor::util {
+
+namespace {
+const Json kNull{};
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  if (!is_object()) return kNull;
+  const JsonObject& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? kNull : it->second;
+}
+
+double Json::GetNumber(const std::string& key, double fallback) const {
+  const Json& v = (*this)[key];
+  return v.is_number() ? v.as_number() : fallback;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const Json& v = (*this)[key];
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json& v = (*this)[key];
+  return v.is_bool() ? v.as_bool() : fallback;
+}
+
+// ---- serialization ---------------------------------------------------
+
+namespace {
+
+void EscapeInto(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void NumberInto(std::ostringstream& os, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    // Integral values print without exponent or trailing zeros.
+    os << static_cast<long long>(d);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    os << buf;
+  }
+}
+
+void DumpInto(const Json& value, std::ostringstream& os, int indent,
+              int depth) {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * (depth + 1), ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * depth, ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+
+  if (value.is_null()) {
+    os << "null";
+  } else if (value.is_bool()) {
+    os << (value.as_bool() ? "true" : "false");
+  } else if (value.is_number()) {
+    NumberInto(os, value.as_number());
+  } else if (value.is_string()) {
+    EscapeInto(os, value.as_string());
+  } else if (value.is_array()) {
+    const JsonArray& arr = value.as_array();
+    if (arr.empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[' << nl;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      os << pad;
+      DumpInto(arr[i], os, indent, depth + 1);
+      if (i + 1 < arr.size()) os << ',';
+      os << nl;
+    }
+    os << close_pad << ']';
+  } else {
+    const JsonObject& obj = value.as_object();
+    if (obj.empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{' << nl;
+    std::size_t i = 0;
+    for (const auto& [key, v] : obj) {
+      os << pad;
+      EscapeInto(os, key);
+      os << (indent > 0 ? ": " : ":");
+      DumpInto(v, os, indent, depth + 1);
+      if (++i < obj.size()) os << ',';
+      os << nl;
+    }
+    os << close_pad << '}';
+  }
+}
+
+}  // namespace
+
+std::string Json::Dump(int indent) const {
+  std::ostringstream os;
+  DumpInto(*this, os, indent, 0);
+  return os.str();
+}
+
+// ---- parsing ----------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Run() {
+    SkipSpace();
+    Json value;
+    if (!ParseValue(value)) return InvalidArgument(error_);
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return InvalidArgument(ErrorAt("trailing characters"));
+    }
+    return value;
+  }
+
+ private:
+  std::string ErrorAt(const std::string& what) {
+    return "json parse error at offset " + std::to_string(pos_) + ": " + what;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) error_ = ErrorAt(what);
+    return false;
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + expected + "'");
+  }
+
+  bool ParseValue(Json& out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': return ParseString(out);
+      case 't':
+      case 'f':
+      case 'n': return ParseKeyword(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseKeyword(Json& out) {
+    auto match = [&](const char* word) {
+      const std::size_t len = std::string(word).size();
+      if (text_.compare(pos_, len, word) == 0) {
+        pos_ += len;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out = Json(true);
+      return true;
+    }
+    if (match("false")) {
+      out = Json(false);
+      return true;
+    }
+    if (match("null")) {
+      out = Json(nullptr);
+      return true;
+    }
+    return Fail("invalid keyword");
+  }
+
+  bool ParseNumber(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(token, &used);
+      if (used != token.size()) {
+        pos_ = start;
+        return Fail("malformed number");
+      }
+      out = Json(v);
+      return true;
+    } catch (...) {
+      pos_ = start;
+      return Fail("malformed number");
+    }
+  }
+
+  bool ParseString(Json& out) {
+    std::string s;
+    if (!ParseRawString(s)) return false;
+    out = Json(std::move(s));
+    return true;
+  }
+
+  bool ParseRawString(std::string& out) {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return true;
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // UTF-8 encode (BMP only; surrogate pairs are rejected, which
+            // is fine for this library's ASCII identifiers).
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              return Fail("surrogate pairs unsupported");
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return Fail("unknown escape");
+        }
+      } else {
+        out += ch;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(Json& out) {
+    if (!Consume('[')) return false;
+    JsonArray arr;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out = Json(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      Json element;
+      if (!ParseValue(element)) return false;
+      arr.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume(']')) return false;
+      out = Json(std::move(arr));
+      return true;
+    }
+  }
+
+  bool ParseObject(Json& out) {
+    if (!Consume('{')) return false;
+    JsonObject obj;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out = Json(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (!ParseRawString(key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      SkipSpace();
+      Json value;
+      if (!ParseValue(value)) return false;
+      obj.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume('}')) return false;
+      out = Json(std::move(obj));
+      return true;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.Run();
+}
+
+}  // namespace vor::util

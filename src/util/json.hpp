@@ -1,0 +1,83 @@
+// Minimal self-contained JSON value, parser, and serializer.
+//
+// Used by the io layer to persist topologies, catalogs, request traces,
+// and schedules, and by vorctl to read scenario files.  Implements the
+// JSON grammar (RFC 8259) with doubles for all numbers — sufficient and
+// exact for this library's data (ids fit in 2^53).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace vor::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// std::map keeps object keys sorted: serialization is deterministic.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}         // NOLINT
+  Json(bool b) : value_(b) {}                       // NOLINT
+  Json(double d) : value_(d) {}                     // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}   // NOLINT
+  Json(std::size_t u) : value_(static_cast<double>(u)) {}  // NOLINT
+  Json(std::uint32_t u) : value_(static_cast<double>(u)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}   // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}     // NOLINT
+  Json(JsonArray a) : value_(std::move(a)) {}       // NOLINT
+  Json(JsonObject o) : value_(std::move(o)) {}      // NOLINT
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    return std::get<JsonArray>(value_);
+  }
+  [[nodiscard]] JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  [[nodiscard]] const JsonObject& as_object() const {
+    return std::get<JsonObject>(value_);
+  }
+  [[nodiscard]] JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+  /// Object field access; returns a shared null for missing keys.
+  [[nodiscard]] const Json& operator[](const std::string& key) const;
+
+  /// Typed getters with defaults (object use only).
+  [[nodiscard]] double GetNumber(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string GetString(const std::string& key,
+                                      const std::string& fallback) const;
+  [[nodiscard]] bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Serialize; indent > 0 pretty-prints.
+  [[nodiscard]] std::string Dump(int indent = 0) const;
+
+  /// Parse a complete JSON document (trailing non-space input is an error).
+  [[nodiscard]] static Result<Json> Parse(const std::string& text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace vor::util

@@ -1,0 +1,258 @@
+#include "util/piecewise.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vor::util {
+
+double LinearPiece::ValueAt(Seconds t) const {
+  const double x = t.value();
+  if (x < t0.value() || x >= t2.value()) {
+    // A pure rectangle (t1 == t2) is non-zero on [t0, t1) only; handled by
+    // the range check above since t2 == t1.
+    return (x >= t0.value() && x < t1.value()) ? height : 0.0;
+  }
+  if (x < t1.value()) return height;
+  const double drain = t2.value() - t1.value();
+  if (drain <= 0.0) return 0.0;
+  return height * (1.0 - (x - t1.value()) / drain);
+}
+
+double LinearPiece::IntegralOver(Interval window) const {
+  double total = 0.0;
+  // Plateau part: rectangle height over [t0, t1).
+  {
+    const Interval overlap = Intersect(window, Interval{t0, t1});
+    total += height * overlap.length().value();
+  }
+  // Drain part: linear from height at t1 to 0 at t2.
+  const double drain = t2.value() - t1.value();
+  if (drain > 0.0) {
+    const Interval overlap = Intersect(window, Interval{t1, t2});
+    if (!overlap.empty()) {
+      const double a = overlap.start.value();
+      const double b = overlap.end.value();
+      // f(x) = height * (t2 - x) / drain  ->  integral over [a, b]
+      const double fa = height * (t2.value() - a) / drain;
+      const double fb = height * (t2.value() - b) / drain;
+      total += 0.5 * (fa + fb) * (b - a);
+    }
+  }
+  return total;
+}
+
+void PiecewiseLinear::Add(const LinearPiece& piece) {
+  assert(piece.Valid());
+  pieces_.push_back(piece);
+}
+
+std::size_t PiecewiseLinear::RemoveByTag(std::uint64_t tag) {
+  const auto it = std::remove_if(pieces_.begin(), pieces_.end(),
+                                 [tag](const LinearPiece& p) { return p.tag == tag; });
+  const auto removed = static_cast<std::size_t>(std::distance(it, pieces_.end()));
+  pieces_.erase(it, pieces_.end());
+  return removed;
+}
+
+double PiecewiseLinear::ValueAt(Seconds t) const {
+  double total = 0.0;
+  for (const LinearPiece& p : pieces_) total += p.ValueAt(t);
+  return total;
+}
+
+std::vector<double> PiecewiseLinear::Breakpoints() const {
+  std::vector<double> bps;
+  bps.reserve(pieces_.size() * 3);
+  for (const LinearPiece& p : pieces_) {
+    bps.push_back(p.t0.value());
+    bps.push_back(p.t1.value());
+    bps.push_back(p.t2.value());
+  }
+  std::sort(bps.begin(), bps.end());
+  bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
+  return bps;
+}
+
+std::vector<PiecewiseLinear::SweepPoint> PiecewiseLinear::Sweep() const {
+  // Event-decompose every piece: a value jump at t0, a slope change at t1,
+  // and the reverse slope change at t2 (rectangles jump back down at
+  // t1 == t2 instead).  One O(n log n) sort then yields the aggregate's
+  // right-limit value and slope at every breakpoint in a single pass.
+  struct Event {
+    double t;
+    double d_value;
+    double d_slope;
+  };
+  std::vector<Event> events;
+  events.reserve(pieces_.size() * 3);
+  for (const LinearPiece& p : pieces_) {
+    const double drain = p.t2.value() - p.t1.value();
+    events.push_back({p.t0.value(), p.height, 0.0});
+    if (drain > 0.0) {
+      const double rate = p.height / drain;
+      events.push_back({p.t1.value(), 0.0, -rate});
+      events.push_back({p.t2.value(), 0.0, rate});
+    } else {
+      events.push_back({p.t1.value(), -p.height, 0.0});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.t < b.t; });
+
+  std::vector<SweepPoint> points;
+  points.reserve(events.size());
+  double value = 0.0;
+  double slope = 0.0;
+  double prev_t = 0.0;
+  bool started = false;
+  for (std::size_t i = 0; i < events.size();) {
+    const double t = events[i].t;
+    if (started) value += slope * (t - prev_t);
+    while (i < events.size() && events[i].t == t) {
+      value += events[i].d_value;
+      slope += events[i].d_slope;
+      ++i;
+    }
+    // Sweep drift can leave a tiny negative residue after all pieces end.
+    if (value < 0.0 && value > -1e-6) value = 0.0;
+    points.push_back(SweepPoint{t, value, slope});
+    prev_t = t;
+    started = true;
+  }
+  return points;
+}
+
+double PiecewiseLinear::Max() const {
+  // Aggregate slope between jumps is never positive (pieces only plateau
+  // or drain), so the maximum is attained at the right limit of a
+  // breakpoint.
+  double best = 0.0;
+  for (const SweepPoint& p : Sweep()) best = std::max(best, p.value);
+  return best;
+}
+
+double PiecewiseLinear::MaxOver(Interval window) const {
+  if (window.empty()) return 0.0;
+  double best = std::max(ValueAt(window.start),
+                         ValueAt(Seconds{std::nextafter(
+                             window.end.value(), window.start.value())}));
+  for (const double t : Breakpoints()) {
+    if (t > window.start.value() && t < window.end.value()) {
+      best = std::max(best, ValueAt(Seconds{t}));
+    }
+  }
+  return best;
+}
+
+double PiecewiseLinear::IntegralOver(Interval window) const {
+  double total = 0.0;
+  for (const LinearPiece& p : pieces_) total += p.IntegralOver(window);
+  return total;
+}
+
+std::vector<ExcessRegion> PiecewiseLinear::RegionsAbove(double threshold) const {
+  std::vector<ExcessRegion> regions;
+  const std::vector<SweepPoint> sweep = Sweep();
+  if (sweep.empty()) return regions;
+
+  bool open = false;
+  ExcessRegion current;
+  double region_peak = 0.0;
+
+  auto close_region = [&](double end) {
+    current.window.end = Seconds{end};
+    current.peak = region_peak;
+    for (const LinearPiece& p : pieces_) {
+      if (Overlaps(p.Support(), current.window)) current.contributors.push_back(p.tag);
+    }
+    std::sort(current.contributors.begin(), current.contributors.end());
+    current.contributors.erase(
+        std::unique(current.contributors.begin(), current.contributors.end()),
+        current.contributors.end());
+    regions.push_back(std::move(current));
+    current = ExcessRegion{};
+    region_peak = 0.0;
+    open = false;
+  };
+
+  // Walk adjacent sweep points; the aggregate is linear on each open
+  // segment, so the above-threshold sub-interval is solvable in closed
+  // form from the segment's start value and slope.
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const double a = sweep[i].t;
+    const double va = sweep[i].value;
+
+    if (i + 1 == sweep.size()) {
+      // Past the final breakpoint everything is zero; close any open region.
+      if (open) close_region(a);
+      break;
+    }
+    const double b = sweep[i + 1].t;
+    // Left limit at b along this segment (value may jump AT b).
+    const double vb = va + sweep[i].slope * (b - a);
+
+    if (va > threshold) {
+      if (!open) {
+        open = true;
+        current.window.start = Seconds{a};
+      }
+      region_peak = std::max(region_peak, va);
+      if (vb <= threshold && b > a) {
+        // Downward crossing inside (a, b): solve va + s*(x-a) = threshold.
+        const double slope = (vb - va) / (b - a);
+        const double x = (slope != 0.0) ? a + (threshold - va) / slope : b;
+        close_region(std::min(std::max(x, a), b));
+      }
+    } else {
+      // The aggregate may JUMP below the threshold exactly at `a` (a piece
+      // ends there); a region that was open through the previous segment
+      // closes at the jump point.
+      if (open) close_region(a);
+      if (vb > threshold && b > a) {
+        // Upward crossing inside (a, b).
+        const double slope = (vb - va) / (b - a);
+        const double x = (slope != 0.0) ? a + (threshold - va) / slope : a;
+        open = true;
+        current.window.start = Seconds{std::min(std::max(x, a), b)};
+        // The segment's sup inside the region is its left limit at b (the
+        // slope must be positive to cross upward... it cannot be; upward
+        // entry only happens at jumps, so this branch is defensive).
+        region_peak = std::max(region_peak, vb);
+      }
+    }
+  }
+  return regions;
+}
+
+bool PiecewiseLinear::FitsUnder(const LinearPiece& candidate, double threshold) const {
+  assert(candidate.Valid());
+  if (candidate.height > threshold) return false;
+  const Interval support = candidate.Support();
+  if (support.empty()) return true;
+
+  auto total_at = [&](double t) {
+    return ValueAt(Seconds{t}) + candidate.ValueAt(Seconds{t});
+  };
+
+  // Candidate+aggregate is linear between the union of all breakpoints, so
+  // checking breakpoints within the support (plus the support edges) is exact.
+  if (total_at(support.start.value()) > threshold) return false;
+  const double just_before_end =
+      std::nextafter(support.end.value(), support.start.value());
+  if (total_at(just_before_end) > threshold) return false;
+  for (const double t : Breakpoints()) {
+    if (t > support.start.value() && t < support.end.value()) {
+      if (total_at(t) > threshold) return false;
+    }
+  }
+  // Candidate's own internal breakpoints.
+  for (const double t : {candidate.t1.value()}) {
+    if (t > support.start.value() && t < support.end.value()) {
+      if (total_at(t) > threshold) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vor::util

@@ -1,0 +1,115 @@
+// Exact piecewise-linear aggregate profiles.
+//
+// A file residency occupies space at an intermediate storage following a
+// "plateau + linear drain" shape (Sec. 2.2 / Eq. 6 of the paper):
+//
+//     height |------------------.
+//            |                   `.
+//            |                     `.
+//            +----------+----------+------> t
+//            t0         t1         t2
+//
+// The total space demand at a storage is the SUM of many such pieces, which
+// is itself piecewise linear.  This class computes, analytically and with
+// no time discretization: point values, maxima, integrals, and the exact
+// regions where the aggregate exceeds a threshold (the paper's "storage
+// overflow" windows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/interval.hpp"
+#include "util/units.hpp"
+
+namespace vor::util {
+
+/// One plateau+drain contribution.  f(t) = height on [t0, t1),
+/// linearly decaying to 0 on [t1, t2), and 0 elsewhere.  t1 == t2 encodes
+/// a pure rectangle (no drain tail).
+struct LinearPiece {
+  Seconds t0{0.0};
+  Seconds t1{0.0};
+  Seconds t2{0.0};
+  double height = 0.0;
+  /// Caller-owned identity (e.g. residency index) so threshold crossings
+  /// can be traced back to the schedule entries responsible.
+  std::uint64_t tag = 0;
+
+  [[nodiscard]] bool Valid() const {
+    return t0 <= t1 && t1 <= t2 && height >= 0.0;
+  }
+
+  /// Right-continuous point evaluation.
+  [[nodiscard]] double ValueAt(Seconds t) const;
+
+  /// Interval over which the piece is non-zero, [t0, t2).
+  [[nodiscard]] Interval Support() const { return Interval{t0, t2}; }
+
+  /// Exact integral of the piece over [a, b].
+  [[nodiscard]] double IntegralOver(Interval window) const;
+};
+
+/// A region where the aggregate profile exceeds some threshold.
+struct ExcessRegion {
+  Interval window;
+  /// Maximum aggregate value within the window.
+  double peak = 0.0;
+  /// Tags of all pieces whose support overlaps the window.
+  std::vector<std::uint64_t> contributors;
+};
+
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Adds a contribution.  Piece must satisfy Valid().
+  void Add(const LinearPiece& piece);
+
+  /// Removes every piece carrying `tag`.  Returns number removed.
+  std::size_t RemoveByTag(std::uint64_t tag);
+
+  void Clear() { pieces_.clear(); }
+
+  [[nodiscard]] const std::vector<LinearPiece>& pieces() const { return pieces_; }
+  [[nodiscard]] bool empty() const { return pieces_.empty(); }
+
+  /// Right-continuous aggregate value at t.  O(n).
+  [[nodiscard]] double ValueAt(Seconds t) const;
+
+  /// Maximum aggregate value over the whole timeline.
+  [[nodiscard]] double Max() const;
+
+  /// Maximum aggregate value within [window.start, window.end].
+  [[nodiscard]] double MaxOver(Interval window) const;
+
+  /// Exact integral of the aggregate over the window.
+  [[nodiscard]] double IntegralOver(Interval window) const;
+
+  /// Exact maximal regions where the aggregate is strictly above
+  /// `threshold`, with crossing points solved analytically.  Regions are
+  /// disjoint, sorted, and annotated with contributing piece tags.
+  [[nodiscard]] std::vector<ExcessRegion> RegionsAbove(double threshold) const;
+
+  /// True iff adding `candidate` would keep the aggregate <= threshold
+  /// everywhere on the candidate's support.  Used by the rejective greedy
+  /// to test capacity before committing a residency.
+  [[nodiscard]] bool FitsUnder(const LinearPiece& candidate, double threshold) const;
+
+ private:
+  /// Sorted unique breakpoints of all pieces (t0/t1/t2 values).
+  [[nodiscard]] std::vector<double> Breakpoints() const;
+
+  /// Right-limit value and slope of the aggregate at every breakpoint,
+  /// computed in one O(n log n) event sweep.
+  struct SweepPoint {
+    double t;
+    double value;  // right limit
+    double slope;  // until the next breakpoint
+  };
+  [[nodiscard]] std::vector<SweepPoint> Sweep() const;
+
+  std::vector<LinearPiece> pieces_;
+};
+
+}  // namespace vor::util

@@ -1,0 +1,100 @@
+// Minimal expected-style result type.
+//
+// g++ 12 does not ship std::expected (C++23); scheduling APIs need a way to
+// report domain errors (disconnected topology, unknown video id, infeasible
+// constraint set) without exceptions on the hot path.  This is a small,
+// exception-free subset of the std::expected interface.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vor::util {
+
+/// Error payload: a machine-readable code plus a human-readable message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kNotFound,
+    kInfeasible,
+    kInternal,
+  };
+
+  Code code = Code::kInternal;
+  std::string message;
+};
+
+inline Error InvalidArgument(std::string msg) {
+  return Error{Error::Code::kInvalidArgument, std::move(msg)};
+}
+inline Error NotFound(std::string msg) {
+  return Error{Error::Code::kNotFound, std::move(msg)};
+}
+inline Error Infeasible(std::string msg) {
+  return Error{Error::Code::kInfeasible, std::move(msg)};
+}
+inline Error Internal(std::string msg) {
+  return Error{Error::Code::kInternal, std::move(msg)};
+}
+
+/// Result<T>: either a value or an Error.  Accessors assert on misuse in
+/// debug builds; callers are expected to branch on ok() first.
+template <class T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+  static Status Ok() { return Status{}; }
+
+ private:
+  Error error_{};
+  bool ok_ = true;
+};
+
+}  // namespace vor::util

@@ -1,0 +1,61 @@
+// Exact piecewise-constant aggregate profiles.
+//
+// Network streams consume a constant bandwidth B over their playback
+// window [t, t+P].  Aggregate link load is therefore a step function.
+// This is the analogue of PiecewiseLinear for the bandwidth-constrained
+// extension (Sec. 6 "future work" of the paper, implemented in src/ext).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/interval.hpp"
+#include "util/units.hpp"
+
+namespace vor::util {
+
+/// A constant contribution `height` over window [start, end).
+struct StepPiece {
+  Interval window;
+  double height = 0.0;
+  std::uint64_t tag = 0;
+};
+
+/// A region where the aggregate step function exceeds a threshold.
+struct StepExcessRegion {
+  Interval window;
+  double peak = 0.0;
+  std::vector<std::uint64_t> contributors;
+};
+
+class StepTimeline {
+ public:
+  void Add(const StepPiece& piece);
+  std::size_t RemoveByTag(std::uint64_t tag);
+  void Clear() { pieces_.clear(); }
+
+  [[nodiscard]] const std::vector<StepPiece>& pieces() const { return pieces_; }
+
+  /// Right-continuous aggregate value at t.
+  [[nodiscard]] double ValueAt(Seconds t) const;
+
+  /// Global maximum of the aggregate.
+  [[nodiscard]] double Max() const;
+
+  /// Maximum over a window.
+  [[nodiscard]] double MaxOver(Interval window) const;
+
+  /// Maximal disjoint regions where the aggregate is strictly above the
+  /// threshold.
+  [[nodiscard]] std::vector<StepExcessRegion> RegionsAbove(double threshold) const;
+
+  /// True iff adding `piece` keeps the aggregate <= threshold on its window.
+  [[nodiscard]] bool FitsUnder(const StepPiece& piece, double threshold) const;
+
+ private:
+  [[nodiscard]] std::vector<double> Breakpoints() const;
+
+  std::vector<StepPiece> pieces_;
+};
+
+}  // namespace vor::util

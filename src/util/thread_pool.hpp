@@ -1,0 +1,61 @@
+// Fixed-size thread pool with a blocking work queue plus a ParallelFor
+// helper for shard-parallel parameter sweeps.
+//
+// Design notes (CppCoreGuidelines CP.*): all synchronization lives inside
+// this class; callers submit value-captured, shared-nothing tasks.  The
+// benchmark sweeps use ParallelFor with one scheduler instance per index,
+// so there is no shared mutable state between shards by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vor::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <class F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs body(i) for i in [0, n), distributing indices over the pool, and
+  /// blocks until all complete.  Exceptions from body propagate (first one
+  /// wins).  body must be safe to invoke concurrently for distinct i.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace vor::util

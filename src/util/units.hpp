@@ -1,0 +1,163 @@
+// Strong unit types for the quantities the cost model trades in.
+//
+// The 1997 paper mixes bytes, seconds, bits-per-second and dollars freely;
+// mixing them up silently is the single easiest way to produce a schedule
+// whose "cost" is nonsense.  Every public API in this library therefore
+// carries its units in the type system.  The wrappers compile away: they
+// hold a single double and every operation is constexpr/inline.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace vor::util {
+
+/// CRTP base for a one-dimensional physical quantity backed by a double.
+/// Derived types get value semantics, ordering, and additive arithmetic.
+/// Cross-unit products (e.g. BitRate * Seconds -> Bytes) are defined
+/// explicitly below, never generically, so dimensional errors cannot
+/// type-check.
+template <class Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  /// Raw magnitude in the unit's base scale (bytes, seconds, dollars, ...).
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr auto operator<=>(const Quantity&, const Quantity&) = default;
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value_ + b.value_};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value_ - b.value_};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value_}; }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value_ * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{s * a.value_};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value_ / s};
+  }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+
+  constexpr Derived& operator+=(Derived o) {
+    value_ += o.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived o) {
+    value_ -= o.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator*=(double s) {
+    value_ *= s;
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Data volume in bytes.
+class Bytes : public Quantity<Bytes> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Wall-clock duration or instant within a scheduling cycle, in seconds.
+class Seconds : public Quantity<Seconds> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Monetary cost in the (arbitrary) charging system of the paper.
+class Money : public Quantity<Money> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Stream bandwidth in bytes per second.
+class BytesPerSecond : public Quantity<BytesPerSecond> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Storage charging rate: money per (byte * second) of reserved space.
+class StorageRate : public Quantity<StorageRate> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Network charging rate: money per byte shipped across a link (or route).
+class NetworkRate : public Quantity<NetworkRate> {
+ public:
+  using Quantity::Quantity;
+};
+
+// ---- Dimensioned products -------------------------------------------------
+
+constexpr Bytes operator*(BytesPerSecond r, Seconds t) {
+  return Bytes{r.value() * t.value()};
+}
+constexpr Bytes operator*(Seconds t, BytesPerSecond r) { return r * t; }
+
+constexpr BytesPerSecond operator/(Bytes b, Seconds t) {
+  return BytesPerSecond{b.value() / t.value()};
+}
+constexpr Seconds operator/(Bytes b, BytesPerSecond r) {
+  return Seconds{b.value() / r.value()};
+}
+
+constexpr Money operator*(NetworkRate r, Bytes b) {
+  return Money{r.value() * b.value()};
+}
+constexpr Money operator*(Bytes b, NetworkRate r) { return r * b; }
+
+/// byte-seconds: the "amortized time-space product" of Eq. (5).
+class ByteSeconds : public Quantity<ByteSeconds> {
+ public:
+  using Quantity::Quantity;
+};
+
+constexpr ByteSeconds operator*(Bytes b, Seconds t) {
+  return ByteSeconds{b.value() * t.value()};
+}
+constexpr ByteSeconds operator*(Seconds t, Bytes b) { return b * t; }
+
+constexpr Money operator*(StorageRate r, ByteSeconds bs) {
+  return Money{r.value() * bs.value()};
+}
+constexpr Money operator*(ByteSeconds bs, StorageRate r) { return r * bs; }
+
+// ---- Convenience literals -------------------------------------------------
+
+constexpr Bytes KB(double v) { return Bytes{v * 1e3}; }
+constexpr Bytes MB(double v) { return Bytes{v * 1e6}; }
+constexpr Bytes GB(double v) { return Bytes{v * 1e9}; }
+
+constexpr Seconds Minutes(double v) { return Seconds{v * 60.0}; }
+constexpr Seconds Hours(double v) { return Seconds{v * 3600.0}; }
+constexpr Seconds Days(double v) { return Seconds{v * 86400.0}; }
+
+/// Megabits per second, the unit the paper quotes stream bandwidth in.
+constexpr BytesPerSecond Mbps(double v) { return BytesPerSecond{v * 1e6 / 8.0}; }
+
+/// Near-equality for unit types, tolerant in ULP-free absolute+relative form.
+template <class Q>
+constexpr bool Near(Q a, Q b, double rel = 1e-9, double abs = 1e-9) {
+  const double d = std::fabs(a.value() - b.value());
+  const double scale = std::fmax(std::fabs(a.value()), std::fabs(b.value()));
+  return d <= abs || d <= rel * scale;
+}
+
+}  // namespace vor::util

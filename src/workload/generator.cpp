@@ -1,0 +1,89 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "util/zipf.hpp"
+
+namespace vor::workload {
+
+namespace {
+
+double DrawStartTime(util::Rng& rng, const WorkloadParams& params) {
+  const double cycle = params.cycle_length.value();
+  switch (params.profile) {
+    case StartTimeProfile::kUniform:
+      return rng.Uniform(0.0, cycle);
+    case StartTimeProfile::kEveningPeak: {
+      // Triangular distribution on [0, cycle] with mode at 0.75 * cycle.
+      const double mode = 0.75;
+      const double u = rng.NextDouble();
+      const double x = (u < mode) ? std::sqrt(u * mode)
+                                  : 1.0 - std::sqrt((1.0 - u) * (1.0 - mode));
+      return x * cycle;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<Request> GenerateRequestsRanked(
+    const net::Topology& topology, const media::Catalog& catalog,
+    const WorkloadParams& params,
+    const std::vector<media::VideoId>& rank_to_video) {
+  assert(catalog.size() > 0);
+  assert(rank_to_video.size() == catalog.size());
+  util::Rng rng(params.seed);
+  const util::ZipfDistribution zipf(catalog.size(), params.zipf_alpha);
+
+  std::vector<Request> requests;
+  UserId next_user = 0;
+  for (const net::NodeId is : topology.StorageNodes()) {
+    for (std::size_t u = 0; u < params.users_per_neighborhood; ++u) {
+      Request r;
+      r.user = next_user++;
+      r.neighborhood = is;
+      r.video = rank_to_video[zipf.Sample(rng)];
+      r.start_time = util::Seconds{DrawStartTime(rng, params)};
+      requests.push_back(r);
+    }
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              if (a.start_time != b.start_time) return a.start_time < b.start_time;
+              return a.user < b.user;
+            });
+  return requests;
+}
+
+std::vector<Request> GenerateRequests(const net::Topology& topology,
+                                      const media::Catalog& catalog,
+                                      const WorkloadParams& params) {
+  std::vector<media::VideoId> identity(catalog.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) {
+    identity[i] = static_cast<media::VideoId>(i);
+  }
+  return GenerateRequestsRanked(topology, catalog, params, identity);
+}
+
+std::vector<std::pair<media::VideoId, std::vector<std::size_t>>> GroupByVideo(
+    const std::vector<Request>& requests) {
+  std::map<media::VideoId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    groups[requests[i].video].push_back(i);
+  }
+  std::vector<std::pair<media::VideoId, std::vector<std::size_t>>> out;
+  out.reserve(groups.size());
+  for (auto& [video, indices] : groups) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return requests[a].start_time < requests[b].start_time;
+    });
+    out.emplace_back(video, std::move(indices));
+  }
+  return out;
+}
+
+}  // namespace vor::workload

@@ -1,0 +1,26 @@
+// A Video-On-Reservation service request (Sec. 2.1): the user asks, ahead
+// of time, for a title to start playing at a given instant.
+#pragma once
+
+#include <cstdint>
+
+#include "media/video.hpp"
+#include "net/topology.hpp"
+#include "util/units.hpp"
+
+namespace vor::workload {
+
+using UserId = std::uint32_t;
+
+struct Request {
+  UserId user = 0;
+  media::VideoId video = 0;
+  /// Requested presentation start time within the scheduling cycle.
+  util::Seconds start_time{0.0};
+  /// The intermediate storage local to the user's neighborhood.  The
+  /// user<->local-IS path is fixed and never priced (Sec. 2.1), so the IS
+  /// node is the delivery endpoint the scheduler sees.
+  net::NodeId neighborhood = net::kInvalidNode;
+};
+
+}  // namespace vor::workload

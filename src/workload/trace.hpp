@@ -1,0 +1,40 @@
+// CSV request traces.
+//
+// Operators keep reservation logs as flat tables; this module reads and
+// writes them in a simple CSV schema so real traces can replace the
+// synthetic Zipf workload anywhere a request vector is accepted:
+//
+//   user,video,start_sec,neighborhood
+//   0,17,46200.5,3
+//   1,4,47810.0,12
+//
+// Header row required; fields may be quoted (RFC-4180 style).  Parsing is
+// strict: malformed rows are errors with line numbers, and ids are
+// validated against the catalog/topology on request.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/catalog.hpp"
+#include "net/topology.hpp"
+#include "util/result.hpp"
+#include "workload/request.hpp"
+
+namespace vor::workload {
+
+/// Serializes requests to CSV text (with header).
+[[nodiscard]] std::string RequestsToCsv(const std::vector<Request>& requests);
+
+/// Parses CSV text into requests.  Column order must match the header;
+/// unknown columns are rejected.
+[[nodiscard]] util::Result<std::vector<Request>> RequestsFromCsv(
+    const std::string& text);
+
+/// Validates a trace against an environment: video ids must be in the
+/// catalog, neighborhoods must be storage nodes, times non-negative.
+[[nodiscard]] util::Status ValidateTrace(
+    const std::vector<Request>& requests, const net::Topology& topology,
+    const media::Catalog& catalog);
+
+}  // namespace vor::workload

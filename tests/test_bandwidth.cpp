@@ -1,0 +1,219 @@
+#include "ext/bandwidth.hpp"
+
+#include "io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/overflow.hpp"
+#include "sim/validator.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::ext {
+namespace {
+
+using testing::OneVideoCatalog;
+
+/// Chain topology with an explicit bandwidth cap on every link.
+net::Topology CappedChain(std::size_t storages, double cap_streams) {
+  net::Topology topo;
+  const net::NodeId vw = topo.AddWarehouse("VW");
+  net::NodeId prev = vw;
+  // 1 GB/h streams: one stream ~ 277778 B/s.
+  const util::BytesPerSecond one_stream = util::GB(1.0) / util::Hours(1.0);
+  for (std::size_t i = 0; i < storages; ++i) {
+    const net::NodeId n =
+        topo.AddStorage("IS" + std::to_string(i), util::GB(100),
+                        util::StorageRate{1.0 / 3.6e12});
+    topo.AddLink(prev, n, util::NetworkRate{10.0 / 1e9},
+                 one_stream * cap_streams);
+    prev = n;
+  }
+  return topo;
+}
+
+TEST(LinkLoadTrackerTest, TracksAndRemovesByFile) {
+  const net::Topology topo = CappedChain(2, 1.0);
+  const media::Catalog catalog = OneVideoCatalog();
+  LinkLoadTracker tracker(topo, catalog);
+
+  core::Delivery d;
+  d.video = 0;
+  d.route = {0, 1, 2};
+  d.start = util::Hours(1);
+  EXPECT_TRUE(tracker.RouteFeasible(d.route, d.start, 0));
+  tracker.AddDelivery(d, /*file_tag=*/7);
+  // The link now carries a full stream for the playback hour.
+  EXPECT_FALSE(tracker.RouteFeasible(d.route, util::Hours(1.5), 0));
+  EXPECT_TRUE(tracker.RouteFeasible(d.route, util::Hours(2.5), 0));
+  tracker.RemoveFile(7);
+  EXPECT_TRUE(tracker.RouteFeasible(d.route, util::Hours(1.5), 0));
+}
+
+TEST(LinkLoadTrackerTest, UncapacitatedLinksAlwaysPass) {
+  net::Topology topo;
+  const net::NodeId vw = topo.AddWarehouse("VW");
+  const net::NodeId a = topo.AddStorage("A", util::GB(1), util::StorageRate{0});
+  topo.AddLink(vw, a, util::NetworkRate{1e-9});  // no cap
+  const media::Catalog catalog = OneVideoCatalog();
+  LinkLoadTracker tracker(topo, catalog);
+  for (int i = 0; i < 50; ++i) {
+    core::Delivery d;
+    d.video = 0;
+    d.route = {vw, a};
+    d.start = util::Hours(1);
+    EXPECT_TRUE(tracker.RouteFeasible(d.route, d.start, 0));
+    tracker.AddDelivery(d, 0);
+  }
+  EXPECT_DOUBLE_EQ(tracker.WorstUtilization(), 0.0);  // nothing tracked
+}
+
+TEST(BandwidthSchedulerTest, NoCapsReducesToPlainScheduler) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  core::VorScheduler plain(scenario.topology, scenario.catalog);
+  BandwidthAwareScheduler aware(scenario.topology, scenario.catalog);
+  const auto a = plain.Solve(scenario.requests);
+  const auto b = aware.Solve(scenario.requests);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->final_cost.value(), b->final_cost.value(), 1e-6);
+  EXPECT_EQ(b->overloaded_links, 0u);
+  EXPECT_EQ(b->forced_requests, 0u);
+}
+
+TEST(BandwidthSchedulerTest, CapsSpreadLoadWithoutOverload) {
+  // 3 users want the same title at overlapping times in the same (far)
+  // neighborhood; each link only carries 2 streams.  Without caps all
+  // three streams would cross VW->IS0 simultaneously.
+  const net::Topology topo = CappedChain(3, 2.0);
+  const media::Catalog catalog = OneVideoCatalog();
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.00), 3},
+      {1, 0, util::Hours(1.10), 3},
+      {2, 0, util::Hours(1.20), 3},
+  };
+  BandwidthAwareScheduler scheduler(topo, catalog);
+  const auto result = scheduler.Solve(requests);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->forced_requests, 0u);
+  EXPECT_EQ(result->overloaded_links, 0u);
+  EXPECT_LE(result->worst_utilization, 1.0 + 1e-9);
+
+  sim::ValidationOptions options;
+  const auto report = sim::ValidateSchedule(result->schedule, requests,
+                                            scheduler.cost_model(), options);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(BandwidthSchedulerTest, ImpossibleDemandIsForcedAndReported) {
+  // Cap of ~0.5 streams: even one stream overloads every link, but each
+  // reservation must still be honoured.
+  const net::Topology topo = CappedChain(2, 0.5);
+  const media::Catalog catalog = OneVideoCatalog();
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.0), 2},
+  };
+  BandwidthAwareScheduler scheduler(topo, catalog);
+  const auto result = scheduler.Solve(requests);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schedule.TotalDeliveries(), 1u);
+  EXPECT_EQ(result->forced_requests, 1u);
+  EXPECT_GT(result->worst_utilization, 1.0);
+  EXPECT_GT(result->overloaded_links, 0u);
+}
+
+TEST(BandwidthSchedulerTest, CachingRelievesSaturatedBackbone) {
+  // One unit-capacity backbone link; two same-title requests staggered by
+  // more than a playback so the backbone is only needed once if the title
+  // is cached behind it.
+  const net::Topology topo = CappedChain(2, 1.0);
+  const media::Catalog catalog = OneVideoCatalog();
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.0), 2},
+      {1, 0, util::Hours(1.5), 2},  // overlaps the first stream
+  };
+  BandwidthAwareScheduler scheduler(topo, catalog);
+  const auto result = scheduler.Solve(requests);
+  ASSERT_TRUE(result.ok());
+  // The second request cannot share the VW->IS0->IS1 path (saturated by
+  // the first stream); a cache (anchored to the first stream) serves it
+  // locally with no backbone use at all.
+  EXPECT_EQ(result->forced_requests, 0u);
+  EXPECT_EQ(result->overloaded_links, 0u);
+  EXPECT_GE(result->schedule.TotalResidencies(), 1u);
+}
+
+TEST(BandwidthSchedulerTest, StorageOverflowStillResolvedUnderCaps) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  workload::Scenario scenario = workload::MakeScenario(params);
+  // Add generous caps (so they bind only occasionally).
+  scenario.topology.SetUniformBandwidthCap(util::BytesPerSecond{50e6});
+  BandwidthAwareScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto result = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->sorp.Resolved());
+  EXPECT_TRUE(core::DetectOverflows(result->schedule, scheduler.cost_model())
+                  .empty());
+}
+
+TEST(StorageIoCapTest, TrackerLimitsOriginServing) {
+  net::Topology topo = CappedChain(2, /*cap_streams=*/100.0);
+  const util::BytesPerSecond one_stream = util::GB(1.0) / util::Hours(1.0);
+  topo.SetUniformStorageIoCap(one_stream * 1.0);  // each IS serves 1 stream
+  const media::Catalog catalog = OneVideoCatalog();
+  LinkLoadTracker tracker(topo, catalog);
+
+  core::Delivery replay;
+  replay.video = 0;
+  replay.route = {1, 2};  // served out of IS0's disks
+  replay.start = util::Hours(1);
+  EXPECT_TRUE(tracker.RouteFeasible(replay.route, replay.start, 0));
+  tracker.AddDelivery(replay, 0);
+  // Second concurrent replay from the same storage is refused...
+  EXPECT_FALSE(tracker.RouteFeasible(replay.route, util::Hours(1.5), 0));
+  EXPECT_EQ(tracker.OverloadedNodes(), 0u);
+  // ...but the warehouse is never I/O capped.
+  EXPECT_TRUE(tracker.RouteFeasible({0, 1, 2}, util::Hours(1.5), 0));
+  // And a disjoint-in-time replay is fine.
+  EXPECT_TRUE(tracker.RouteFeasible(replay.route, util::Hours(3.0), 0));
+}
+
+TEST(StorageIoCapTest, SchedulerSpreadsReplaysAcrossStorages) {
+  // Three same-title overlapping requests in a far neighborhood; each
+  // storage can serve only one stream at a time, links are generous.
+  net::Topology topo = CappedChain(3, /*cap_streams=*/100.0);
+  const util::BytesPerSecond one_stream = util::GB(1.0) / util::Hours(1.0);
+  topo.SetUniformStorageIoCap(one_stream * 1.0);
+  const media::Catalog catalog = OneVideoCatalog();
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.00), 3},
+      {1, 0, util::Hours(1.10), 3},
+      {2, 0, util::Hours(1.20), 3},
+  };
+  BandwidthAwareScheduler scheduler(topo, catalog);
+  const auto result = scheduler.Solve(requests);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->forced_requests, 0u);
+  EXPECT_EQ(result->overloaded_nodes, 0u);
+  EXPECT_LE(result->worst_utilization, 1.0 + 1e-9);
+  // Replays must come from at least two distinct origins (or the VW).
+  const auto report = sim::ValidateSchedule(result->schedule, requests,
+                                            scheduler.cost_model());
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(StorageIoCapTest, IoCapSurvivesSerialization) {
+  net::Topology topo = CappedChain(2, 4.0);
+  topo.SetNodeIoCap(1, util::BytesPerSecond{123456.0});
+  const auto json = io::ToJson(topo);
+  const auto restored = io::TopologyFromJson(json);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->node(1).io_cap.value(), 123456.0);
+  EXPECT_DOUBLE_EQ(restored->node(2).io_cap.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace vor::ext

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "baseline/local_cache.hpp"
+#include "baseline/network_only.hpp"
+#include "core/overflow.hpp"
+#include "core/scheduler.hpp"
+#include "sim/validator.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::baseline {
+namespace {
+
+struct ScenarioEnv {
+  ScenarioEnv() : scenario(workload::MakeScenario({})),
+                  router(scenario.topology),
+                  cm(scenario.topology, router, scenario.catalog) {}
+  workload::Scenario scenario;
+  net::Router router;
+  core::CostModel cm;
+};
+
+TEST(NetworkOnlyTest, OneDeliveryPerRequestAllFromVw) {
+  ScenarioEnv env;
+  const core::Schedule s = NetworkOnlySchedule(env.scenario.requests, env.cm);
+  EXPECT_EQ(s.TotalDeliveries(), env.scenario.requests.size());
+  EXPECT_EQ(s.TotalResidencies(), 0u);
+  for (const core::FileSchedule& f : s.files) {
+    for (const core::Delivery& d : f.deliveries) {
+      EXPECT_EQ(d.origin(), env.scenario.topology.warehouse());
+    }
+  }
+}
+
+TEST(NetworkOnlyTest, ValidatesAndNeverOverflows) {
+  ScenarioEnv env;
+  const core::Schedule s = NetworkOnlySchedule(env.scenario.requests, env.cm);
+  EXPECT_TRUE(core::DetectOverflows(s, env.cm).empty());
+  const auto report =
+      sim::ValidateSchedule(s, env.scenario.requests, env.cm);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(NetworkOnlyTest, CostScalesLinearlyWithNrate) {
+  workload::ScenarioParams p1;
+  p1.nrate_per_gb = 300;
+  workload::ScenarioParams p2;
+  p2.nrate_per_gb = 600;
+  const workload::Scenario s1 = workload::MakeScenario(p1);
+  const workload::Scenario s2 = workload::MakeScenario(p2);
+  const net::Router r1(s1.topology);
+  const net::Router r2(s2.topology);
+  const core::CostModel cm1(s1.topology, r1, s1.catalog);
+  const core::CostModel cm2(s2.topology, r2, s2.catalog);
+  const double c1 =
+      cm1.TotalCost(NetworkOnlySchedule(s1.requests, cm1)).value();
+  const double c2 =
+      cm2.TotalCost(NetworkOnlySchedule(s2.requests, cm2)).value();
+  EXPECT_NEAR(c2 / c1, 2.0, 1e-6);
+}
+
+TEST(LocalCacheTest, ValidatesAndRespectsCapacity) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  const core::Schedule s = LocalCacheSchedule(scenario.requests, cm);
+  EXPECT_TRUE(core::DetectOverflows(s, cm).empty());
+  const auto report = sim::ValidateSchedule(s, scenario.requests, cm);
+  EXPECT_TRUE(report.ok());
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << sim::ToString(v.kind) << ": " << v.detail;
+  }
+}
+
+TEST(LocalCacheTest, CachesPopularContent) {
+  ScenarioEnv env;  // 5 GB default capacity
+  const core::Schedule s = LocalCacheSchedule(env.scenario.requests, env.cm);
+  EXPECT_GT(s.TotalResidencies(), 0u);
+}
+
+TEST(LocalCacheTest, CacheBeatsNetworkOnlyWhenStorageCheap) {
+  workload::ScenarioParams params;
+  params.srate_per_gb_hour = 3;
+  params.nrate_per_gb = 1000;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  const double cache_cost =
+      cm.TotalCost(LocalCacheSchedule(scenario.requests, cm)).value();
+  const double direct_cost =
+      cm.TotalCost(NetworkOnlySchedule(scenario.requests, cm)).value();
+  EXPECT_LT(cache_cost, direct_cost);
+}
+
+TEST(BaselineOrderingTest, TwoPhaseSchedulerBeatsBothBaselines) {
+  // The cost-driven scheduler should dominate both the cost-blind cache
+  // and the no-cache baseline on the default operating point.
+  ScenarioEnv env;
+  core::VorScheduler scheduler(env.scenario.topology, env.scenario.catalog);
+  const auto result = scheduler.Solve(env.scenario.requests);
+  ASSERT_TRUE(result.ok());
+  const double smart = result->final_cost.value();
+  const double naive =
+      env.cm.TotalCost(LocalCacheSchedule(env.scenario.requests, env.cm))
+          .value();
+  const double direct =
+      env.cm.TotalCost(NetworkOnlySchedule(env.scenario.requests, env.cm))
+          .value();
+  EXPECT_LE(smart, naive + 1e-6);
+  EXPECT_LT(smart, direct);
+}
+
+}  // namespace
+}  // namespace vor::baseline

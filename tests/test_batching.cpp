@@ -1,0 +1,134 @@
+#include "baseline/batching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/network_only.hpp"
+#include "core/overflow.hpp"
+#include "core/scheduler.hpp"
+#include "sim/validator.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::baseline {
+namespace {
+
+using testing::OneVideoCatalog;
+using testing::SmallTopology;
+
+struct Env {
+  Env() : topo(SmallTopology(2)), catalog(OneVideoCatalog()), router(topo),
+          cm(topo, router, catalog) {}
+  net::Topology topo;
+  media::Catalog catalog;
+  net::Router router;
+  core::CostModel cm;
+};
+
+TEST(BatchingTest, RequestsWithinWindowShareOneStream) {
+  Env env;
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.0), 2},
+      {1, 0, util::Hours(1.3), 2},
+      {2, 0, util::Hours(1.6), 2},
+  };
+  BatchingOptions options;
+  options.window = util::Hours(1.0);
+  const core::Schedule s = BatchingSchedule(requests, env.cm, options);
+  ASSERT_EQ(s.files.size(), 1u);
+  // One opener + two joiners: one residency serving requests 1 and 2.
+  ASSERT_EQ(s.files[0].residencies.size(), 1u);
+  EXPECT_EQ(s.files[0].residencies[0].services,
+            (std::vector<std::size_t>{1, 2}));
+  // Only the opener crosses the network.
+  std::size_t network_deliveries = 0;
+  for (const core::Delivery& d : s.files[0].deliveries) {
+    network_deliveries += d.route.size() > 1;
+  }
+  EXPECT_EQ(network_deliveries, 1u);
+}
+
+TEST(BatchingTest, WindowExpiryOpensNewBatch) {
+  Env env;
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.0), 2},
+      {1, 0, util::Hours(3.0), 2},  // beyond the 1 h window
+  };
+  BatchingOptions options;
+  options.window = util::Hours(1.0);
+  const core::Schedule s = BatchingSchedule(requests, env.cm, options);
+  // Both go direct; no joiner means no surviving residency.
+  EXPECT_TRUE(s.files[0].residencies.empty());
+  for (const core::Delivery& d : s.files[0].deliveries) {
+    EXPECT_EQ(d.origin(), env.topo.warehouse());
+  }
+}
+
+TEST(BatchingTest, ZeroWindowDegeneratesToNetworkOnlyCost) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  BatchingOptions options;
+  options.window = util::Seconds{0.0};
+  const core::Schedule batched =
+      BatchingSchedule(scenario.requests, cm, options);
+  const core::Schedule direct =
+      NetworkOnlySchedule(scenario.requests, cm);
+  EXPECT_NEAR(cm.TotalCost(batched).value(), cm.TotalCost(direct).value(),
+              cm.TotalCost(direct).value() * 1e-9);
+}
+
+TEST(BatchingTest, ValidatesAndRespectsCapacity) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  const core::Schedule s = BatchingSchedule(scenario.requests, cm,
+                                            BatchingOptions{util::Hours(2)});
+  EXPECT_TRUE(core::DetectOverflows(s, cm).empty());
+  const auto report = sim::ValidateSchedule(s, scenario.requests, cm);
+  EXPECT_TRUE(report.ok());
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << sim::ToString(v.kind) << ": " << v.detail;
+  }
+}
+
+TEST(BatchingTest, WiderWindowNeverServesFewerFromCache) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  std::size_t prev_cached = 0;
+  for (const double hours : {0.25, 1.0, 4.0, 12.0}) {
+    const core::Schedule s = BatchingSchedule(
+        scenario.requests, cm, BatchingOptions{util::Hours(hours)});
+    std::size_t cached = 0;
+    for (const core::FileSchedule& f : s.files) {
+      for (const core::Residency& c : f.residencies) {
+        cached += c.services.size();
+      }
+    }
+    EXPECT_GE(cached, prev_cached) << "window " << hours << "h";
+    prev_cached = cached;
+  }
+}
+
+TEST(BatchingTest, CostDrivenSchedulerBeatsBatching) {
+  // The paper's contribution vs the classic policy: on the default
+  // operating point, cost-driven placement is no worse than any fixed
+  // batching window we try.
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto solved = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(solved.ok());
+  for (const double hours : {0.5, 1.0, 2.0, 6.0}) {
+    const core::Schedule batched =
+        BatchingSchedule(scenario.requests, scheduler.cost_model(),
+                         BatchingOptions{util::Hours(hours)});
+    EXPECT_LE(solved->final_cost.value(),
+              scheduler.cost_model().TotalCost(batched).value() + 1e-6)
+        << "window " << hours << "h";
+  }
+}
+
+}  // namespace
+}  // namespace vor::baseline

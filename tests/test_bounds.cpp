@@ -1,0 +1,109 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exhaustive.hpp"
+#include "baseline/network_only.hpp"
+#include "core/scheduler.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::core {
+namespace {
+
+TEST(BoundsTest, SingleRequestBoundIsExactlyDirectCost) {
+  testing::PaperExample ex;
+  const net::Router router(ex.topology);
+  const CostModel cm(ex.topology, router, ex.catalog);
+  const std::vector<workload::Request> one{ex.requests[0]};
+  const LowerBoundBreakdown bound = UnavoidableNetworkLowerBound(one, cm);
+  EXPECT_EQ(bound.videos, 1u);
+  // First (only) request at IS1: VW->IS1 = $64.80.
+  EXPECT_NEAR(bound.total(), 64.8, 1e-6);
+}
+
+TEST(BoundsTest, PaperExampleBoundBelowEveryKnownSchedule) {
+  testing::PaperExample ex;
+  const net::Router router(ex.topology);
+  const CostModel cm(ex.topology, router, ex.catalog);
+  const LowerBoundBreakdown bound =
+      UnavoidableNetworkLowerBound(ex.requests, cm);
+  // One video whose first request is at IS1: bound = $64.80.
+  EXPECT_NEAR(bound.total(), 64.8, 1e-6);
+  EXPECT_LT(bound.total(), 108.45);  // the scheduler's plan
+  EXPECT_LT(bound.total(), 138.975);  // S2
+}
+
+TEST(BoundsTest, EmptyRequestsZeroBound) {
+  testing::PaperExample ex;
+  const net::Router router(ex.topology);
+  const CostModel cm(ex.topology, router, ex.catalog);
+  const LowerBoundBreakdown bound = UnavoidableNetworkLowerBound({}, cm);
+  EXPECT_EQ(bound.videos, 0u);
+  EXPECT_DOUBLE_EQ(bound.total(), 0.0);
+}
+
+TEST(BoundsTest, BoundNeverExceedsExhaustiveOptimumOnSmallInstances) {
+  util::Rng rng(313);
+  for (int trial = 0; trial < 30; ++trial) {
+    testing::PaperExample ex;  // reuse topology/catalog; random requests
+    const net::Router router(ex.topology);
+    const CostModel cm(ex.topology, router, ex.catalog);
+    std::vector<workload::Request> requests;
+    const std::size_t n = 1 + rng.NextBounded(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      requests.push_back(
+          {static_cast<workload::UserId>(i), 0,
+           util::Seconds{rng.Uniform(0.0, 12 * 3600.0)},
+           rng.NextBounded(2) ? ex.is1 : ex.is2});
+    }
+    std::sort(requests.begin(), requests.end(),
+              [](const auto& a, const auto& b) {
+                return a.start_time < b.start_time;
+              });
+    std::vector<std::size_t> indices(requests.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+    const baseline::ExhaustiveResult exact =
+        baseline::ExhaustiveFileSchedule(0, requests, indices, cm);
+    ASSERT_TRUE(exact.complete);
+    const LowerBoundBreakdown bound =
+        UnavoidableNetworkLowerBound(requests, cm);
+    EXPECT_LE(bound.total(), exact.cost.value() + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(BoundsTest, BoundHoldsForFullScenarioSchedules) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto solved = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(solved.ok());
+  const LowerBoundBreakdown bound = UnavoidableNetworkLowerBound(
+      scenario.requests, scheduler.cost_model());
+  EXPECT_GT(bound.total(), 0.0);
+  EXPECT_LE(bound.total(), solved->final_cost.value());
+  // And below the network-only baseline, trivially.
+  const double direct =
+      scheduler.cost_model()
+          .TotalCost(baseline::NetworkOnlySchedule(scenario.requests,
+                                                   scheduler.cost_model()))
+          .value();
+  EXPECT_LE(bound.total(), direct);
+}
+
+TEST(BoundsTest, HoldsUnderEndToEndPricing) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  SchedulerOptions options;
+  options.pricing.basis = PricingBasis::kEndToEnd;
+  options.pricing.e2e_discount = 0.8;
+  const VorScheduler scheduler(scenario.topology, scenario.catalog, options);
+  const auto solved = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(solved.ok());
+  const LowerBoundBreakdown bound = UnavoidableNetworkLowerBound(
+      scenario.requests, scheduler.cost_model());
+  EXPECT_LE(bound.total(), solved->final_cost.value());
+}
+
+}  // namespace
+}  // namespace vor::core

@@ -1,0 +1,88 @@
+#include "media/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vor::media {
+namespace {
+
+TEST(CatalogTest, AddAssignsIds) {
+  Catalog catalog;
+  Video v;
+  v.title = "x";
+  v.size = util::GB(1);
+  v.playback = util::Hours(1);
+  v.bandwidth = v.size / v.playback;
+  const VideoId a = catalog.Add(v);
+  const VideoId b = catalog.Add(v);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_TRUE(catalog.Contains(1));
+  EXPECT_FALSE(catalog.Contains(2));
+  EXPECT_EQ(catalog.video(1).id, 1u);
+}
+
+TEST(CatalogTest, ConstructorReassignsIds) {
+  Video v;
+  v.id = 99;
+  v.title = "x";
+  const Catalog catalog({v, v, v});
+  EXPECT_EQ(catalog.video(2).id, 2u);
+}
+
+TEST(CatalogTest, ValidateCatchesBadVideos) {
+  Catalog empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  Catalog catalog;
+  Video v;
+  v.title = "bad";
+  v.size = util::GB(0);  // non-positive
+  v.playback = util::Hours(1);
+  v.bandwidth = util::Mbps(6);
+  catalog.Add(v);
+  EXPECT_FALSE(catalog.Validate().ok());
+}
+
+TEST(SyntheticCatalogTest, MatchesTable4Defaults) {
+  const Catalog catalog = MakeSyntheticCatalog({});
+  EXPECT_EQ(catalog.size(), 500u);
+  EXPECT_TRUE(catalog.Validate().ok());
+  // Mean size should land near 3.3 GB (Table 4).
+  EXPECT_NEAR(catalog.MeanSize().value(), 3.3e9, 0.15e9);
+}
+
+TEST(SyntheticCatalogTest, RespectsFloors) {
+  CatalogParams params;
+  params.count = 2000;
+  params.size_stddev = util::GB(3.0);  // extreme spread to hit the floor
+  const Catalog catalog = MakeSyntheticCatalog(params);
+  for (const Video& v : catalog.videos()) {
+    EXPECT_GE(v.size.value(), params.min_size.value());
+    EXPECT_GE(v.playback.value(), params.min_playback.value());
+    EXPECT_GT(v.bandwidth.value(), 0.0);
+  }
+}
+
+TEST(SyntheticCatalogTest, BandwidthTimesPlaybackIsSize) {
+  // The cost model's amortized network bytes P*B should equal the file
+  // size (Sec. 2.2.2); the generator guarantees the identity.
+  const Catalog catalog = MakeSyntheticCatalog({});
+  for (const Video& v : catalog.videos()) {
+    EXPECT_NEAR((v.bandwidth * v.playback).value(), v.size.value(),
+                v.size.value() * 1e-12);
+  }
+}
+
+TEST(SyntheticCatalogTest, DeterministicPerSeed) {
+  CatalogParams params;
+  params.seed = 7;
+  const Catalog a = MakeSyntheticCatalog(params);
+  const Catalog b = MakeSyntheticCatalog(params);
+  params.seed = 8;
+  const Catalog c = MakeSyntheticCatalog(params);
+  EXPECT_DOUBLE_EQ(a.video(0).size.value(), b.video(0).size.value());
+  EXPECT_NE(a.video(0).size.value(), c.video(0).size.value());
+}
+
+}  // namespace
+}  // namespace vor::media

@@ -1,0 +1,88 @@
+#include "sim/cycle_driver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vor::sim {
+namespace {
+
+CycleDriverParams SmallWeek() {
+  CycleDriverParams params;
+  params.scenario.storage_count = 6;
+  params.scenario.users_per_neighborhood = 5;
+  params.scenario.catalog_size = 60;
+  params.days = 5;
+  params.popularity_drift = 0.1;
+  return params;
+}
+
+TEST(CycleDriverTest, RunsAllDaysWithConsistentStats) {
+  const auto result = RunCycles(SmallWeek());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->days.size(), 5u);
+  double total = 0.0;
+  for (std::size_t d = 0; d < result->days.size(); ++d) {
+    const DayStats& day = result->days[d];
+    EXPECT_EQ(day.day, d);
+    EXPECT_EQ(day.requests, 30u);  // 6 neighborhoods x 5 users
+    EXPECT_GT(day.final_cost, 0.0);
+    EXPECT_GE(day.final_cost, day.lower_bound - 1e-6);
+    EXPECT_GE(day.cache_hit_ratio, 0.0);
+    EXPECT_LE(day.cache_hit_ratio, 1.0);
+    total += day.final_cost;
+  }
+  EXPECT_NEAR(result->total_cost, total, 1e-6);
+  EXPECT_NEAR(result->mean_cost, total / 5.0, 1e-6);
+  EXPECT_GE(result->mean_bound_ratio, 1.0);
+}
+
+TEST(CycleDriverTest, DifferentDaysDifferentWorkloads) {
+  const auto result = RunCycles(SmallWeek());
+  ASSERT_TRUE(result.ok());
+  // Costs across days should not all be identical (fresh trace daily).
+  bool any_difference = false;
+  for (std::size_t d = 1; d < result->days.size(); ++d) {
+    any_difference |=
+        result->days[d].final_cost != result->days[0].final_cost;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CycleDriverTest, DeterministicAcrossRuns) {
+  const auto a = RunCycles(SmallWeek());
+  const auto b = RunCycles(SmallWeek());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->days.size(), b->days.size());
+  for (std::size_t d = 0; d < a->days.size(); ++d) {
+    EXPECT_DOUBLE_EQ(a->days[d].final_cost, b->days[d].final_cost);
+  }
+}
+
+TEST(CycleDriverTest, ZeroDriftKeepsRankingFixed) {
+  CycleDriverParams params = SmallWeek();
+  params.popularity_drift = 0.0;
+  const auto result = RunCycles(params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->days.size(), params.days);
+}
+
+TEST(CycleDriverTest, RejectsBadConfiguration) {
+  CycleDriverParams params = SmallWeek();
+  params.days = 0;
+  EXPECT_FALSE(RunCycles(params).ok());
+  params = SmallWeek();
+  params.popularity_drift = 1.5;
+  EXPECT_FALSE(RunCycles(params).ok());
+}
+
+TEST(CycleDriverTest, FullDriftStillRuns) {
+  CycleDriverParams params = SmallWeek();
+  params.popularity_drift = 1.0;
+  params.days = 3;
+  const auto result = RunCycles(params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->days.size(), 3u);
+}
+
+}  // namespace
+}  // namespace vor::sim

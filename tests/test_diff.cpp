@@ -1,0 +1,105 @@
+#include "core/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ivsp.hpp"
+#include "core/sorp.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::core {
+namespace {
+
+class DiffTest : public ::testing::Test {
+ protected:
+  DiffTest() : router_(ex_.topology), cm_(ex_.topology, router_, ex_.catalog) {}
+
+  testing::PaperExample ex_;
+  net::Router router_;
+  CostModel cm_;
+};
+
+TEST_F(DiffTest, IdenticalSchedulesAreUnchanged) {
+  const Schedule s = IvspSolve(ex_.requests, cm_, IvspOptions{});
+  const ScheduleDiff diff = DiffSchedules(s, s, cm_);
+  EXPECT_TRUE(diff.Unchanged());
+  EXPECT_DOUBLE_EQ(diff.old_total, diff.new_total);
+}
+
+TEST_F(DiffTest, DetectsMovedResidency) {
+  const Schedule before = IvspSolve(ex_.requests, cm_, IvspOptions{});
+  Schedule after = before;
+  ASSERT_FALSE(after.files[0].residencies.empty());
+  // Move the first copy to the other storage.
+  Residency& c = after.files[0].residencies[0];
+  c.location = c.location == ex_.is1 ? ex_.is2 : ex_.is1;
+
+  const ScheduleDiff diff = DiffSchedules(before, after, cm_);
+  ASSERT_EQ(diff.files.size(), 1u);
+  EXPECT_EQ(diff.files[0].removed_residencies.size(), 1u);
+  EXPECT_EQ(diff.files[0].added_residencies.size(), 1u);
+}
+
+TEST_F(DiffTest, DetectsExtendedResidency) {
+  const Schedule before = IvspSolve(ex_.requests, cm_, IvspOptions{});
+  Schedule after = before;
+  after.files[0].residencies[0].t_last += util::Hours(1);
+  const ScheduleDiff diff = DiffSchedules(before, after, cm_);
+  ASSERT_EQ(diff.files.size(), 1u);
+  // Same placement key, different extent: remove + add pair.
+  EXPECT_EQ(diff.files[0].removed_residencies.size(), 1u);
+  EXPECT_EQ(diff.files[0].added_residencies.size(), 1u);
+}
+
+TEST_F(DiffTest, DetectsRetargetedService) {
+  const Schedule before = IvspSolve(ex_.requests, cm_, IvspOptions{});
+  Schedule after = before;
+  // Redirect U3's delivery to come straight from the warehouse.
+  for (Delivery& d : after.files[0].deliveries) {
+    if (d.request_index == 2) {
+      d.route = router_.CheapestPath(ex_.vw, ex_.requests[2].neighborhood).nodes;
+    }
+  }
+  const ScheduleDiff diff = DiffSchedules(before, after, cm_);
+  ASSERT_EQ(diff.files.size(), 1u);
+  ASSERT_EQ(diff.files[0].retargeted.size(), 1u);
+  EXPECT_EQ(diff.files[0].retargeted[0].request_index, 2u);
+  EXPECT_EQ(diff.files[0].retargeted[0].new_origin, ex_.vw);
+}
+
+TEST_F(DiffTest, SorpChangesShowUpInDiff) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const CostModel cm(scenario.topology, router, scenario.catalog);
+
+  const Schedule phase1 = IvspSolve(scenario.requests, cm, IvspOptions{});
+  Schedule resolved = phase1;
+  const SorpStats stats = SorpSolve(resolved, scenario.requests, cm, {});
+  ASSERT_GT(stats.victims_rescheduled, 0u);
+
+  const ScheduleDiff diff = DiffSchedules(phase1, resolved, cm);
+  EXPECT_FALSE(diff.Unchanged());
+  // Every changed file corresponds to an actual cost delta record.
+  EXPECT_NEAR(diff.old_total, stats.cost_before.value(), 1e-6);
+  EXPECT_NEAR(diff.new_total, stats.cost_after.value(), 1e-6);
+  // And the text rendering names real nodes.
+  const std::string text = diff.ToText(scenario.topology);
+  EXPECT_NE(text.find("schedule diff"), std::string::npos);
+  EXPECT_NE(text.find("IS-"), std::string::npos);
+}
+
+TEST_F(DiffTest, FileOnlyInOneScheduleDiffsAgainstEmpty) {
+  const Schedule before = IvspSolve(ex_.requests, cm_, IvspOptions{});
+  Schedule after;  // nothing at all
+  const ScheduleDiff diff = DiffSchedules(before, after, cm_);
+  ASSERT_EQ(diff.files.size(), 1u);
+  EXPECT_FALSE(diff.files[0].removed_residencies.empty());
+  EXPECT_DOUBLE_EQ(diff.new_total, 0.0);
+}
+
+}  // namespace
+}  // namespace vor::core

@@ -1,0 +1,86 @@
+// Robustness fuzz tests: malformed inputs must produce errors, never
+// crashes or accepted garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/serialize.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace vor {
+namespace {
+
+/// Random byte soup — overwhelmingly invalid JSON; the parser must reject
+/// it gracefully (and on the rare valid draw, succeed without crashing).
+class JsonFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzz, RandomBytesNeverCrash) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = rng.NextBounded(64);
+    std::string input;
+    input.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      input += static_cast<char>(rng.NextBounded(256));
+    }
+    const auto result = util::Json::Parse(input);
+    if (result.ok()) {
+      // A valid accidental document must round trip.
+      const auto again = util::Json::Parse(result->Dump());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *result);
+    }
+  }
+}
+
+TEST_P(JsonFuzz, StructuredMutationsNeverCrash) {
+  // Start from a valid document and flip characters; parse outcomes may
+  // be either, but never a crash and never a mis-typed success.
+  const std::string base =
+      R"({"nodes": [{"id": 0, "kind": "warehouse", "name": "VW"}],)"
+      R"( "links": [], "format": "vor/1", "kind": "topology"})";
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2862933555777941757ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = base;
+    const std::size_t flips = 1 + rng.NextBounded(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(rng.NextBounded(128));
+    }
+    const auto json = util::Json::Parse(mutated);
+    if (!json.ok()) continue;
+    // Even when the mutation parses, domain deserialization validates.
+    const auto topo = io::TopologyFromJson(*json);
+    if (topo.ok()) {
+      EXPECT_TRUE(topo->Validate().ok() || !topo->has_warehouse());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range(1, 9));
+
+TEST(DomainFuzz, ScheduleFromHostileJsonIsRejectedOrHarmless) {
+  // Hand-crafted hostile schedule documents.
+  const char* hostile[] = {
+      // wrong types everywhere
+      R"({"format":"vor/1","kind":"schedule","files":[{"video":"zero",
+          "deliveries":[{"route":"not-an-array"}],"residencies":[]}]})",
+      // missing arrays
+      R"({"format":"vor/1","kind":"schedule","files":[{"video":1}]})",
+      // huge ids (must deserialize; the validator rejects later)
+      R"({"format":"vor/1","kind":"schedule","files":[{"video":4000000000,
+          "deliveries":[],"residencies":[]}]})",
+  };
+  for (const char* doc : hostile) {
+    const auto json = util::Json::Parse(doc);
+    ASSERT_TRUE(json.ok()) << doc;
+    const auto schedule = io::ScheduleFromJson(*json);
+    // Either rejected outright, or produced without crashing; validation
+    // and costing of such a schedule is exercised elsewhere.
+    (void)schedule;
+  }
+}
+
+}  // namespace
+}  // namespace vor

@@ -1,0 +1,124 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/overflow.hpp"
+#include "sim/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::core {
+namespace {
+
+/// Splits a scenario's requests into an early prefix and a late tail by
+/// taking every k-th request as "late" (then re-sorting each part).
+void SplitRequests(const std::vector<workload::Request>& all, std::size_t k,
+                   std::vector<workload::Request>* early,
+                   std::vector<workload::Request>* late) {
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i % k == 0 ? late : early)->push_back(all[i]);
+  }
+}
+
+TEST(IncrementalTest, MatchesScratchSolveWhenNoOverflow) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(100);  // overflow free
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  std::vector<workload::Request> early;
+  std::vector<workload::Request> late;
+  SplitRequests(scenario.requests, 7, &early, &late);
+
+  const VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto first = scheduler.Solve(early);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->sorp.HadOverflow());
+
+  std::vector<workload::Request> merged;
+  IncrementalStats stats;
+  const auto incremental = IncrementalSolve(scheduler, *first, early, late,
+                                            &merged, &stats);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_GT(stats.files_carried_over, 0u);
+  EXPECT_GT(stats.files_rescheduled, 0u);
+
+  const auto scratch = scheduler.Solve(merged);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_DOUBLE_EQ(incremental->final_cost.value(),
+                   scratch->final_cost.value());
+  EXPECT_EQ(incremental->schedule.TotalDeliveries(),
+            scratch->schedule.TotalDeliveries());
+  EXPECT_EQ(incremental->schedule.TotalResidencies(),
+            scratch->schedule.TotalResidencies());
+}
+
+TEST(IncrementalTest, TightCapacityStaysFeasibleAndServed) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  std::vector<workload::Request> early;
+  std::vector<workload::Request> late;
+  SplitRequests(scenario.requests, 5, &early, &late);
+
+  const VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto first = scheduler.Solve(early);
+  ASSERT_TRUE(first.ok());
+
+  std::vector<workload::Request> merged;
+  const auto incremental =
+      IncrementalSolve(scheduler, *first, early, late, &merged);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_TRUE(incremental->sorp.Resolved());
+  EXPECT_TRUE(
+      DetectOverflows(incremental->schedule, scheduler.cost_model()).empty());
+  const auto report = sim::ValidateSchedule(incremental->schedule, merged,
+                                            scheduler.cost_model());
+  EXPECT_TRUE(report.ok());
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << sim::ToString(v.kind) << ": " << v.detail;
+  }
+  // Cost should be in the same ballpark as a scratch re-solve.
+  const auto scratch = scheduler.Solve(merged);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_LT(incremental->final_cost.value(),
+            scratch->final_cost.value() * 1.10);
+}
+
+TEST(IncrementalTest, EmptyLateBatchKeepsEverything) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto first = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(first.ok());
+  std::vector<workload::Request> merged;
+  IncrementalStats stats;
+  const auto incremental = IncrementalSolve(scheduler, *first,
+                                            scenario.requests, {}, &merged,
+                                            &stats);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_EQ(stats.files_rescheduled, 0u);
+  EXPECT_EQ(merged.size(), scenario.requests.size());
+  EXPECT_DOUBLE_EQ(incremental->final_cost.value(),
+                   first->final_cost.value());
+}
+
+TEST(IncrementalTest, RejectsBadLateRequests) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto first = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(first.ok());
+  std::vector<workload::Request> merged;
+
+  workload::Request bad = scenario.requests[0];
+  bad.video = 999999;
+  EXPECT_FALSE(IncrementalSolve(scheduler, *first, scenario.requests, {bad},
+                                &merged)
+                   .ok());
+  bad = scenario.requests[0];
+  bad.neighborhood = scenario.topology.warehouse();
+  EXPECT_FALSE(IncrementalSolve(scheduler, *first, scenario.requests, {bad},
+                                &merged)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace vor::core

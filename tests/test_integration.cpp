@@ -1,0 +1,178 @@
+// End-to-end integration tests across the whole pipeline: the paper's
+// qualitative claims (figure shapes) re-checked at test scale, plus
+// cross-module consistency on full scenarios.
+#include <gtest/gtest.h>
+
+#include "baseline/network_only.hpp"
+#include "core/overflow.hpp"
+#include "core/scheduler.hpp"
+#include "sim/playback_sim.hpp"
+#include "sim/validator.hpp"
+#include "util/stats.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor {
+namespace {
+
+double SolveCost(const workload::ScenarioParams& params,
+                 bool enable_caching = true) {
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  core::SchedulerOptions options;
+  options.ivsp.enable_caching = enable_caching;
+  core::VorScheduler scheduler(scenario.topology, scenario.catalog, options);
+  const auto result = scheduler.Solve(scenario.requests);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result->sorp.Resolved());
+  return result->final_cost.value();
+}
+
+TEST(IntegrationShape, CostIncreasesWithNetworkRate) {
+  // Fig. 5: total cost grows (essentially linearly) in the network
+  // charging rate.
+  std::vector<double> nrates;
+  std::vector<double> costs;
+  for (const double nrate : {300.0, 500.0, 700.0, 1000.0}) {
+    workload::ScenarioParams p;
+    p.nrate_per_gb = nrate;
+    nrates.push_back(nrate);
+    costs.push_back(SolveCost(p));
+  }
+  for (std::size_t i = 1; i < costs.size(); ++i) {
+    EXPECT_GT(costs[i], costs[i - 1]);
+  }
+  // Near-linear: correlation with nrate close to 1.
+  EXPECT_GT(util::PearsonCorrelation(nrates, costs), 0.99);
+}
+
+TEST(IntegrationShape, IntermediateStorageBeatsNetworkOnlyMoreAsNrateGrows) {
+  // Fig. 5's second claim: the advantage of intermediate storage becomes
+  // more significant as the network charging rate increases.
+  std::vector<double> advantages;
+  for (const double nrate : {300.0, 1000.0}) {
+    workload::ScenarioParams p;
+    p.nrate_per_gb = nrate;
+    const double with_is = SolveCost(p);
+    const double without_is = SolveCost(p, /*enable_caching=*/false);
+    advantages.push_back(without_is - with_is);
+  }
+  EXPECT_GT(advantages[1], advantages[0]);
+}
+
+TEST(IntegrationShape, CostIncreasesWithStorageRateAndSaturates) {
+  // Fig. 7: steep growth at small srate, flattening toward the
+  // network-only asymptote.
+  workload::ScenarioParams base;
+  base.nrate_per_gb = 300;
+  const double network_only = SolveCost(base, /*enable_caching=*/false);
+
+  std::vector<double> costs;
+  for (const double srate : {1.0, 30.0, 100.0, 300.0}) {
+    workload::ScenarioParams p = base;
+    p.srate_per_gb_hour = srate;
+    costs.push_back(SolveCost(p));
+  }
+  for (std::size_t i = 1; i < costs.size(); ++i) {
+    EXPECT_GE(costs[i], costs[i - 1] - 1e-6);
+    EXPECT_LE(costs[i], network_only + 1e-6);
+  }
+  // Early slope beats late slope (saturation).
+  const double early = (costs[1] - costs[0]) / (30.0 - 1.0);
+  const double late = (costs[3] - costs[2]) / (300.0 - 100.0);
+  EXPECT_GT(early, late);
+  // The curve approaches the network-only level.
+  EXPECT_GT(costs[3], 0.8 * network_only);
+}
+
+TEST(IntegrationShape, CostIncreasesAsAccessPatternFlattens) {
+  // Fig. 6 / Fig. 9: less biased access (larger alpha) costs more.
+  std::vector<double> costs;
+  for (const double alpha : {0.1, 0.271, 0.5, 0.7}) {
+    workload::ScenarioParams p;
+    p.zipf_alpha = alpha;
+    costs.push_back(SolveCost(p));
+  }
+  for (std::size_t i = 1; i < costs.size(); ++i) {
+    EXPECT_GT(costs[i], costs[i - 1]);
+  }
+}
+
+TEST(IntegrationShape, LargerStorageHelpsMoreWhenSkewed) {
+  // Fig. 9: the gap between small and large IS grows as alpha shrinks.
+  auto gap = [&](double alpha) {
+    workload::ScenarioParams small;
+    small.zipf_alpha = alpha;
+    small.is_capacity = util::GB(5);
+    small.nrate_per_gb = 1000;
+    small.srate_per_gb_hour = 3;
+    workload::ScenarioParams large = small;
+    large.is_capacity = util::GB(14);
+    return SolveCost(small) - SolveCost(large);
+  };
+  const double gap_skewed = gap(0.1);
+  const double gap_flat = gap(0.7);
+  EXPECT_GE(gap_skewed, 0.0);
+  EXPECT_GT(gap_skewed, gap_flat - 1e-6);
+}
+
+TEST(IntegrationConsistency, FinalSchedulesAlwaysValidateAcrossGridSample) {
+  // A stratified sample of the Table-4 grid; every output must validate,
+  // be overflow free, and beat or match the network-only baseline is NOT
+  // required under capacity pressure (resolution can cost), but service
+  // coverage is.
+  const auto grid = workload::Table4Grid();
+  for (std::size_t i = 0; i < grid.size(); i += 97) {  // ~8 samples
+    const workload::Scenario scenario = workload::MakeScenario(grid[i]);
+    core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+    const auto result = scheduler.Solve(scenario.requests);
+    ASSERT_TRUE(result.ok()) << workload::Describe(grid[i]);
+    EXPECT_TRUE(result->sorp.Resolved()) << workload::Describe(grid[i]);
+    const auto report = sim::ValidateSchedule(
+        result->schedule, scenario.requests, scheduler.cost_model());
+    EXPECT_TRUE(report.ok()) << workload::Describe(grid[i]);
+    for (const auto& v : report.violations) {
+      ADD_FAILURE() << workload::Describe(grid[i]) << ": "
+                    << sim::ToString(v.kind) << " " << v.detail;
+    }
+  }
+}
+
+TEST(IntegrationConsistency, SimulatorConfirmsCapacityOnTightScenario) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto result = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(result.ok());
+  const sim::SimulationResult sim = sim::SimulateSchedule(
+      result->schedule, scenario.requests, scheduler.cost_model());
+  for (const sim::NodeTelemetry& node : sim.nodes) {
+    EXPECT_LE(node.peak_bytes,
+              scenario.topology.node(node.node).capacity.value() + 10.0);
+  }
+}
+
+TEST(IntegrationConsistency, ResolutionOverheadWithinPaperBallpark) {
+  // Sec. 5.5: overflow resolution raises the cost by 12% on average and
+  // 34% worst-case in the paper's 622 overflowing runs.  On a tight
+  // operating point we check the same order of magnitude (not exact
+  // percentages — different topology realisation).
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto result = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->sorp.HadOverflow());
+  const double increase =
+      (result->final_cost.value() - result->phase1_cost.value()) /
+      result->phase1_cost.value();
+  EXPECT_GE(increase, 0.0);
+  EXPECT_LT(increase, 1.0);  // far below doubling
+}
+
+}  // namespace
+}  // namespace vor

@@ -1,0 +1,131 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vor::util {
+namespace {
+
+TEST(JsonTest, ScalarConstruction) {
+  EXPECT_TRUE(Json{}.is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_TRUE(Json(7).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_DOUBLE_EQ(Json(7).as_number(), 7.0);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+}
+
+TEST(JsonTest, ObjectAccessAndDefaults) {
+  JsonObject obj;
+  obj["a"] = 1.5;
+  obj["s"] = "text";
+  obj["b"] = true;
+  const Json j{obj};
+  EXPECT_DOUBLE_EQ(j["a"].as_number(), 1.5);
+  EXPECT_TRUE(j["missing"].is_null());
+  EXPECT_DOUBLE_EQ(j.GetNumber("a", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(j.GetNumber("missing", 42.0), 42.0);
+  EXPECT_EQ(j.GetString("s", ""), "text");
+  EXPECT_EQ(j.GetString("a", "fallback"), "fallback");  // wrong type
+  EXPECT_TRUE(j.GetBool("b", false));
+}
+
+TEST(JsonTest, DumpCompactAndPretty) {
+  JsonObject obj;
+  obj["n"] = 1;
+  obj["arr"] = JsonArray{Json(1), Json(2)};
+  const Json j{obj};
+  EXPECT_EQ(j.Dump(), R"({"arr":[1,2],"n":1})");
+  const std::string pretty = j.Dump(2);
+  EXPECT_NE(pretty.find("\n  \"arr\": [\n"), std::string::npos);
+}
+
+TEST(JsonTest, NumbersPrintExactly) {
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-3).Dump(), "-3");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+  // A double survives a dump/parse round trip bit-exactly.
+  const double tricky = 0.1 + 0.2;
+  const auto parsed = Json::Parse(Json(tricky).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_number(), tricky);
+}
+
+TEST(JsonTest, StringEscaping) {
+  const Json j(std::string("a\"b\\c\nd\te\x01"));
+  const std::string dumped = j.Dump();
+  const auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), j.as_string());
+}
+
+TEST(JsonTest, ParseBasicDocument) {
+  const auto r = Json::Parse(
+      R"({"name": "vor", "version": 1, "flags": [true, false, null],
+          "nested": {"pi": 3.14}})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)["name"].as_string(), "vor");
+  EXPECT_DOUBLE_EQ((*r)["version"].as_number(), 1.0);
+  EXPECT_EQ((*r)["flags"].as_array().size(), 3u);
+  EXPECT_TRUE((*r)["flags"].as_array()[2].is_null());
+  EXPECT_DOUBLE_EQ((*r)["nested"]["pi"].as_number(), 3.14);
+}
+
+TEST(JsonTest, ParseEmptyContainers) {
+  ASSERT_TRUE(Json::Parse("[]")->is_array());
+  ASSERT_TRUE(Json::Parse("{}")->is_object());
+  EXPECT_TRUE(Json::Parse("[]")->as_array().empty());
+}
+
+TEST(JsonTest, ParseScientificNumbers) {
+  const auto r = Json::Parse("[1e9, -2.5E-3, 3.3e+2]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->as_array()[0].as_number(), 1e9);
+  EXPECT_DOUBLE_EQ(r->as_array()[1].as_number(), -2.5e-3);
+  EXPECT_DOUBLE_EQ(r->as_array()[2].as_number(), 330.0);
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  const auto r = Json::Parse(R"("Aé中")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->as_string(), "A\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonTest, ParseErrors) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "1 2",
+        "{\"a\":}", "[1,,2]", "nul", "\"bad\\q\"", "--3"}) {
+    const auto r = Json::Parse(bad);
+    EXPECT_FALSE(r.ok()) << "input: " << bad;
+    if (!r.ok()) {
+      EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+      EXPECT_NE(r.error().message.find("json parse error"), std::string::npos);
+    }
+  }
+}
+
+TEST(JsonTest, RoundTripNestedStructure) {
+  JsonObject inner;
+  inner["xs"] = JsonArray{Json(1), Json("two"), Json(JsonObject{})};
+  JsonObject obj;
+  obj["inner"] = inner;
+  obj["flag"] = false;
+  const Json original{obj};
+  for (const int indent : {0, 2, 4}) {
+    const auto parsed = Json::Parse(original.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << "indent " << indent;
+    EXPECT_EQ(*parsed, original);
+  }
+}
+
+TEST(JsonTest, DeterministicKeyOrder) {
+  JsonObject a;
+  a["zebra"] = 1;
+  a["alpha"] = 2;
+  const std::string dumped = Json{a}.Dump();
+  EXPECT_LT(dumped.find("alpha"), dumped.find("zebra"));
+}
+
+}  // namespace
+}  // namespace vor::util

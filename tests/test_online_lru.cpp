@@ -1,0 +1,135 @@
+#include "baseline/online_lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/network_only.hpp"
+#include "core/overflow.hpp"
+#include "core/scheduler.hpp"
+#include "sim/validator.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::baseline {
+namespace {
+
+using testing::OneVideoCatalog;
+using testing::SmallTopology;
+
+struct Env {
+  explicit Env(double capacity_gb = 10.0)
+      : topo(SmallTopology(2, 10.0, 1.0, capacity_gb)),
+        catalog(OneVideoCatalog()),
+        router(topo),
+        cm(topo, router, catalog) {}
+  net::Topology topo;
+  media::Catalog catalog;
+  net::Router router;
+  core::CostModel cm;
+};
+
+TEST(OnlineLruTest, RepeatHitsLocalCache) {
+  Env env;
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.0), 2},
+      {1, 0, util::Hours(1.5), 2},
+      {2, 0, util::Hours(2.0), 2},
+  };
+  const OnlineLruResult result = OnlineLruSchedule(requests, env.cm);
+  EXPECT_EQ(result.cache_hits, 2u);
+  ASSERT_EQ(result.schedule.files.size(), 1u);
+  ASSERT_EQ(result.schedule.files[0].residencies.size(), 1u);
+  EXPECT_EQ(result.schedule.files[0].residencies[0].services,
+            (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(OnlineLruTest, MissesAreDirectAndFirstIsAlwaysMiss) {
+  Env env;
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.0), 1},
+      {1, 0, util::Hours(1.2), 2},  // different neighborhood: also a miss
+  };
+  const OnlineLruResult result = OnlineLruSchedule(requests, env.cm);
+  EXPECT_EQ(result.cache_hits, 0u);
+  for (const core::FileSchedule& f : result.schedule.files) {
+    for (const core::Delivery& d : f.deliveries) {
+      EXPECT_EQ(d.origin(), env.topo.warehouse());
+    }
+  }
+}
+
+TEST(OnlineLruTest, EvictsLeastRecentlyUsed) {
+  media::Catalog two;
+  for (int i = 0; i < 3; ++i) {
+    media::Video v;
+    v.title = "v";
+    v.size = util::GB(1);
+    v.playback = util::Hours(1);
+    v.bandwidth = v.size / v.playback;
+    two.Add(v);
+  }
+  net::Topology topo = SmallTopology(1, 10.0, 1.0, /*capacity_gb=*/2.0);
+  const net::Router router(topo);
+  const core::CostModel cm(topo, router, two);
+  // Titles 0 and 1 fill the 2 GB node; title 2 evicts title 0 (LRU);
+  // title 0 again is then a miss.
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.0), 1},
+      {1, 1, util::Hours(1.1), 1},
+      {2, 1, util::Hours(1.2), 1},  // touch 1 so 0 is LRU
+      {3, 2, util::Hours(1.3), 1},  // evicts 0
+      {4, 0, util::Hours(1.4), 1},  // miss again
+  };
+  const OnlineLruResult result = OnlineLruSchedule(requests, cm);
+  EXPECT_EQ(result.evictions, 2u);  // 0 evicted for 2; then LRU for 0 again
+  EXPECT_EQ(result.cache_hits, 1u);  // only request 2
+}
+
+TEST(OnlineLruTest, ValidatesAndRespectsCapacityOnScenario) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  const OnlineLruResult result = OnlineLruSchedule(scenario.requests, cm);
+  EXPECT_TRUE(core::DetectOverflows(result.schedule, cm).empty());
+  const auto report =
+      sim::ValidateSchedule(result.schedule, scenario.requests, cm);
+  EXPECT_TRUE(report.ok());
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << sim::ToString(v.kind) << ": " << v.detail;
+  }
+}
+
+TEST(OnlineLruTest, OfflineSchedulerBeatsOnlineOnDefaultScenario) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto offline = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(offline.ok());
+  const OnlineLruResult online =
+      OnlineLruSchedule(scenario.requests, scheduler.cost_model());
+  const double online_cost =
+      scheduler.cost_model().TotalCost(online.schedule).value();
+  EXPECT_LE(offline->final_cost.value(), online_cost + 1e-6);
+  // And the online policy still beats no caching at all.
+  const double direct =
+      scheduler.cost_model()
+          .TotalCost(baseline::NetworkOnlySchedule(scenario.requests,
+                                                   scheduler.cost_model()))
+          .value();
+  EXPECT_LE(online_cost, direct + 1e-6);
+}
+
+TEST(OnlineLruTest, IdleTtlDropsStaleCopies) {
+  Env env;
+  OnlineLruOptions options;
+  options.idle_ttl = util::Hours(1.0);
+  const std::vector<workload::Request> requests{
+      {0, 0, util::Hours(1.0), 2},
+      {1, 0, util::Hours(5.0), 2},  // copy long gone
+  };
+  const OnlineLruResult result = OnlineLruSchedule(requests, env.cm, options);
+  EXPECT_EQ(result.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace vor::baseline

@@ -1,0 +1,228 @@
+#include "util/piecewise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace vor::util {
+namespace {
+
+LinearPiece Trapezoid(double t0, double t1, double t2, double h,
+                      std::uint64_t tag = 0) {
+  return LinearPiece{Seconds{t0}, Seconds{t1}, Seconds{t2}, h, tag};
+}
+
+Interval Iv(double a, double b) { return Interval{Seconds{a}, Seconds{b}}; }
+
+TEST(LinearPieceTest, ValueAtPlateauAndDrain) {
+  const LinearPiece p = Trapezoid(10, 20, 30, 100);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{5}), 0.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{10}), 100.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{15}), 100.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{20}), 100.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{25}), 50.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{30}), 0.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{35}), 0.0);
+}
+
+TEST(LinearPieceTest, RectangleWithoutDrain) {
+  const LinearPiece p = Trapezoid(0, 10, 10, 42);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{0}), 42.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{9.999}), 42.0);
+  EXPECT_DOUBLE_EQ(p.ValueAt(Seconds{10}), 0.0);
+}
+
+TEST(LinearPieceTest, IntegralOfFullSupport) {
+  const LinearPiece p = Trapezoid(0, 10, 20, 100);
+  // Plateau: 10 * 100, drain triangle: 10 * 100 / 2.
+  EXPECT_DOUBLE_EQ(p.IntegralOver(Iv(0, 20)), 1500.0);
+  EXPECT_DOUBLE_EQ(p.IntegralOver(Iv(-100, 100)), 1500.0);
+}
+
+TEST(LinearPieceTest, IntegralOfPartialWindows) {
+  const LinearPiece p = Trapezoid(0, 10, 20, 100);
+  EXPECT_DOUBLE_EQ(p.IntegralOver(Iv(0, 5)), 500.0);
+  EXPECT_DOUBLE_EQ(p.IntegralOver(Iv(10, 15)), 0.5 * (100 + 50) * 5);
+  EXPECT_DOUBLE_EQ(p.IntegralOver(Iv(5, 15)), 500.0 + 375.0);
+  EXPECT_DOUBLE_EQ(p.IntegralOver(Iv(25, 30)), 0.0);
+}
+
+TEST(PiecewiseLinearTest, SumOfTwoPieces) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 10, 20, 100, 1));
+  f.Add(Trapezoid(5, 15, 25, 50, 2));
+  EXPECT_DOUBLE_EQ(f.ValueAt(Seconds{7}), 150.0);
+  EXPECT_DOUBLE_EQ(f.ValueAt(Seconds{12}), 80.0 + 50.0);
+  EXPECT_DOUBLE_EQ(f.Max(), 150.0);
+}
+
+TEST(PiecewiseLinearTest, RemoveByTag) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 10, 20, 100, 7));
+  f.Add(Trapezoid(0, 10, 20, 50, 8));
+  EXPECT_EQ(f.RemoveByTag(7), 1u);
+  EXPECT_DOUBLE_EQ(f.ValueAt(Seconds{5}), 50.0);
+  EXPECT_EQ(f.RemoveByTag(7), 0u);
+}
+
+TEST(PiecewiseLinearTest, MaxOverWindow) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 10, 20, 100));
+  EXPECT_DOUBLE_EQ(f.MaxOver(Iv(12, 18)), f.ValueAt(Seconds{12}));
+  EXPECT_DOUBLE_EQ(f.MaxOver(Iv(0, 5)), 100.0);
+  EXPECT_DOUBLE_EQ(f.MaxOver(Iv(30, 40)), 0.0);
+}
+
+TEST(PiecewiseLinearTest, RegionsAboveFindsExactCrossings) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 10, 20, 100, 1));
+  f.Add(Trapezoid(5, 10, 10, 50, 2));  // rectangle on [5, 10)
+  // total: 100 on [0,5), 150 on [5,10), drains 100->0 on [10,20)
+  const auto regions = f.RegionsAbove(120.0);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_DOUBLE_EQ(regions[0].window.start.value(), 5.0);
+  EXPECT_DOUBLE_EQ(regions[0].window.end.value(), 10.0);
+  EXPECT_DOUBLE_EQ(regions[0].peak, 150.0);
+  EXPECT_EQ(regions[0].contributors.size(), 2u);
+}
+
+TEST(PiecewiseLinearTest, RegionsAboveSolvesMidSegmentCrossing) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 10, 20, 100));
+  // Drain crosses 40 at t = 10 + (100-40)/100*10 = 16.
+  const auto regions = f.RegionsAbove(40.0);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_DOUBLE_EQ(regions[0].window.start.value(), 0.0);
+  EXPECT_NEAR(regions[0].window.end.value(), 16.0, 1e-9);
+}
+
+TEST(PiecewiseLinearTest, NoRegionsWhenUnderThreshold) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 10, 20, 100));
+  EXPECT_TRUE(f.RegionsAbove(100.0).empty());  // strictly above
+  EXPECT_TRUE(f.RegionsAbove(150.0).empty());
+}
+
+TEST(PiecewiseLinearTest, DisjointRegions) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 5, 5, 100, 1));
+  f.Add(Trapezoid(10, 15, 15, 100, 2));
+  const auto regions = f.RegionsAbove(50.0);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_DOUBLE_EQ(regions[0].window.start.value(), 0.0);
+  EXPECT_DOUBLE_EQ(regions[0].window.end.value(), 5.0);
+  EXPECT_DOUBLE_EQ(regions[1].window.start.value(), 10.0);
+  EXPECT_DOUBLE_EQ(regions[1].window.end.value(), 15.0);
+  EXPECT_EQ(regions[0].contributors, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(regions[1].contributors, std::vector<std::uint64_t>{2});
+}
+
+TEST(PiecewiseLinearTest, IntegralSumsPieces) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 10, 20, 100));
+  f.Add(Trapezoid(0, 10, 20, 50));
+  EXPECT_DOUBLE_EQ(f.IntegralOver(Iv(0, 20)), 1500.0 + 750.0);
+}
+
+TEST(PiecewiseLinearTest, FitsUnderRespectsThreshold) {
+  PiecewiseLinear f;
+  f.Add(Trapezoid(0, 10, 20, 60));
+  EXPECT_TRUE(f.FitsUnder(Trapezoid(0, 10, 20, 40), 100.0));
+  EXPECT_FALSE(f.FitsUnder(Trapezoid(0, 10, 20, 41), 100.0));
+  // Candidate only overlapping the drain can be taller.
+  EXPECT_TRUE(f.FitsUnder(Trapezoid(15, 18, 20, 69), 100.0));
+  EXPECT_FALSE(f.FitsUnder(Trapezoid(9, 18, 20, 41), 100.0));
+  // Candidate alone above threshold.
+  EXPECT_FALSE(f.FitsUnder(Trapezoid(100, 110, 120, 101), 100.0));
+}
+
+TEST(PiecewiseLinearTest, EmptyTimelineBehaviour) {
+  PiecewiseLinear f;
+  EXPECT_DOUBLE_EQ(f.ValueAt(Seconds{0}), 0.0);
+  EXPECT_DOUBLE_EQ(f.Max(), 0.0);
+  EXPECT_TRUE(f.RegionsAbove(0.0).empty());
+  EXPECT_TRUE(f.FitsUnder(Trapezoid(0, 1, 2, 5), 10.0));
+}
+
+/// Property: RegionsAbove agrees with dense sampling on random piece sets.
+class PiecewiseRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PiecewiseRandomProperty, RegionsMatchDenseSampling) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  PiecewiseLinear f;
+  const int pieces = 1 + static_cast<int>(rng.NextBounded(8));
+  for (int i = 0; i < pieces; ++i) {
+    const double t0 = rng.Uniform(0.0, 50.0);
+    const double t1 = t0 + rng.Uniform(0.0, 30.0);
+    const double t2 = t1 + rng.Uniform(0.0, 20.0);
+    f.Add(Trapezoid(t0, t1, t2, rng.Uniform(1.0, 100.0),
+                    static_cast<std::uint64_t>(i)));
+  }
+  const double threshold = rng.Uniform(10.0, 150.0);
+  const auto regions = f.RegionsAbove(threshold);
+
+  auto inside_region = [&](double t) {
+    return std::any_of(regions.begin(), regions.end(), [&](const auto& r) {
+      return t >= r.window.start.value() && t < r.window.end.value();
+    });
+  };
+  // Sample densely; wherever the sampled value clearly exceeds (or falls
+  // below) the threshold, the region list must agree.
+  for (double t = -1.0; t < 105.0; t += 0.0837) {
+    const double v = f.ValueAt(Seconds{t});
+    if (v > threshold + 1e-6) {
+      EXPECT_TRUE(inside_region(t)) << "t=" << t << " v=" << v;
+    } else if (v < threshold - 1e-6) {
+      EXPECT_FALSE(inside_region(t)) << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PiecewiseRandomProperty,
+                         ::testing::Range(1, 21));
+
+/// Property: FitsUnder is exact — accepting iff dense sampling accepts.
+class FitsUnderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitsUnderProperty, MatchesDenseSampling) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  PiecewiseLinear f;
+  const int pieces = static_cast<int>(rng.NextBounded(6));
+  for (int i = 0; i < pieces; ++i) {
+    const double t0 = rng.Uniform(0.0, 40.0);
+    const double t1 = t0 + rng.Uniform(0.0, 20.0);
+    const double t2 = t1 + rng.Uniform(0.1, 15.0);
+    f.Add(Trapezoid(t0, t1, t2, rng.Uniform(1.0, 60.0)));
+  }
+  const double t0 = rng.Uniform(0.0, 40.0);
+  const double t1 = t0 + rng.Uniform(0.1, 20.0);
+  const double t2 = t1 + rng.Uniform(0.1, 15.0);
+  const LinearPiece candidate = Trapezoid(t0, t1, t2, rng.Uniform(1.0, 60.0));
+  const double threshold = rng.Uniform(30.0, 120.0);
+
+  bool sampled_ok = true;
+  for (double t = t0; t < t2; t += 0.0531) {
+    if (f.ValueAt(Seconds{t}) + candidate.ValueAt(Seconds{t}) >
+        threshold + 1e-6) {
+      sampled_ok = false;
+      break;
+    }
+  }
+  const bool exact_ok = f.FitsUnder(candidate, threshold);
+  // The exact test may only be stricter than coarse sampling, never more
+  // permissive where sampling found a violation.
+  if (!sampled_ok) {
+    EXPECT_FALSE(exact_ok);
+  }
+  if (exact_ok) {
+    EXPECT_TRUE(sampled_ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitsUnderProperty, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace vor::util

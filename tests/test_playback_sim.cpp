@@ -1,0 +1,126 @@
+#include "sim/playback_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ivsp.hpp"
+#include "core/scheduler.hpp"
+#include "storage/usage_timeline.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::sim {
+namespace {
+
+class PlaybackSimTest : public ::testing::Test {
+ protected:
+  PlaybackSimTest()
+      : router_(ex_.topology),
+        cm_(ex_.topology, router_, ex_.catalog),
+        schedule_(core::IvspSolve(ex_.requests, cm_, core::IvspOptions{})) {}
+
+  testing::PaperExample ex_;
+  net::Router router_;
+  core::CostModel cm_;
+  core::Schedule schedule_;
+};
+
+TEST_F(PlaybackSimTest, ProcessesAllEvents) {
+  const SimulationResult result =
+      SimulateSchedule(schedule_, ex_.requests, cm_);
+  // 3 deliveries (start+end) plus residency events.
+  EXPECT_GE(result.events_processed,
+            schedule_.TotalDeliveries() * 2 + schedule_.TotalResidencies());
+  EXPECT_FALSE(result.nodes.empty());
+}
+
+TEST_F(PlaybackSimTest, HorizonSpansCycle) {
+  const SimulationResult result =
+      SimulateSchedule(schedule_, ex_.requests, cm_);
+  EXPECT_LE(result.horizon.start.value(), util::Hours(13.0).value());
+  // Last playback ends at 4:00 pm + 90 min = 5:30 pm.
+  EXPECT_GE(result.horizon.end.value(), util::Hours(17.5).value() - 1.0);
+}
+
+TEST_F(PlaybackSimTest, PeakOccupancyMatchesAnalyticTimeline) {
+  const SimulationResult result =
+      SimulateSchedule(schedule_, ex_.requests, cm_);
+  const storage::UsageMap usage = storage::BuildUsage(schedule_, cm_);
+  for (const NodeTelemetry& node : result.nodes) {
+    const auto it = usage.find(node.node);
+    const double analytic = it == usage.end() ? 0.0 : it->second.Max();
+    EXPECT_NEAR(node.peak_bytes, analytic, 1.0) << "node " << node.node;
+  }
+}
+
+TEST_F(PlaybackSimTest, SampledOccupancyMatchesAnalyticEverywhere) {
+  const SimulationResult result =
+      SimulateSchedule(schedule_, ex_.requests, cm_);
+  const storage::UsageMap usage = storage::BuildUsage(schedule_, cm_);
+  for (const auto& [node, timeline] : usage) {
+    for (double h = 12.0; h < 19.0; h += 0.05) {
+      const util::Seconds t = util::Hours(h);
+      EXPECT_NEAR(result.OccupancyAt(node, t), timeline.ValueAt(t), 1e3)
+          << "node " << node << " at h=" << h;
+    }
+  }
+}
+
+TEST_F(PlaybackSimTest, ConcurrentStreamsBounded) {
+  const SimulationResult result =
+      SimulateSchedule(schedule_, ex_.requests, cm_);
+  EXPECT_GE(result.peak_concurrent_streams, 1u);
+  EXPECT_LE(result.peak_concurrent_streams, schedule_.TotalDeliveries());
+}
+
+TEST_F(PlaybackSimTest, LinkTelemetryAccountsAllTraffic) {
+  const SimulationResult result =
+      SimulateSchedule(schedule_, ex_.requests, cm_);
+  double total_link_bytes = 0.0;
+  for (const LinkTelemetry& link : result.links) {
+    total_link_bytes += link.total_bytes;
+    EXPECT_GE(link.peak_streams, 1u);
+    EXPECT_GT(link.peak_bandwidth, 0.0);
+  }
+  // Total link-bytes = sum over deliveries of hops * stream bytes.
+  double expected = 0.0;
+  for (const core::FileSchedule& f : schedule_.files) {
+    for (const core::Delivery& d : f.deliveries) {
+      expected += static_cast<double>(d.route.size() - 1) *
+                  cm_.StreamBytes(d.video).value();
+    }
+  }
+  EXPECT_NEAR(total_link_bytes, expected, expected * 1e-9 + 1.0);
+}
+
+TEST(PlaybackSimScenarioTest, FullScenarioAgreesWithAnalyticPeaks) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  core::VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto solved = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(solved.ok());
+  const SimulationResult sim = SimulateSchedule(
+      solved->schedule, scenario.requests, scheduler.cost_model());
+  const storage::UsageMap usage =
+      storage::BuildUsage(solved->schedule, scheduler.cost_model());
+  for (const NodeTelemetry& node : sim.nodes) {
+    const auto it = usage.find(node.node);
+    const double analytic = it == usage.end() ? 0.0 : it->second.Max();
+    EXPECT_NEAR(node.peak_bytes, analytic, 10.0);
+    // Final schedule respects capacity, so simulated peaks must too.
+    EXPECT_LE(node.peak_bytes,
+              scenario.topology.node(node.node).capacity.value() + 10.0);
+  }
+}
+
+TEST(PlaybackSimEdgeTest, EmptyScheduleProducesNothing) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  const SimulationResult result = SimulateSchedule({}, {}, cm);
+  EXPECT_EQ(result.events_processed, 0u);
+  EXPECT_TRUE(result.nodes.empty());
+  EXPECT_TRUE(result.links.empty());
+  EXPECT_DOUBLE_EQ(result.OccupancyAt(1, util::Hours(1)), 0.0);
+}
+
+}  // namespace
+}  // namespace vor::sim

@@ -1,0 +1,83 @@
+// Pricing-basis properties: per-hop vs end-to-end (the two forms of
+// Eq. 4) across random topologies.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/scheduler.hpp"
+#include "net/generators.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::core {
+namespace {
+
+net::Topology RandomTopology(std::uint64_t seed) {
+  net::GeneratorParams params;
+  params.storage_count = 8 + seed % 8;
+  params.base_nrate = util::NetworkRate{500.0 / 1e9};
+  params.seed = seed;
+  return net::MakeGeometricTopology(params, 3);
+}
+
+class PricingBasisProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PricingBasisProperty, DiscountedE2eNeverExceedsPerHop) {
+  const net::Topology topo =
+      RandomTopology(static_cast<std::uint64_t>(GetParam()));
+  const media::Catalog catalog = media::MakeSyntheticCatalog({});
+  const net::Router router(topo);
+  const CostModel per_hop(topo, router, catalog);
+  PricingOptions e2e_pricing;
+  e2e_pricing.basis = PricingBasis::kEndToEnd;
+  e2e_pricing.e2e_discount = 0.8;
+  const CostModel e2e(topo, router, catalog, e2e_pricing);
+
+  for (net::NodeId i = 0; i < topo.node_count(); ++i) {
+    for (net::NodeId j = 0; j < topo.node_count(); ++j) {
+      EXPECT_LE(e2e.RouteRate(i, j).value(),
+                per_hop.RouteRate(i, j).value() + 1e-15)
+          << i << "->" << j;
+    }
+  }
+}
+
+TEST_P(PricingBasisProperty, DiscountOneIsExactlyPerHop) {
+  const net::Topology topo =
+      RandomTopology(0xD15CULL + static_cast<std::uint64_t>(GetParam()));
+  const media::Catalog catalog = media::MakeSyntheticCatalog({});
+  const net::Router router(topo);
+  const CostModel per_hop(topo, router, catalog);
+  PricingOptions pricing;
+  pricing.basis = PricingBasis::kEndToEnd;
+  pricing.e2e_discount = 1.0;
+  const CostModel e2e(topo, router, catalog, pricing);
+  for (net::NodeId i = 0; i < topo.node_count(); ++i) {
+    for (net::NodeId j = 0; j < topo.node_count(); ++j) {
+      EXPECT_NEAR(e2e.RouteRate(i, j).value(),
+                  per_hop.RouteRate(i, j).value(), 1e-15);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PricingBasisProperty, ::testing::Range(1, 7));
+
+TEST(PricingBasisTest, CheaperRoutesCheaperSchedules) {
+  // Under a sub-additive end-to-end tariff the whole cycle should cost no
+  // more than under per-hop pricing (every delivery is weakly cheaper;
+  // the scheduler can only exploit that further).
+  const workload::Scenario scenario = workload::MakeScenario({});
+  SchedulerOptions per_hop;
+  SchedulerOptions e2e;
+  e2e.pricing.basis = PricingBasis::kEndToEnd;
+  e2e.pricing.e2e_discount = 0.8;
+  const VorScheduler a(scenario.topology, scenario.catalog, per_hop);
+  const VorScheduler b(scenario.topology, scenario.catalog, e2e);
+  const auto ra = a.Solve(scenario.requests);
+  const auto rb = b.Solve(scenario.requests);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_LE(rb->final_cost.value(), ra->final_cost.value() + 1e-6);
+}
+
+}  // namespace
+}  // namespace vor::core

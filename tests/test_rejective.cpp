@@ -1,0 +1,141 @@
+#include "core/rejective_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ivsp.hpp"
+#include "sim/validator.hpp"
+#include "test_helpers.hpp"
+
+namespace vor::core {
+namespace {
+
+using testing::OneVideoCatalog;
+using testing::SmallTopology;
+
+struct Env {
+  Env() : topo(SmallTopology(3)), catalog(OneVideoCatalog()), router(topo),
+          cm(topo, router, catalog) {}
+  net::Topology topo;
+  media::Catalog catalog;
+  net::Router router;
+  CostModel cm;
+};
+
+std::vector<workload::Request> CloseRequests() {
+  return {
+      {0, 0, util::Hours(1.0), 3},
+      {1, 0, util::Hours(1.5), 3},
+      {2, 0, util::Hours(2.0), 3},
+  };
+}
+
+TEST(RejectiveTest, FileRequestIndicesRecoversChronology) {
+  Env env;
+  const auto requests = CloseRequests();
+  const Schedule s = IvspSolve(requests, env.cm, IvspOptions{});
+  ASSERT_EQ(s.files.size(), 1u);
+  EXPECT_EQ(FileRequestIndices(s.files[0], requests),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(RejectiveTest, RescheduleAvoidsForbiddenWindow) {
+  Env env;
+  const auto requests = CloseRequests();
+  Schedule s = IvspSolve(requests, env.cm, IvspOptions{});
+  ASSERT_EQ(s.files[0].residencies.size(), 1u);
+  const Residency original = s.files[0].residencies[0];
+
+  const storage::UsageMap empty;
+  const util::Interval window{original.t_start,
+                              original.t_last + util::Hours(1)};
+  const RescheduleResult result = RescheduleVictim(
+      s, 0, requests, env.cm, IvspOptions{}, {{original.location, window}},
+      empty);
+
+  for (const Residency& c : result.schedule.residencies) {
+    if (c.location == original.location) {
+      const util::Interval support{c.t_start, c.t_last + util::Hours(1)};
+      EXPECT_FALSE(util::Overlaps(support, window));
+    }
+  }
+  // Every request still served.
+  EXPECT_EQ(result.schedule.deliveries.size(), requests.size());
+  // Rescheduling under constraints can only cost more (or equal): the
+  // greedy search space shrank.
+  EXPECT_GE(result.Overhead().value(), -1e-9);
+}
+
+TEST(RejectiveTest, RescheduleRespectsOtherFilesCapacity) {
+  Env env;
+  env.topo.SetUniformStorageCapacity(util::Bytes{1.2e9});
+  const auto requests = CloseRequests();
+  Schedule s = IvspSolve(requests, env.cm, IvspOptions{});
+
+  // Another file already reserves most of node 3.
+  storage::UsageMap other;
+  other[3].Add(util::LinearPiece{util::Hours(0), util::Hours(10),
+                                 util::Hours(11), 1.0e9, 99});
+  const RescheduleResult result =
+      RescheduleVictim(s, 0, requests, env.cm, IvspOptions{}, {}, other);
+  // Remaining headroom at node 3 is 0.2e9 < any real residency height, so
+  // the victim may not cache there.
+  for (const Residency& c : result.schedule.residencies) {
+    if (c.location == 3u) {
+      EXPECT_LE(env.cm.OccupancyPiece(c, 0).height, 0.2e9 + 1.0);
+    }
+  }
+}
+
+TEST(RejectiveTest, FullyForbiddenFallsBackToDirect) {
+  Env env;
+  const auto requests = CloseRequests();
+  Schedule s = IvspSolve(requests, env.cm, IvspOptions{});
+
+  // Forbid caching everywhere forever.
+  std::vector<std::pair<net::NodeId, util::Interval>> forbidden;
+  for (const net::NodeId n : env.topo.StorageNodes()) {
+    forbidden.emplace_back(n,
+                           util::Interval{util::Hours(0), util::Hours(100)});
+  }
+  const storage::UsageMap empty;
+  const RescheduleResult result = RescheduleVictim(
+      s, 0, requests, env.cm, IvspOptions{}, std::move(forbidden), empty);
+  EXPECT_TRUE(result.schedule.residencies.empty());
+  for (const Delivery& d : result.schedule.deliveries) {
+    EXPECT_EQ(d.origin(), env.topo.warehouse());
+  }
+  const auto report = [&] {
+    Schedule wrapped;
+    wrapped.files.push_back(result.schedule);
+    sim::ValidationOptions options;
+    options.check_capacity = false;
+    return sim::ValidateSchedule(wrapped, requests, env.cm, options);
+  }();
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(RejectiveTest, RouteHookVetoesCandidates) {
+  Env env;
+  const auto requests = CloseRequests();
+  Schedule s = IvspSolve(requests, env.cm, IvspOptions{});
+  const storage::UsageMap empty;
+  // Veto every multi-hop route: only local (single-node) deliveries pass,
+  // which is impossible for the first request -> fallback direct.
+  std::size_t vetoes = 0;
+  const RescheduleResult result = RescheduleVictim(
+      s, 0, requests, env.cm, IvspOptions{}, {}, empty,
+      [&vetoes](const std::vector<net::NodeId>& route, util::Seconds,
+                media::VideoId) {
+        if (route.size() > 1) {
+          ++vetoes;
+          return false;
+        }
+        return true;
+      });
+  EXPECT_GT(vetoes, 0u);
+  // The fallback serves everyone directly even against the veto.
+  EXPECT_EQ(result.schedule.deliveries.size(), requests.size());
+}
+
+}  // namespace
+}  // namespace vor::core

@@ -1,0 +1,98 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/network_only.hpp"
+#include "core/scheduler.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::core {
+namespace {
+
+TEST(ReportTest, NetworkOnlyScheduleIsAllDirect) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const net::Router router(scenario.topology);
+  const CostModel cm(scenario.topology, router, scenario.catalog);
+  const Schedule s = baseline::NetworkOnlySchedule(scenario.requests, cm);
+  const ScheduleReport report = BuildReport(s, scenario.requests, cm);
+
+  EXPECT_EQ(report.requests, scenario.requests.size());
+  EXPECT_EQ(report.served_direct, scenario.requests.size());
+  EXPECT_EQ(report.served_from_cache, 0u);
+  EXPECT_DOUBLE_EQ(report.cache_hit_ratio, 0.0);
+  EXPECT_EQ(report.residencies, 0u);
+  EXPECT_DOUBLE_EQ(report.storage_cost, 0.0);
+  EXPECT_NEAR(report.total_cost, cm.TotalCost(s).value(), 1e-6);
+  EXPECT_TRUE(report.nodes.empty());
+}
+
+TEST(ReportTest, TwoPhaseScheduleSplitsCosts) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto solved = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(solved.ok());
+  const ScheduleReport report = BuildReport(
+      solved->schedule, scenario.requests, scheduler.cost_model());
+
+  EXPECT_NEAR(report.total_cost, solved->final_cost.value(), 1e-6);
+  EXPECT_NEAR(report.network_cost + report.storage_cost, report.total_cost,
+              1e-6);
+  EXPECT_EQ(report.served_direct + report.served_from_cache, report.requests);
+  EXPECT_GT(report.served_from_cache, 0u);
+  EXPECT_GT(report.cache_hit_ratio, 0.0);
+  EXPECT_EQ(report.residencies, solved->schedule.TotalResidencies());
+  // Every caching node appears once, peaks within capacity.
+  for (const NodeReport& n : report.nodes) {
+    EXPECT_TRUE(scenario.topology.IsStorage(n.node));
+    EXPECT_LE(n.peak_bytes,
+              scenario.topology.node(n.node).capacity.value() + 1.0);
+  }
+}
+
+TEST(ReportTest, HopsHistogramCountsAllDeliveries) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const VorScheduler scheduler(scenario.topology, scenario.catalog);
+  const auto solved = scheduler.Solve(scenario.requests);
+  ASSERT_TRUE(solved.ok());
+  const ScheduleReport report = BuildReport(
+      solved->schedule, scenario.requests, scheduler.cost_model());
+  std::size_t histogram_total = 0;
+  for (const std::size_t count : report.hops_histogram) {
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, solved->schedule.TotalDeliveries());
+}
+
+TEST(ReportTest, PaperExampleNumbers) {
+  testing::PaperExample ex;
+  const net::Router router(ex.topology);
+  const CostModel cm(ex.topology, router, ex.catalog);
+  const VorScheduler scheduler(ex.topology, ex.catalog);
+  const auto solved = scheduler.Solve(ex.requests);
+  ASSERT_TRUE(solved.ok());
+  const ScheduleReport report =
+      BuildReport(solved->schedule, ex.requests, cm);
+  EXPECT_EQ(report.requests, 3u);
+  // The greedy plan: U1 direct, U2 from IS1's copy, U3 from IS2's copy.
+  EXPECT_EQ(report.served_direct, 1u);
+  EXPECT_EQ(report.served_from_cache, 2u);
+  EXPECT_NEAR(report.cache_hit_ratio, 2.0 / 3.0, 1e-12);
+
+  const std::string text = report.ToText(ex.topology);
+  EXPECT_NE(text.find("hit ratio"), std::string::npos);
+  EXPECT_NE(text.find("IS1"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyScheduleEmptyReport) {
+  const workload::Scenario scenario = workload::MakeScenario({});
+  const net::Router router(scenario.topology);
+  const CostModel cm(scenario.topology, router, scenario.catalog);
+  const ScheduleReport report = BuildReport(Schedule{}, {}, cm);
+  EXPECT_EQ(report.requests, 0u);
+  EXPECT_DOUBLE_EQ(report.total_cost, 0.0);
+  EXPECT_DOUBLE_EQ(report.cache_hit_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace vor::core

@@ -1,0 +1,84 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vor::util {
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgument("must be positive");
+  return x;
+}
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(ResultTest, ErrorAccess) {
+  const Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "must be positive");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r{std::string("hello")};
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r{std::vector<int>{1, 2, 3}};
+  const std::vector<int> taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(ResultTest, MutableValue) {
+  Result<std::vector<int>> r{std::vector<int>{1}};
+  r.value().push_back(2);
+  r->push_back(3);
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, ErrorFactories) {
+  EXPECT_EQ(InvalidArgument("x").code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(NotFound("x").code, Error::Code::kNotFound);
+  EXPECT_EQ(Infeasible("x").code, Error::Code::kInfeasible);
+  EXPECT_EQ(Internal("x").code, Error::Code::kInternal);
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, CarriesError) {
+  const Status s = NotFound("missing");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Error::Code::kNotFound);
+  EXPECT_EQ(s.error().message, "missing");
+}
+
+TEST(StatusTest, UsableInConditions) {
+  const auto probe = [](bool fail) -> Status {
+    if (fail) return Internal("boom");
+    return Status::Ok();
+  };
+  if (const Status s = probe(false); !s.ok()) {
+    FAIL() << "should have been ok";
+  }
+  if (const Status s = probe(true); s.ok()) {
+    FAIL() << "should have failed";
+  }
+}
+
+}  // namespace
+}  // namespace vor::util

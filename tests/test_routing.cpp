@@ -1,0 +1,162 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vor::net {
+namespace {
+
+TEST(RouterTest, ChainPathsAndRates) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const NodeId a = topo.AddStorage("A", util::GB(5), util::StorageRate{0});
+  const NodeId b = topo.AddStorage("B", util::GB(5), util::StorageRate{0});
+  topo.AddLink(vw, a, util::NetworkRate{3.0});
+  topo.AddLink(a, b, util::NetworkRate{4.0});
+
+  const Router router(topo);
+  EXPECT_DOUBLE_EQ(router.RouteRate(vw, b).value(), 7.0);
+  const Path& p = router.CheapestPath(vw, b);
+  EXPECT_EQ(p.nodes, (std::vector<NodeId>{vw, a, b}));
+  EXPECT_EQ(p.hops(), 2u);
+  EXPECT_TRUE(p.Contains(a));
+  EXPECT_FALSE(router.CheapestPath(vw, a).Contains(b));
+}
+
+TEST(RouterTest, SelfPathIsTrivial) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const NodeId a = topo.AddStorage("A", util::GB(5), util::StorageRate{0});
+  topo.AddLink(vw, a, util::NetworkRate{3.0});
+  const Router router(topo);
+  const Path& p = router.CheapestPath(a, a);
+  EXPECT_EQ(p.nodes, (std::vector<NodeId>{a}));
+  EXPECT_EQ(p.hops(), 0u);
+  EXPECT_DOUBLE_EQ(p.rate.value(), 0.0);
+}
+
+TEST(RouterTest, PrefersCheaperLongerPath) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const NodeId a = topo.AddStorage("A", util::GB(5), util::StorageRate{0});
+  const NodeId b = topo.AddStorage("B", util::GB(5), util::StorageRate{0});
+  topo.AddLink(vw, b, util::NetworkRate{10.0});  // direct but expensive
+  topo.AddLink(vw, a, util::NetworkRate{2.0});
+  topo.AddLink(a, b, util::NetworkRate{3.0});
+  const Router router(topo);
+  EXPECT_DOUBLE_EQ(router.RouteRate(vw, b).value(), 5.0);
+  EXPECT_EQ(router.CheapestPath(vw, b).hops(), 2u);
+}
+
+TEST(RouterTest, SymmetricRates) {
+  PaperTopologyParams params;
+  params.base_nrate = util::NetworkRate{100.0};
+  const Topology topo = MakePaperTopology(params);
+  const Router router(topo);
+  for (NodeId i = 0; i < topo.node_count(); ++i) {
+    for (NodeId j = 0; j < topo.node_count(); ++j) {
+      EXPECT_NEAR(router.RouteRate(i, j).value(),
+                  router.RouteRate(j, i).value(), 1e-9);
+    }
+  }
+}
+
+TEST(RouterTest, EndToEndMatrixDiscountOneEqualsPerHop) {
+  PaperTopologyParams params;
+  params.base_nrate = util::NetworkRate{100.0};
+  const Topology topo = MakePaperTopology(params);
+  const Router router(topo);
+  const auto matrix = router.EndToEndMatrix(1.0);
+  for (NodeId i = 0; i < topo.node_count(); ++i) {
+    for (NodeId j = 0; j < topo.node_count(); ++j) {
+      EXPECT_NEAR(matrix[i][j].value(), router.RouteRate(i, j).value(), 1e-9);
+    }
+  }
+}
+
+TEST(RouterTest, EndToEndDiscountReducesMultiHopRates) {
+  PaperTopologyParams params;
+  params.base_nrate = util::NetworkRate{100.0};
+  const Topology topo = MakePaperTopology(params);
+  const Router router(topo);
+  const auto matrix = router.EndToEndMatrix(0.8);
+  bool found_multihop = false;
+  for (NodeId i = 0; i < topo.node_count(); ++i) {
+    for (NodeId j = 0; j < topo.node_count(); ++j) {
+      const Path& p = router.CheapestPath(i, j);
+      if (p.hops() > 1) {
+        found_multihop = true;
+        EXPECT_LT(matrix[i][j].value(), p.rate.value());
+      } else {
+        EXPECT_NEAR(matrix[i][j].value(), p.rate.value(), 1e-9);
+      }
+    }
+  }
+  EXPECT_TRUE(found_multihop);
+}
+
+/// Property: Dijkstra distances match Floyd-Warshall on random graphs.
+class RoutingRandomGraph : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutingRandomGraph, MatchesFloydWarshall) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537);
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const std::size_t n = 2 + rng.NextBounded(10);
+  std::vector<NodeId> nodes{vw};
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(
+        topo.AddStorage("S" + std::to_string(i), util::GB(1), util::StorageRate{0}));
+  }
+  // Spanning chain for connectivity + random extra edges.
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    topo.AddLink(nodes[i - 1], nodes[i],
+                 util::NetworkRate{rng.Uniform(1.0, 10.0)});
+  }
+  const std::size_t extra = rng.NextBounded(nodes.size() * 2);
+  for (std::size_t e = 0; e < extra; ++e) {
+    const NodeId a = nodes[rng.NextBounded(nodes.size())];
+    const NodeId b = nodes[rng.NextBounded(nodes.size())];
+    if (a != b) topo.AddLink(a, b, util::NetworkRate{rng.Uniform(1.0, 10.0)});
+  }
+  ASSERT_TRUE(topo.Validate().ok());
+
+  // Floyd-Warshall reference.
+  const std::size_t total = topo.node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dist(total, std::vector<double>(total, kInf));
+  for (std::size_t i = 0; i < total; ++i) dist[i][i] = 0.0;
+  for (const Link& l : topo.links()) {
+    dist[l.a][l.b] = std::min(dist[l.a][l.b], l.nrate.value());
+    dist[l.b][l.a] = std::min(dist[l.b][l.a], l.nrate.value());
+  }
+  for (std::size_t k = 0; k < total; ++k) {
+    for (std::size_t i = 0; i < total; ++i) {
+      for (std::size_t j = 0; j < total; ++j) {
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+
+  const Router router(topo);
+  for (NodeId i = 0; i < total; ++i) {
+    for (NodeId j = 0; j < total; ++j) {
+      EXPECT_NEAR(router.RouteRate(i, j).value(), dist[i][j], 1e-9)
+          << i << "->" << j;
+      // Path endpoints and hop-consistency.
+      const Path& p = router.CheapestPath(i, j);
+      ASSERT_FALSE(p.nodes.empty());
+      EXPECT_EQ(p.nodes.front(), i);
+      EXPECT_EQ(p.nodes.back(), j);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingRandomGraph, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace vor::net

@@ -1,0 +1,105 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vor::workload {
+namespace {
+
+TEST(ScenarioTest, DefaultsMatchTable4) {
+  const Scenario s = MakeScenario({});
+  EXPECT_EQ(s.topology.node_count(), 20u);
+  EXPECT_EQ(s.catalog.size(), 500u);
+  EXPECT_EQ(s.requests.size(), 190u);
+  EXPECT_TRUE(s.topology.Validate().ok());
+  EXPECT_TRUE(s.catalog.Validate().ok());
+}
+
+TEST(ScenarioTest, RateConversions) {
+  ScenarioParams p;
+  p.srate_per_gb_hour = 3.6;
+  p.nrate_per_gb = 500.0;
+  // 3.6 $/GBh = 1e-12 $/(byte*s)
+  EXPECT_NEAR(p.srate().value(), 1e-12, 1e-24);
+  EXPECT_NEAR(p.nrate().value(), 5e-7, 1e-18);
+}
+
+TEST(ScenarioTest, KnobsPropagate) {
+  ScenarioParams p;
+  p.is_capacity = util::GB(11);
+  p.srate_per_gb_hour = 7.0;
+  const Scenario s = MakeScenario(p);
+  for (const net::NodeId is : s.topology.StorageNodes()) {
+    EXPECT_DOUBLE_EQ(s.topology.node(is).capacity.value(), 11e9);
+    EXPECT_NEAR(s.topology.node(is).srate.value(), 7.0 / 3.6e12, 1e-18);
+  }
+}
+
+TEST(ScenarioTest, SameSeedSameWorld) {
+  const Scenario a = MakeScenario({});
+  const Scenario b = MakeScenario({});
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].video, b.requests[i].video);
+    EXPECT_EQ(a.requests[i].start_time, b.requests[i].start_time);
+  }
+}
+
+TEST(ScenarioTest, SweepingOneKnobKeepsWorkloadFixed) {
+  ScenarioParams p1;
+  p1.nrate_per_gb = 300;
+  ScenarioParams p2;
+  p2.nrate_per_gb = 1000;
+  const Scenario a = MakeScenario(p1);
+  const Scenario b = MakeScenario(p2);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].video, b.requests[i].video);
+    EXPECT_EQ(a.requests[i].neighborhood, b.requests[i].neighborhood);
+  }
+}
+
+TEST(Table4GridTest, Has768Combinations) {
+  const auto grid = Table4Grid();
+  EXPECT_EQ(grid.size(), 768u);
+  std::set<std::tuple<double, double, double, double>> unique;
+  for (const ScenarioParams& p : grid) {
+    unique.emplace(p.srate_per_gb_hour, p.is_capacity.value(), p.nrate_per_gb,
+                   p.zipf_alpha);
+  }
+  EXPECT_EQ(unique.size(), 768u);
+}
+
+TEST(Table4GridTest, CoversPaperValues) {
+  const auto grid = Table4Grid();
+  std::set<double> srates;
+  std::set<double> sizes;
+  std::set<double> nrates;
+  std::set<double> alphas;
+  for (const ScenarioParams& p : grid) {
+    srates.insert(p.srate_per_gb_hour);
+    sizes.insert(p.is_capacity.value() / 1e9);
+    nrates.insert(p.nrate_per_gb);
+    alphas.insert(p.zipf_alpha);
+  }
+  EXPECT_EQ(srates, (std::set<double>{3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(sizes, (std::set<double>{5, 8, 11, 14}));
+  EXPECT_EQ(nrates,
+            (std::set<double>{300, 400, 500, 600, 700, 800, 900, 1000}));
+  EXPECT_EQ(alphas, (std::set<double>{0.1, 0.271, 0.5, 0.7}));
+}
+
+TEST(ScenarioTest, DescribeMentionsEveryKnob) {
+  ScenarioParams p;
+  p.srate_per_gb_hour = 4;
+  p.nrate_per_gb = 700;
+  p.zipf_alpha = 0.5;
+  const std::string s = Describe(p);
+  EXPECT_NE(s.find("srate=4"), std::string::npos);
+  EXPECT_NE(s.find("nrate=700"), std::string::npos);
+  EXPECT_NE(s.find("alpha=0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vor::workload

@@ -1,0 +1,90 @@
+#include "core/shootout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vor::core {
+namespace {
+
+workload::ScenarioParams SmallParams() {
+  workload::ScenarioParams p;
+  p.storage_count = 6;
+  p.users_per_neighborhood = 6;
+  p.catalog_size = 40;
+  return p;
+}
+
+TEST(ShootoutTest, OverflowFreeComboSkipsExtraRuns) {
+  workload::ScenarioParams p = SmallParams();
+  p.is_capacity = util::GB(100);  // never overflows
+  const ShootoutCase c = RunShootoutCase(p);
+  EXPECT_FALSE(c.overflowed);
+  for (std::size_t m = 1; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(c.final_cost[m], c.final_cost[0]);
+  }
+  EXPECT_DOUBLE_EQ(c.phase1_cost, c.final_cost[3]);
+}
+
+TEST(ShootoutTest, OverflowComboProducesPerMetricCosts) {
+  workload::ScenarioParams p = SmallParams();
+  p.is_capacity = util::GB(4);
+  p.nrate_per_gb = 1000;
+  p.srate_per_gb_hour = 3;
+  const ShootoutCase c = RunShootoutCase(p);
+  EXPECT_TRUE(c.overflowed);
+  for (const double cost : c.final_cost) {
+    EXPECT_GE(cost, c.phase1_cost - 1e-6);
+  }
+}
+
+TEST(ShootoutTest, SummaryCountsAreConsistent) {
+  std::vector<ShootoutCase> cases(3);
+  // Case 0: no overflow (excluded from votes).
+  cases[0].overflowed = false;
+  // Case 1: M4 strictly best.
+  cases[1].overflowed = true;
+  cases[1].phase1_cost = 100;
+  cases[1].final_cost = {130, 120, 125, 110};
+  // Case 2: M1 and M2 tie for best.
+  cases[2].overflowed = true;
+  cases[2].phase1_cost = 200;
+  cases[2].final_cost = {210, 210, 230, 240};
+
+  const ShootoutSummary s = SummarizeShootout(cases);
+  EXPECT_EQ(s.total_cases, 3u);
+  EXPECT_EQ(s.overflow_cases, 2u);
+  EXPECT_EQ(s.best_count[0], 1u);  // M1 ties in case 2
+  EXPECT_EQ(s.best_count[1], 1u);  // M2 ties in case 2
+  EXPECT_EQ(s.best_count[2], 0u);
+  EXPECT_EQ(s.best_count[3], 1u);  // M4 wins case 1
+  EXPECT_EQ(s.best_m2_or_m4, 2u);  // both overflow cases
+  // avg/worst over M4's increases: (10/100 + 40/200)/2 = 0.15, worst 0.2.
+  EXPECT_NEAR(s.avg_increase, 0.15, 1e-12);
+  EXPECT_NEAR(s.worst_increase, 0.2, 1e-12);
+  EXPECT_NEAR(s.M2OrM4Share(), 1.0, 1e-12);
+  EXPECT_NEAR(s.BestShare(3), 0.5, 1e-12);
+}
+
+TEST(ShootoutTest, GridRunSerialAndParallelAgree) {
+  std::vector<workload::ScenarioParams> grid;
+  for (const double nrate : {400.0, 900.0}) {
+    for (const double size : {4.0, 6.0}) {
+      workload::ScenarioParams p = SmallParams();
+      p.nrate_per_gb = nrate;
+      p.is_capacity = util::GB(size);
+      p.srate_per_gb_hour = 3;
+      grid.push_back(p);
+    }
+  }
+  const ShootoutSummary serial = RunShootout(grid, nullptr);
+  util::ThreadPool pool(3);
+  const ShootoutSummary parallel = RunShootout(grid, &pool);
+  EXPECT_EQ(serial.total_cases, parallel.total_cases);
+  EXPECT_EQ(serial.overflow_cases, parallel.overflow_cases);
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(serial.best_count[m], parallel.best_count[m]);
+  }
+  EXPECT_DOUBLE_EQ(serial.avg_increase, parallel.avg_increase);
+}
+
+}  // namespace
+}  // namespace vor::core

@@ -1,0 +1,228 @@
+#include "core/sorp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ivsp.hpp"
+#include "core/overflow.hpp"
+#include "sim/validator.hpp"
+#include "test_helpers.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::core {
+namespace {
+
+using testing::OneVideoCatalog;
+using testing::SmallTopology;
+
+/// Environment engineered to overflow: two popular videos, one tiny IS.
+struct OverflowEnv {
+  OverflowEnv()
+      : topo(SmallTopology(2, /*nrate_per_gb=*/100.0, /*srate=*/0.01,
+                           /*capacity_gb=*/1.5)),
+        catalog(TwoVideoCatalog()),
+        router(topo),
+        cm(topo, router, catalog) {
+    // Two titles requested twice each in neighborhood 2, overlapping in
+    // time: both caches would want to live at node 2 simultaneously, but
+    // capacity (1.5 GB) only fits one 1 GB copy at a time.
+    requests = {
+        {0, 0, util::Hours(1.0), 2},
+        {1, 1, util::Hours(1.2), 2},
+        {2, 0, util::Hours(3.0), 2},
+        {3, 1, util::Hours(3.2), 2},
+    };
+  }
+
+  static media::Catalog TwoVideoCatalog() {
+    media::Catalog catalog;
+    for (int i = 0; i < 2; ++i) {
+      media::Video v;
+      v.title = "v" + std::to_string(i);
+      v.size = util::GB(1.0);
+      v.playback = util::Hours(1.0);
+      v.bandwidth = v.size / v.playback;
+      catalog.Add(v);
+    }
+    return catalog;
+  }
+
+  net::Topology topo;
+  media::Catalog catalog;
+  net::Router router;
+  CostModel cm;
+  std::vector<workload::Request> requests;
+};
+
+TEST(SorpTest, Phase1OverflowsByConstruction) {
+  OverflowEnv env;
+  const Schedule s = IvspSolve(env.requests, env.cm, IvspOptions{});
+  EXPECT_FALSE(DetectOverflows(s, env.cm).empty());
+}
+
+class SorpHeatMetrics : public ::testing::TestWithParam<HeatMetric> {};
+
+TEST_P(SorpHeatMetrics, ResolvesAllOverflows) {
+  OverflowEnv env;
+  Schedule s = IvspSolve(env.requests, env.cm, IvspOptions{});
+  SorpOptions options;
+  options.heat = GetParam();
+  const SorpStats stats = SorpSolve(s, env.requests, env.cm, options);
+
+  EXPECT_TRUE(stats.HadOverflow());
+  EXPECT_TRUE(stats.Resolved());
+  EXPECT_TRUE(DetectOverflows(s, env.cm).empty());
+  EXPECT_GT(stats.victims_rescheduled, 0u);
+  EXPECT_GT(stats.evaluations, 0u);
+
+  const auto report = sim::ValidateSchedule(s, env.requests, env.cm);
+  EXPECT_TRUE(report.ok());
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << sim::ToString(v.kind) << ": " << v.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, SorpHeatMetrics,
+                         ::testing::Values(HeatMetric::kImprovedLength,
+                                           HeatMetric::kLengthPerCost,
+                                           HeatMetric::kTimeSpace,
+                                           HeatMetric::kTimeSpacePerCost));
+
+TEST(SorpTest, NoOverflowIsNoop) {
+  OverflowEnv env;
+  env.topo.SetUniformStorageCapacity(util::GB(100));
+  const CostModel cm(env.topo, env.router, env.catalog);
+  Schedule s = IvspSolve(env.requests, cm, IvspOptions{});
+  const util::Money before = cm.TotalCost(s);
+  const SorpStats stats = SorpSolve(s, env.requests, cm, SorpOptions{});
+  EXPECT_FALSE(stats.HadOverflow());
+  EXPECT_EQ(stats.victims_rescheduled, 0u);
+  EXPECT_DOUBLE_EQ(stats.cost_after.value(), before.value());
+}
+
+TEST(SorpTest, ResolutionUsuallyCostsButNeverBreaksService) {
+  OverflowEnv env;
+  Schedule s = IvspSolve(env.requests, env.cm, IvspOptions{});
+  const util::Money phase1 = env.cm.TotalCost(s);
+  const SorpStats stats = SorpSolve(s, env.requests, env.cm, SorpOptions{});
+  EXPECT_DOUBLE_EQ(stats.cost_before.value(), phase1.value());
+  // The paper reports a 12% average / 34% worst-case increase; here we
+  // only require that the bookkeeping is consistent.
+  EXPECT_DOUBLE_EQ(stats.cost_after.value(), env.cm.TotalCost(s).value());
+  std::size_t served = 0;
+  for (const FileSchedule& f : s.files) {
+    for (const Delivery& d : f.deliveries) {
+      served += d.request_index != kNoRequest;
+    }
+  }
+  EXPECT_EQ(served, env.requests.size());
+}
+
+TEST(SorpTest, MaxIterationsIsHonored) {
+  OverflowEnv env;
+  Schedule s = IvspSolve(env.requests, env.cm, IvspOptions{});
+  SorpOptions options;
+  options.max_iterations = 0;
+  const SorpStats stats = SorpSolve(s, env.requests, env.cm, options);
+  EXPECT_EQ(stats.victims_rescheduled, 0u);
+  EXPECT_FALSE(stats.Resolved());
+}
+
+TEST(SorpTest, PaperScaleScenarioResolves) {
+  // Full Table-4 default world with deliberately tight storage.
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.srate_per_gb_hour = 3.0;  // cheap storage -> heavy caching
+  params.nrate_per_gb = 1000.0;    // expensive network -> heavy caching
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const CostModel cm(scenario.topology, router, scenario.catalog);
+
+  Schedule s = IvspSolve(scenario.requests, cm, IvspOptions{});
+  const SorpStats stats = SorpSolve(s, scenario.requests, cm, SorpOptions{});
+  EXPECT_TRUE(stats.Resolved());
+  EXPECT_TRUE(DetectOverflows(s, cm).empty());
+  const auto report = sim::ValidateSchedule(s, scenario.requests, cm);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(SorpTest, HooksFireAroundEveryReschedule) {
+  OverflowEnv env;
+  Schedule s = IvspSolve(env.requests, env.cm, IvspOptions{});
+  std::size_t excluded = 0;
+  std::size_t included = 0;
+  SorpOptions options;
+  options.on_file_excluded = [&](std::size_t) { ++excluded; };
+  options.on_file_included = [&](std::size_t, const FileSchedule&) {
+    ++included;
+  };
+  const SorpStats stats = SorpSolve(s, env.requests, env.cm, options);
+  // One exclude/include pair per evaluation plus one per commit.
+  EXPECT_EQ(excluded, stats.evaluations + stats.victims_rescheduled);
+  EXPECT_EQ(included, excluded);
+}
+
+TEST(SorpAblationTest, FirstContributorPolicyStillResolves) {
+  OverflowEnv env;
+  Schedule s = IvspSolve(env.requests, env.cm, IvspOptions{});
+  SorpOptions options;
+  options.victim_policy = VictimPolicy::kFirstContributor;
+  const SorpStats stats = SorpSolve(s, env.requests, env.cm, options);
+  EXPECT_TRUE(stats.Resolved());
+  EXPECT_TRUE(DetectOverflows(s, env.cm).empty());
+  // One evaluation per committed victim: the shootout is skipped.
+  EXPECT_EQ(stats.evaluations, stats.victims_rescheduled);
+}
+
+TEST(SorpAblationTest, FirstContributorNeverBeatsHeatOnTightScenario) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const net::Router router(scenario.topology);
+  const CostModel cm(scenario.topology, router, scenario.catalog);
+  const Schedule phase1 = IvspSolve(scenario.requests, cm, IvspOptions{});
+
+  Schedule by_heat = phase1;
+  SorpOptions heat_options;
+  const SorpStats heat_stats =
+      SorpSolve(by_heat, scenario.requests, cm, heat_options);
+
+  Schedule by_first = phase1;
+  SorpOptions first_options;
+  first_options.victim_policy = VictimPolicy::kFirstContributor;
+  const SorpStats first_stats =
+      SorpSolve(by_first, scenario.requests, cm, first_options);
+
+  ASSERT_TRUE(heat_stats.Resolved());
+  ASSERT_TRUE(first_stats.Resolved());
+  EXPECT_LE(heat_stats.cost_after.value(),
+            first_stats.cost_after.value() + 1e-6);
+}
+
+TEST(SorpAblationTest, NonRejectiveMayLeaveResidualOverflow) {
+  // The crafted environment has two titles competing for one tiny IS; a
+  // non-rejective reschedule happily re-caches where space is already
+  // spoken for.  The loop's progress guard stops it without looping
+  // forever, and the run must never crash or drop a request.
+  OverflowEnv env;
+  Schedule s = IvspSolve(env.requests, env.cm, IvspOptions{});
+  SorpOptions options;
+  options.capacity_aware_reschedule = false;
+  const SorpStats stats = SorpSolve(s, env.requests, env.cm, options);
+  (void)stats;
+  std::size_t served = 0;
+  for (const FileSchedule& f : s.files) {
+    for (const Delivery& d : f.deliveries) {
+      served += d.request_index != kNoRequest;
+    }
+  }
+  EXPECT_EQ(served, env.requests.size());
+  sim::ValidationOptions vo;
+  vo.check_capacity = false;  // residual overflow is the point
+  const auto report = sim::ValidateSchedule(s, env.requests, env.cm, vo);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace vor::core

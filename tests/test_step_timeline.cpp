@@ -1,0 +1,112 @@
+#include "util/step_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace vor::util {
+namespace {
+
+StepPiece Step(double a, double b, double h, std::uint64_t tag = 0) {
+  return StepPiece{Interval{Seconds{a}, Seconds{b}}, h, tag};
+}
+
+TEST(StepTimelineTest, ValueAtSumsActivePieces) {
+  StepTimeline t;
+  t.Add(Step(0, 10, 5));
+  t.Add(Step(5, 15, 3));
+  EXPECT_DOUBLE_EQ(t.ValueAt(Seconds{2}), 5.0);
+  EXPECT_DOUBLE_EQ(t.ValueAt(Seconds{7}), 8.0);
+  EXPECT_DOUBLE_EQ(t.ValueAt(Seconds{12}), 3.0);
+  EXPECT_DOUBLE_EQ(t.ValueAt(Seconds{20}), 0.0);
+}
+
+TEST(StepTimelineTest, HalfOpenWindows) {
+  StepTimeline t;
+  t.Add(Step(0, 10, 5));
+  EXPECT_DOUBLE_EQ(t.ValueAt(Seconds{0}), 5.0);
+  EXPECT_DOUBLE_EQ(t.ValueAt(Seconds{10}), 0.0);
+}
+
+TEST(StepTimelineTest, EmptyPieceIgnored) {
+  StepTimeline t;
+  t.Add(Step(5, 5, 100));
+  EXPECT_TRUE(t.pieces().empty());
+  EXPECT_DOUBLE_EQ(t.Max(), 0.0);
+}
+
+TEST(StepTimelineTest, MaxAndMaxOver) {
+  StepTimeline t;
+  t.Add(Step(0, 10, 5));
+  t.Add(Step(5, 15, 3));
+  EXPECT_DOUBLE_EQ(t.Max(), 8.0);
+  EXPECT_DOUBLE_EQ(t.MaxOver(Interval{Seconds{0}, Seconds{4}}), 5.0);
+  EXPECT_DOUBLE_EQ(t.MaxOver(Interval{Seconds{11}, Seconds{20}}), 3.0);
+}
+
+TEST(StepTimelineTest, RemoveByTag) {
+  StepTimeline t;
+  t.Add(Step(0, 10, 5, 1));
+  t.Add(Step(0, 10, 3, 2));
+  t.Add(Step(0, 10, 2, 1));
+  EXPECT_EQ(t.RemoveByTag(1), 2u);
+  EXPECT_DOUBLE_EQ(t.ValueAt(Seconds{5}), 3.0);
+}
+
+TEST(StepTimelineTest, RegionsAboveExactBoundaries) {
+  StepTimeline t;
+  t.Add(Step(0, 10, 5, 1));
+  t.Add(Step(5, 15, 5, 2));
+  const auto regions = t.RegionsAbove(7.0);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_DOUBLE_EQ(regions[0].window.start.value(), 5.0);
+  EXPECT_DOUBLE_EQ(regions[0].window.end.value(), 10.0);
+  EXPECT_DOUBLE_EQ(regions[0].peak, 10.0);
+  EXPECT_EQ(regions[0].contributors.size(), 2u);
+}
+
+TEST(StepTimelineTest, FitsUnder) {
+  StepTimeline t;
+  t.Add(Step(0, 10, 6));
+  EXPECT_TRUE(t.FitsUnder(Step(0, 10, 4), 10.0));
+  EXPECT_FALSE(t.FitsUnder(Step(0, 10, 5), 10.0));
+  EXPECT_TRUE(t.FitsUnder(Step(10, 20, 10), 10.0));
+  EXPECT_FALSE(t.FitsUnder(Step(9, 20, 5), 10.0));
+  EXPECT_TRUE(t.FitsUnder(Step(3, 3, 100), 10.0));  // empty piece
+}
+
+/// Property: RegionsAbove matches dense sampling for random step sets.
+class StepRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StepRandomProperty, RegionsMatchDenseSampling) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  StepTimeline t;
+  const int pieces = 1 + static_cast<int>(rng.NextBounded(10));
+  for (int i = 0; i < pieces; ++i) {
+    const double a = rng.Uniform(0.0, 50.0);
+    t.Add(Step(a, a + rng.Uniform(0.1, 30.0), rng.Uniform(1.0, 20.0),
+               static_cast<std::uint64_t>(i)));
+  }
+  const double threshold = rng.Uniform(5.0, 60.0);
+  const auto regions = t.RegionsAbove(threshold);
+  auto inside = [&](double x) {
+    return std::any_of(regions.begin(), regions.end(), [&](const auto& r) {
+      return x >= r.window.start.value() && x < r.window.end.value();
+    });
+  };
+  for (double x = -1.0; x < 85.0; x += 0.0719) {
+    const double v = t.ValueAt(Seconds{x});
+    if (v > threshold + 1e-9) {
+      EXPECT_TRUE(inside(x)) << x;
+    } else if (v < threshold - 1e-9) {
+      EXPECT_FALSE(inside(x)) << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepRandomProperty, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace vor::util

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vor::util {
+namespace {
+
+TEST(TableTest, PrettyAlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.PrintPretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Two data rows + header + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"quote\"inside", "line\nbreak"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+  EXPECT_EQ(Table::Num(1234.5, 1), "1234.5");
+}
+
+TEST(TableTest, RowCountTracked) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.data()[1][0], "2");
+}
+
+TEST(BenchHeaderTest, ContainsIdAndSeed) {
+  std::ostringstream os;
+  PrintBenchHeader(os, "fig5", "Network charging rate sweep", 1997);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("fig5"), std::string::npos);
+  EXPECT_NE(out.find("seed=1997"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vor::util

@@ -1,0 +1,150 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vor::net {
+namespace {
+
+TEST(TopologyTest, BuildBasics) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const NodeId a = topo.AddStorage("A", util::GB(5), util::StorageRate{1e-12});
+  const NodeId b = topo.AddStorage("B", util::GB(8), util::StorageRate{2e-12});
+  topo.AddLink(vw, a, util::NetworkRate{1e-9});
+  topo.AddLink(a, b, util::NetworkRate{2e-9});
+
+  EXPECT_EQ(topo.node_count(), 3u);
+  EXPECT_EQ(topo.warehouse(), vw);
+  EXPECT_FALSE(topo.IsStorage(vw));
+  EXPECT_TRUE(topo.IsStorage(a));
+  EXPECT_EQ(topo.StorageNodes(), (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(topo.Adjacency(a).size(), 2u);
+  EXPECT_TRUE(topo.Validate().ok());
+}
+
+TEST(TopologyTest, WarehouseHasInfiniteCapacityAndZeroRate) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  EXPECT_TRUE(std::isinf(topo.node(vw).capacity.value()));
+  EXPECT_DOUBLE_EQ(topo.node(vw).srate.value(), 0.0);
+}
+
+TEST(TopologyTest, ValidateRejectsMissingWarehouse) {
+  Topology topo;
+  topo.AddStorage("A", util::GB(5), util::StorageRate{0});
+  const util::Status s = topo.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, util::Error::Code::kInvalidArgument);
+}
+
+TEST(TopologyTest, ValidateRejectsNoStorage) {
+  Topology topo;
+  topo.AddWarehouse("VW");
+  EXPECT_FALSE(topo.Validate().ok());
+}
+
+TEST(TopologyTest, ValidateRejectsDisconnected) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const NodeId a = topo.AddStorage("A", util::GB(5), util::StorageRate{0});
+  topo.AddStorage("B", util::GB(5), util::StorageRate{0});  // no links
+  topo.AddLink(vw, a, util::NetworkRate{1e-9});
+  EXPECT_FALSE(topo.Validate().ok());
+}
+
+TEST(TopologyTest, ValidateRejectsNegativeRates) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const NodeId a = topo.AddStorage("A", util::GB(5), util::StorageRate{-1.0});
+  topo.AddLink(vw, a, util::NetworkRate{1e-9});
+  EXPECT_FALSE(topo.Validate().ok());
+}
+
+TEST(TopologyTest, UniformSetters) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const NodeId a = topo.AddStorage("A", util::GB(5), util::StorageRate{1.0});
+  const NodeId b = topo.AddStorage("B", util::GB(8), util::StorageRate{2.0});
+  topo.AddLink(vw, a, util::NetworkRate{10.0});
+  topo.AddLink(a, b, util::NetworkRate{20.0});
+
+  topo.SetUniformStorageCapacity(util::GB(11));
+  topo.SetUniformStorageRate(util::StorageRate{3.0});
+  topo.ScaleNetworkRates(0.5);
+
+  EXPECT_DOUBLE_EQ(topo.node(a).capacity.value(), 11e9);
+  EXPECT_DOUBLE_EQ(topo.node(b).capacity.value(), 11e9);
+  EXPECT_DOUBLE_EQ(topo.node(a).srate.value(), 3.0);
+  EXPECT_TRUE(std::isinf(topo.node(vw).capacity.value()));
+  EXPECT_DOUBLE_EQ(topo.links()[0].nrate.value(), 5.0);
+  EXPECT_DOUBLE_EQ(topo.links()[1].nrate.value(), 10.0);
+}
+
+TEST(PaperTopologyTest, HasTwentyNodesAndValidates) {
+  PaperTopologyParams params;
+  params.base_nrate = util::NetworkRate{500.0 / 1e9};
+  const Topology topo = MakePaperTopology(params);
+  EXPECT_EQ(topo.node_count(), 20u);
+  EXPECT_EQ(topo.StorageNodes().size(), 19u);
+  EXPECT_TRUE(topo.Validate().ok());
+}
+
+TEST(PaperTopologyTest, DeterministicForSeed) {
+  PaperTopologyParams params;
+  params.base_nrate = util::NetworkRate{500.0 / 1e9};
+  params.seed = 41;
+  const Topology a = MakePaperTopology(params);
+  const Topology b = MakePaperTopology(params);
+  ASSERT_EQ(a.links().size(), b.links().size());
+  for (std::size_t i = 0; i < a.links().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.links()[i].nrate.value(), b.links()[i].nrate.value());
+  }
+}
+
+TEST(PaperTopologyTest, JitterStaysWithinBounds) {
+  PaperTopologyParams params;
+  params.base_nrate = util::NetworkRate{100.0};
+  params.rate_jitter = 0.2;
+  const Topology topo = MakePaperTopology(params);
+  for (const Link& l : topo.links()) {
+    EXPECT_GE(l.nrate.value(), 80.0 - 1e-9);
+    EXPECT_LE(l.nrate.value(), 120.0 + 1e-9);
+  }
+}
+
+TEST(PaperTopologyTest, SmallConfigurations) {
+  PaperTopologyParams params;
+  params.storage_count = 1;
+  params.hub_count = 4;  // clamped to storage_count
+  params.base_nrate = util::NetworkRate{1.0};
+  const Topology topo = MakePaperTopology(params);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_TRUE(topo.Validate().ok());
+}
+
+TEST(TopologyTest, WithoutLinkRemovesExactlyOne) {
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const NodeId a = topo.AddStorage("A", util::GB(5), util::StorageRate{1.0});
+  const NodeId b = topo.AddStorage("B", util::GB(5), util::StorageRate{1.0});
+  topo.AddLink(vw, a, util::NetworkRate{1.0});
+  topo.AddLink(a, b, util::NetworkRate{2.0});
+  topo.AddLink(vw, b, util::NetworkRate{3.0});
+  topo.SetNodeIoCap(a, util::BytesPerSecond{42.0});
+
+  const Topology cut = topo.WithoutLink(1);
+  EXPECT_EQ(cut.links().size(), 2u);
+  EXPECT_TRUE(cut.Validate().ok());  // still connected via vw
+  EXPECT_DOUBLE_EQ(cut.links()[0].nrate.value(), 1.0);
+  EXPECT_DOUBLE_EQ(cut.links()[1].nrate.value(), 3.0);
+  // Node attributes survive the copy.
+  EXPECT_DOUBLE_EQ(cut.node(a).io_cap.value(), 42.0);
+  EXPECT_EQ(cut.node(b).name, "B");
+
+  // Cutting a bridge leaves a disconnected (invalid) topology.
+  const Topology bridged = cut.WithoutLink(1);
+  EXPECT_FALSE(bridged.Validate().ok());
+}
+
+}  // namespace
+}  // namespace vor::net

@@ -1,0 +1,81 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vor::util {
+namespace {
+
+TEST(UnitsTest, AdditiveArithmetic) {
+  const Bytes a{100.0};
+  const Bytes b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(UnitsTest, CompoundAssignment) {
+  Bytes a{10.0};
+  a += Bytes{5.0};
+  EXPECT_DOUBLE_EQ(a.value(), 15.0);
+  a -= Bytes{3.0};
+  EXPECT_DOUBLE_EQ(a.value(), 12.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a.value(), 24.0);
+}
+
+TEST(UnitsTest, Ordering) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_GE(Money{5.0}, Money{5.0});
+  EXPECT_EQ(Bytes{3.0}, Bytes{3.0});
+  EXPECT_NE(Bytes{3.0}, Bytes{4.0});
+}
+
+TEST(UnitsTest, BandwidthTimeGivesBytes) {
+  const BytesPerSecond rate = Mbps(6.0);
+  EXPECT_DOUBLE_EQ(rate.value(), 6e6 / 8.0);
+  const Bytes volume = rate * Minutes(90.0);
+  EXPECT_DOUBLE_EQ(volume.value(), 6e6 / 8.0 * 5400.0);
+  EXPECT_DOUBLE_EQ((Minutes(90.0) * rate).value(), volume.value());
+}
+
+TEST(UnitsTest, BytesOverTimeGivesBandwidth) {
+  const BytesPerSecond rate = GB(2.5) / Hours(1.0);
+  EXPECT_DOUBLE_EQ(rate.value(), 2.5e9 / 3600.0);
+  EXPECT_DOUBLE_EQ((GB(2.5) / rate).value(), 3600.0);
+}
+
+TEST(UnitsTest, NetworkCharging) {
+  const Money cost = NetworkRate{2e-9} * GB(3.0);
+  EXPECT_DOUBLE_EQ(cost.value(), 6.0);
+  EXPECT_DOUBLE_EQ((GB(3.0) * NetworkRate{2e-9}).value(), 6.0);
+}
+
+TEST(UnitsTest, StorageCharging) {
+  const ByteSeconds reserved = GB(1.0) * Hours(2.0);
+  EXPECT_DOUBLE_EQ(reserved.value(), 1e9 * 7200.0);
+  const Money cost = StorageRate{1.0 / (1e9 * 3600.0)} * reserved;
+  EXPECT_DOUBLE_EQ(cost.value(), 2.0);  // $1/(GB*h) for 1 GB over 2 h
+}
+
+TEST(UnitsTest, LiteralHelpers) {
+  EXPECT_DOUBLE_EQ(KB(2.0).value(), 2e3);
+  EXPECT_DOUBLE_EQ(MB(2.0).value(), 2e6);
+  EXPECT_DOUBLE_EQ(GB(2.0).value(), 2e9);
+  EXPECT_DOUBLE_EQ(Minutes(2.0).value(), 120.0);
+  EXPECT_DOUBLE_EQ(Hours(2.0).value(), 7200.0);
+  EXPECT_DOUBLE_EQ(Days(2.0).value(), 172800.0);
+}
+
+TEST(UnitsTest, NearComparison) {
+  EXPECT_TRUE(Near(Money{1.0}, Money{1.0 + 1e-12}));
+  EXPECT_FALSE(Near(Money{1.0}, Money{1.1}));
+  EXPECT_TRUE(Near(Bytes{0.0}, Bytes{1e-10}));
+  EXPECT_TRUE(Near(Money{1e12}, Money{1e12 * (1.0 + 1e-10)}));
+}
+
+}  // namespace
+}  // namespace vor::util

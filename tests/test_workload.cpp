@@ -1,0 +1,146 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "media/catalog.hpp"
+#include "net/topology.hpp"
+
+namespace vor::workload {
+namespace {
+
+net::Topology Topo(std::size_t storages) {
+  net::Topology topo;
+  const net::NodeId vw = topo.AddWarehouse("VW");
+  net::NodeId prev = vw;
+  for (std::size_t i = 0; i < storages; ++i) {
+    const net::NodeId n = topo.AddStorage("IS" + std::to_string(i),
+                                          util::GB(5), util::StorageRate{0});
+    topo.AddLink(prev, n, util::NetworkRate{1e-9});
+    prev = n;
+  }
+  return topo;
+}
+
+TEST(WorkloadTest, OneRequestPerUser) {
+  const net::Topology topo = Topo(19);
+  const media::Catalog catalog = media::MakeSyntheticCatalog({});
+  WorkloadParams params;
+  params.users_per_neighborhood = 10;
+  const auto requests = GenerateRequests(topo, catalog, params);
+  EXPECT_EQ(requests.size(), 190u);  // the paper's per-cycle request count
+}
+
+TEST(WorkloadTest, RequestsSortedAndInCycle) {
+  const net::Topology topo = Topo(5);
+  const media::Catalog catalog = media::MakeSyntheticCatalog({});
+  WorkloadParams params;
+  params.cycle_length = util::Hours(24);
+  const auto requests = GenerateRequests(topo, catalog, params);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_GE(requests[i].start_time.value(), 0.0);
+    EXPECT_LT(requests[i].start_time.value(), 24 * 3600.0);
+    EXPECT_TRUE(topo.IsStorage(requests[i].neighborhood));
+    EXPECT_LT(requests[i].video, catalog.size());
+    if (i) {
+      EXPECT_LE(requests[i - 1].start_time, requests[i].start_time);
+    }
+  }
+}
+
+TEST(WorkloadTest, UsersSpreadAcrossNeighborhoods) {
+  const net::Topology topo = Topo(4);
+  const media::Catalog catalog = media::MakeSyntheticCatalog({});
+  WorkloadParams params;
+  params.users_per_neighborhood = 7;
+  const auto requests = GenerateRequests(topo, catalog, params);
+  std::map<net::NodeId, int> counts;
+  for (const Request& r : requests) ++counts[r.neighborhood];
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [node, count] : counts) EXPECT_EQ(count, 7);
+}
+
+TEST(WorkloadTest, SkewControlsConcentration) {
+  const net::Topology topo = Topo(19);
+  media::CatalogParams cp;
+  cp.count = 500;
+  const media::Catalog catalog = media::MakeSyntheticCatalog(cp);
+
+  auto distinct_videos = [&](double alpha) {
+    WorkloadParams params;
+    params.users_per_neighborhood = 50;
+    params.zipf_alpha = alpha;
+    params.seed = 3;
+    const auto requests = GenerateRequests(topo, catalog, params);
+    std::map<media::VideoId, int> seen;
+    for (const Request& r : requests) ++seen[r.video];
+    return seen.size();
+  };
+  // More skew (smaller alpha) -> requests hit fewer distinct titles.
+  EXPECT_LT(distinct_videos(0.1), distinct_videos(0.7));
+}
+
+TEST(WorkloadTest, EveningPeakShiftsMassLate) {
+  const net::Topology topo = Topo(10);
+  const media::Catalog catalog = media::MakeSyntheticCatalog({});
+  WorkloadParams uniform;
+  uniform.users_per_neighborhood = 200;
+  uniform.profile = StartTimeProfile::kUniform;
+  WorkloadParams evening = uniform;
+  evening.profile = StartTimeProfile::kEveningPeak;
+
+  auto mean_time = [&](const WorkloadParams& p) {
+    double total = 0.0;
+    const auto requests = GenerateRequests(topo, catalog, p);
+    for (const Request& r : requests) total += r.start_time.value();
+    return total / static_cast<double>(requests.size());
+  };
+  EXPECT_GT(mean_time(evening), mean_time(uniform) * 1.1);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  const net::Topology topo = Topo(5);
+  const media::Catalog catalog = media::MakeSyntheticCatalog({});
+  WorkloadParams params;
+  params.seed = 99;
+  const auto a = GenerateRequests(topo, catalog, params);
+  const auto b = GenerateRequests(topo, catalog, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].video, b[i].video);
+    EXPECT_EQ(a[i].start_time, b[i].start_time);
+  }
+}
+
+TEST(GroupByVideoTest, GroupsAreChronologicalAndComplete) {
+  const net::Topology topo = Topo(6);
+  const media::Catalog catalog = media::MakeSyntheticCatalog({});
+  WorkloadParams params;
+  params.users_per_neighborhood = 20;
+  const auto requests = GenerateRequests(topo, catalog, params);
+  const auto groups = GroupByVideo(requests);
+
+  std::size_t total = 0;
+  media::VideoId prev_video = 0;
+  bool first = true;
+  for (const auto& [video, indices] : groups) {
+    if (!first) {
+      EXPECT_GT(video, prev_video);  // ordered by video id
+    }
+    prev_video = video;
+    first = false;
+    total += indices.size();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      EXPECT_EQ(requests[indices[i]].video, video);
+      if (i) {
+        EXPECT_LE(requests[indices[i - 1]].start_time,
+                  requests[indices[i]].start_time);
+      }
+    }
+  }
+  EXPECT_EQ(total, requests.size());
+}
+
+}  // namespace
+}  // namespace vor::workload

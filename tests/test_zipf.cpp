@@ -1,0 +1,130 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vor::util {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (const double alpha : {0.0, 0.1, 0.271, 0.5, 0.7, 1.0}) {
+    ZipfDistribution zipf(500, alpha);
+    double total = 0.0;
+    for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.pmf(i);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "alpha=" << alpha;
+  }
+}
+
+TEST(ZipfTest, PmfIsNonIncreasing) {
+  ZipfDistribution zipf(100, 0.271);
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_LE(zipf.pmf(i), zipf.pmf(i - 1));
+  }
+}
+
+TEST(ZipfTest, AlphaOneIsUniform) {
+  ZipfDistribution zipf(50, 1.0);
+  for (std::size_t i = 0; i < zipf.size(); ++i) {
+    EXPECT_NEAR(zipf.pmf(i), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(ZipfTest, LargerAlphaIsLessSkewed) {
+  // The paper: "Larger alpha implies a less biased distribution."
+  const ZipfDistribution skewed(500, 0.1);
+  const ZipfDistribution medium(500, 0.5);
+  const ZipfDistribution flat(500, 0.9);
+  EXPECT_GT(skewed.TopMass(50), medium.TopMass(50));
+  EXPECT_GT(medium.TopMass(50), flat.TopMass(50));
+}
+
+TEST(ZipfTest, PaperAlphaConcentratesMass) {
+  // alpha = 0.271 (the commercial video-rental fit) puts most of the mass
+  // on a small head of the 500-title catalog.
+  ZipfDistribution zipf(500, 0.271);
+  EXPECT_GT(zipf.TopMass(100), 0.55);
+  EXPECT_LT(zipf.TopMass(100), 0.95);
+}
+
+TEST(ZipfTest, AliasSamplerMatchesPmf) {
+  ZipfDistribution zipf(50, 0.271);
+  Rng rng(17);
+  std::vector<double> counts(50, 0.0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(counts[i] / n, zipf.pmf(i), 0.005) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, InversionSamplerMatchesPmf) {
+  ZipfDistribution zipf(50, 0.5);
+  Rng rng(18);
+  std::vector<double> counts(50, 0.0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.SampleByInversion(rng)];
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(counts[i] / n, zipf.pmf(i), 0.005) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SamplersAgreeOnHeadMass) {
+  ZipfDistribution zipf(200, 0.271);
+  Rng rng_a(5);
+  Rng rng_b(6);
+  const int n = 200000;
+  int head_a = 0;
+  int head_b = 0;
+  for (int i = 0; i < n; ++i) {
+    head_a += zipf.Sample(rng_a) < 20 ? 1 : 0;
+    head_b += zipf.SampleByInversion(rng_b) < 20 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(head_a) / n,
+              static_cast<double>(head_b) / n, 0.01);
+}
+
+TEST(ZipfTest, SingleRankAlwaysSampled) {
+  ZipfDistribution zipf(1, 0.271);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, TopMassClampsAtFullSupport) {
+  ZipfDistribution zipf(10, 0.5);
+  EXPECT_NEAR(zipf.TopMass(10), 1.0, 1e-12);
+  EXPECT_NEAR(zipf.TopMass(100), 1.0, 1e-12);
+}
+
+/// Property sweep: alias and inversion samplers produce the same
+/// distribution across the paper's alpha values.
+class ZipfAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweep, ChiSquareCloseAcrossSamplers) {
+  const double alpha = GetParam();
+  ZipfDistribution zipf(100, alpha);
+  Rng rng(911);
+  std::vector<double> counts(100, 0.0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double expected = zipf.pmf(i) * n;
+    if (expected > 5.0) {
+      chi2 += (counts[i] - expected) * (counts[i] - expected) / expected;
+    }
+  }
+  // ~99 dof; 160 is far beyond the 99.9th percentile only for broken
+  // samplers.
+  EXPECT_LT(chi2, 160.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlphas, ZipfAlphaSweep,
+                         ::testing::Values(0.1, 0.271, 0.5, 0.7));
+
+}  // namespace
+}  // namespace vor::util

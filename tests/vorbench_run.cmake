@@ -1,0 +1,40 @@
+# Drives vorbench: knob/metric listings plus a small 2x2 sweep.
+execute_process(COMMAND ${VORBENCH} knobs RESULT_VARIABLE rc OUTPUT_VARIABLE knobs)
+if(NOT rc EQUAL 0 OR NOT knobs MATCHES "nrate_per_gb")
+  message(FATAL_ERROR "vorbench knobs failed: ${knobs}")
+endif()
+execute_process(COMMAND ${VORBENCH} metrics RESULT_VARIABLE rc OUTPUT_VARIABLE metrics)
+if(NOT rc EQUAL 0 OR NOT metrics MATCHES "final_cost")
+  message(FATAL_ERROR "vorbench metrics failed: ${metrics}")
+endif()
+
+set(spec ${WORKDIR}/vorbench_spec.json)
+file(WRITE ${spec} "{
+  \"format\": \"vor/1\",
+  \"kind\": \"experiment\",
+  \"base\": {\"storage_count\": 5, \"users_per_neighborhood\": 4,
+              \"catalog_size\": 40},
+  \"sweep\": {\"knob\": \"nrate_per_gb\", \"values\": [300, 900]},
+  \"series\": {\"knob\": \"is_capacity_gb\", \"values\": [5, 11]},
+  \"metric\": \"final_cost\"
+}")
+execute_process(COMMAND ${VORBENCH} run ${spec}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vorbench run failed: ${out}")
+endif()
+if(NOT out MATCHES "CSV BEGIN" OR NOT out MATCHES "is_capacity_gb=11")
+  message(FATAL_ERROR "vorbench output unexpected: ${out}")
+endif()
+
+# Bad specs must be rejected with useful errors.
+file(WRITE ${spec} "{\"format\": \"vor/1\", \"kind\": \"experiment\",
+  \"sweep\": {\"knob\": \"bogus\", \"values\": [1]}}")
+execute_process(COMMAND ${VORBENCH} run ${spec}
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "vorbench accepted a bogus knob")
+endif()
+if(NOT err MATCHES "unknown knob")
+  message(FATAL_ERROR "vorbench error message unexpected: ${err}")
+endif()

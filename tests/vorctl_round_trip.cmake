@@ -1,0 +1,85 @@
+# Drives the vorctl binary through a full generate/solve/validate/simulate
+# cycle; any non-zero exit fails the test.
+set(scenario ${WORKDIR}/vorctl_scenario.json)
+set(schedule ${WORKDIR}/vorctl_schedule.json)
+set(trace ${WORKDIR}/vorctl_trace.csv)
+
+execute_process(
+  COMMAND ${VORCTL} gen-scenario --storages 6 --users 4 --catalog 40
+          --capacity-gb 5 --seed 11 --out ${scenario} --trace-out ${trace}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen-scenario failed: ${rc}")
+endif()
+if(NOT EXISTS ${trace})
+  message(FATAL_ERROR "trace export missing")
+endif()
+
+execute_process(
+  COMMAND ${VORCTL} solve ${scenario} --heat m2 --out ${schedule}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "solve failed: ${rc}")
+endif()
+if(NOT out MATCHES "total cost")
+  message(FATAL_ERROR "solve output missing report: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${VORCTL} validate ${scenario} ${schedule}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "validate failed (${rc}): ${out}")
+endif()
+
+execute_process(
+  COMMAND ${VORCTL} simulate ${scenario} ${schedule}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "simulate failed: ${rc}")
+endif()
+if(NOT out MATCHES "peak concurrent streams")
+  message(FATAL_ERROR "simulate output unexpected: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${VORCTL} report ${scenario} ${schedule}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report failed: ${rc}")
+endif()
+if(NOT out MATCHES "hit ratio")
+  message(FATAL_ERROR "report output unexpected: ${out}")
+endif()
+
+# Diffing a schedule against itself is empty; against a re-solve with a
+# different heat metric it must not crash.
+execute_process(
+  COMMAND ${VORCTL} diff ${scenario} ${schedule} ${schedule}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "0 file")
+  message(FATAL_ERROR "self-diff unexpected: ${out}")
+endif()
+
+# Solving against the exported CSV trace must match the embedded requests.
+execute_process(
+  COMMAND ${VORCTL} solve ${scenario} --trace ${trace}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE trace_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "solve --trace failed: ${rc}")
+endif()
+if(NOT trace_out MATCHES "total cost")
+  message(FATAL_ERROR "solve --trace output unexpected")
+endif()
+
+# Corrupt the schedule (splice a bogus node into every route) and
+# make sure validate now fails.
+file(READ ${schedule} text)
+string(REPLACE "\"route\": [" "\"route\": [999," text_bad "${text}")
+file(WRITE ${schedule} "${text_bad}")
+execute_process(
+  COMMAND ${VORCTL} validate ${scenario} ${schedule}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "validate accepted a corrupted schedule")
+endif()

@@ -1,0 +1,301 @@
+// vorbench — declarative experiment runner.
+//
+// The per-figure benches hard-code the paper's sweeps; vorbench runs any
+// sweep described by a small JSON spec, so new parameter studies need no
+// recompilation:
+//
+//   {
+//     "format": "vor/1",
+//     "kind": "experiment",
+//     "base":   { "nrate_per_gb": 500, "zipf_alpha": 0.271 },
+//     "sweep":  { "knob": "nrate_per_gb",
+//                 "values": [300, 500, 700, 1000] },
+//     "series": { "knob": "srate_per_gb_hour", "values": [3, 5, 7] },
+//     "metric": "final_cost"
+//   }
+//
+//   vorbench run spec.json            # table + CSV to stdout
+//   vorbench knobs                    # list sweepable knobs
+//   vorbench metrics                  # list reportable metrics
+//
+// Rows are the sweep values, columns the series values (plus a single
+// column when "series" is omitted).  Cells are computed in parallel.
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/network_only.hpp"
+#include "baseline/online_lru.hpp"
+#include "core/bounds.hpp"
+#include "core/report.hpp"
+#include "core/scheduler.hpp"
+#include "io/serialize.hpp"
+#include "net/routing.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace vor;
+
+// ---- knobs ---------------------------------------------------------------
+
+using KnobSetter = std::function<void(workload::ScenarioParams&, double)>;
+
+const std::map<std::string, KnobSetter>& Knobs() {
+  static const std::map<std::string, KnobSetter> knobs{
+      {"nrate_per_gb",
+       [](workload::ScenarioParams& p, double v) { p.nrate_per_gb = v; }},
+      {"srate_per_gb_hour",
+       [](workload::ScenarioParams& p, double v) { p.srate_per_gb_hour = v; }},
+      {"is_capacity_gb",
+       [](workload::ScenarioParams& p, double v) { p.is_capacity = util::GB(v); }},
+      {"zipf_alpha",
+       [](workload::ScenarioParams& p, double v) { p.zipf_alpha = v; }},
+      {"users_per_neighborhood",
+       [](workload::ScenarioParams& p, double v) {
+         p.users_per_neighborhood = static_cast<std::size_t>(v);
+       }},
+      {"storage_count",
+       [](workload::ScenarioParams& p, double v) {
+         p.storage_count = static_cast<std::size_t>(v);
+       }},
+      {"catalog_size",
+       [](workload::ScenarioParams& p, double v) {
+         p.catalog_size = static_cast<std::size_t>(v);
+       }},
+      {"cycle_hours",
+       [](workload::ScenarioParams& p, double v) {
+         p.cycle_length = util::Hours(v);
+       }},
+      {"seed",
+       [](workload::ScenarioParams& p, double v) {
+         p.seed = static_cast<std::uint64_t>(v);
+       }},
+  };
+  return knobs;
+}
+
+// ---- metrics ---------------------------------------------------------------
+
+struct CellInputs {
+  workload::Scenario scenario;
+  core::SolveOutput solved;
+  const core::CostModel* cost_model;
+};
+
+using Metric = std::function<double(const CellInputs&)>;
+
+const std::map<std::string, Metric>& Metrics() {
+  static const std::map<std::string, Metric> metrics{
+      {"final_cost",
+       [](const CellInputs& c) { return c.solved.final_cost.value(); }},
+      {"phase1_cost",
+       [](const CellInputs& c) { return c.solved.phase1_cost.value(); }},
+      {"victims",
+       [](const CellInputs& c) {
+         return static_cast<double>(c.solved.sorp.victims_rescheduled);
+       }},
+      {"residencies",
+       [](const CellInputs& c) {
+         return static_cast<double>(c.solved.schedule.TotalResidencies());
+       }},
+      {"cache_hit_ratio",
+       [](const CellInputs& c) {
+         return core::BuildReport(c.solved.schedule, c.scenario.requests,
+                                  *c.cost_model)
+             .cache_hit_ratio;
+       }},
+      {"network_only_cost",
+       [](const CellInputs& c) {
+         return c.cost_model
+             ->TotalCost(baseline::NetworkOnlySchedule(c.scenario.requests,
+                                                       *c.cost_model))
+             .value();
+       }},
+      {"online_lru_cost",
+       [](const CellInputs& c) {
+         return c.cost_model
+             ->TotalCost(baseline::OnlineLruSchedule(c.scenario.requests,
+                                                     *c.cost_model)
+                             .schedule)
+             .value();
+       }},
+      {"lower_bound",
+       [](const CellInputs& c) {
+         return core::UnavoidableNetworkLowerBound(c.scenario.requests,
+                                                   *c.cost_model)
+             .total();
+       }},
+  };
+  return metrics;
+}
+
+// ---- spec ------------------------------------------------------------------
+
+struct Axis {
+  std::string knob;
+  std::vector<double> values;
+};
+
+struct Spec {
+  workload::ScenarioParams base;
+  Axis sweep;
+  std::optional<Axis> series;
+  std::string metric = "final_cost";
+};
+
+util::Result<Axis> ParseAxis(const util::Json& j, const char* what) {
+  Axis axis;
+  axis.knob = j.GetString("knob", "");
+  if (!Knobs().count(axis.knob)) {
+    return util::InvalidArgument(std::string(what) + ": unknown knob '" +
+                                 axis.knob + "' (see 'vorbench knobs')");
+  }
+  if (!j["values"].is_array() || j["values"].as_array().empty()) {
+    return util::InvalidArgument(std::string(what) +
+                                 ": needs a non-empty 'values' array");
+  }
+  for (const util::Json& v : j["values"].as_array()) {
+    if (!v.is_number()) {
+      return util::InvalidArgument(std::string(what) +
+                                   ": values must be numbers");
+    }
+    axis.values.push_back(v.as_number());
+  }
+  return axis;
+}
+
+util::Result<Spec> ParseSpec(const util::Json& j) {
+  if (!j.is_object() || j.GetString("kind", "") != "experiment") {
+    return util::InvalidArgument("spec must have kind 'experiment'");
+  }
+  Spec spec;
+  if (j["base"].is_object()) {
+    for (const auto& [key, value] : j["base"].as_object()) {
+      const auto knob = Knobs().find(key);
+      if (knob == Knobs().end()) {
+        return util::InvalidArgument("base: unknown knob '" + key + "'");
+      }
+      if (!value.is_number()) {
+        return util::InvalidArgument("base: '" + key + "' must be a number");
+      }
+      knob->second(spec.base, value.as_number());
+    }
+  }
+  auto sweep = ParseAxis(j["sweep"], "sweep");
+  if (!sweep.ok()) return sweep.error();
+  spec.sweep = std::move(*sweep);
+  if (!j["series"].is_null()) {
+    auto series = ParseAxis(j["series"], "series");
+    if (!series.ok()) return series.error();
+    spec.series = std::move(*series);
+  }
+  spec.metric = j.GetString("metric", "final_cost");
+  if (!Metrics().count(spec.metric)) {
+    return util::InvalidArgument("unknown metric '" + spec.metric +
+                                 "' (see 'vorbench metrics')");
+  }
+  return spec;
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "vorbench: " << message << '\n';
+  return 1;
+}
+
+int CmdRun(const std::string& path) {
+  auto text = io::ReadFile(path);
+  if (!text.ok()) return Fail(text.error().message);
+  auto json = util::Json::Parse(*text);
+  if (!json.ok()) return Fail(json.error().message);
+  auto spec = ParseSpec(*json);
+  if (!spec.ok()) return Fail(spec.error().message);
+
+  const std::size_t columns = spec->series ? spec->series->values.size() : 1;
+  const std::size_t rows = spec->sweep.values.size();
+  std::vector<std::vector<double>> cells(rows, std::vector<double>(columns));
+  std::vector<std::string> errors(rows * columns);
+
+  util::ThreadPool pool;
+  pool.ParallelFor(rows * columns, [&](std::size_t i) {
+    const std::size_t row = i / columns;
+    const std::size_t col = i % columns;
+    workload::ScenarioParams params = spec->base;
+    Knobs().at(spec->sweep.knob)(params, spec->sweep.values[row]);
+    if (spec->series) {
+      Knobs().at(spec->series->knob)(params, spec->series->values[col]);
+    }
+    CellInputs inputs{workload::MakeScenario(params), {}, nullptr};
+    const core::VorScheduler scheduler(inputs.scenario.topology,
+                                       inputs.scenario.catalog);
+    auto solved = scheduler.Solve(inputs.scenario.requests);
+    if (!solved.ok()) {
+      errors[i] = solved.error().message;
+      return;
+    }
+    inputs.solved = std::move(*solved);
+    inputs.cost_model = &scheduler.cost_model();
+    cells[row][col] = Metrics().at(spec->metric)(inputs);
+  });
+  for (const std::string& error : errors) {
+    if (!error.empty()) return Fail(error);
+  }
+
+  util::PrintBenchHeader(std::cout, "vorbench: " + path,
+                         spec->metric + " over " + spec->sweep.knob +
+                             (spec->series ? " x " + spec->series->knob : ""),
+                         spec->base.seed);
+  std::vector<std::string> header{spec->sweep.knob};
+  if (spec->series) {
+    for (const double v : spec->series->values) {
+      header.push_back(spec->series->knob + "=" + util::Table::Num(v, 3));
+    }
+  } else {
+    header.push_back(spec->metric);
+  }
+  util::Table table(header);
+  for (std::size_t row = 0; row < rows; ++row) {
+    std::vector<std::string> line{
+        util::Table::Num(spec->sweep.values[row], 3)};
+    for (std::size_t col = 0; col < columns; ++col) {
+      line.push_back(util::Table::Num(cells[row][col], 2));
+    }
+    table.AddRow(std::move(line));
+  }
+  table.PrintPretty(std::cout);
+  std::cout << "\n--- CSV BEGIN ---\n";
+  table.PrintCsv(std::cout);
+  std::cout << "--- CSV END ---\n";
+  return 0;
+}
+
+void PrintList(const char* what) {
+  if (std::string(what) == "knobs") {
+    for (const auto& [name, setter] : Knobs()) std::cout << name << '\n';
+  } else {
+    for (const auto& [name, metric] : Metrics()) std::cout << name << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "knobs") {
+    PrintList("knobs");
+    return 0;
+  }
+  if (argc >= 2 && std::string(argv[1]) == "metrics") {
+    PrintList("metrics");
+    return 0;
+  }
+  if (argc >= 3 && std::string(argv[1]) == "run") return CmdRun(argv[2]);
+  std::cout << "usage: vorbench run <spec.json> | vorbench knobs | "
+               "vorbench metrics\n";
+  return argc < 2 ? 1 : (std::string(argv[1]) == "help" ? 0 : 1);
+}

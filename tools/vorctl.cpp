@@ -1,0 +1,378 @@
+// vorctl — command-line front end to the VOR scheduling library.
+//
+//   vorctl gen-scenario [--nrate N] [--srate N] [--capacity-gb N]
+//                       [--alpha A] [--storages N] [--users N]
+//                       [--catalog N] [--seed N] [--evening]
+//                       [--out scenario.json] [--trace-out trace.csv]
+//       Generates a self-contained scenario document (topology + catalog
+//       + one cycle of reservations), optionally exporting the request
+//       trace as CSV.
+//
+//   vorctl solve <scenario.json> [--heat m1|m2|m3|m4] [--out schedule.json]
+//                [--trace trace.csv] [--bandwidth]
+//       Runs the two-phase scheduler and prints the schedule report.
+//       --trace substitutes a CSV reservation log for the scenario's
+//       requests; --bandwidth uses the link-capacity-aware scheduler
+//       (meaningful when the topology carries bandwidth caps).
+//
+//   vorctl validate <scenario.json> <schedule.json>
+//       Re-validates a schedule against its scenario: service coverage,
+//       anchoring, capacity; exits non-zero on violations.
+//
+//   vorctl simulate <scenario.json> <schedule.json>
+//       Replays a schedule through the discrete-event simulator and
+//       prints storage/link telemetry.
+//
+//   vorctl report <scenario.json> <schedule.json>
+//       Prints the operator report (cost split, cache hit ratio, hops
+//       histogram, per-storage usage) for an existing schedule.
+//
+//   vorctl diff <scenario.json> <before.json> <after.json>
+//       Shows what changed between two schedules of the same cycle:
+//       moved/extended copies, retargeted services, per-file cost deltas.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/network_only.hpp"
+#include "core/bounds.hpp"
+#include "core/diff.hpp"
+#include "core/report.hpp"
+#include "core/scheduler.hpp"
+#include "ext/bandwidth.hpp"
+#include "io/serialize.hpp"
+#include "sim/playback_sim.hpp"
+#include "sim/validator.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace vor;
+
+/// "--key value" and bare "--flag" arguments after the subcommand.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] double Number(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::string Str(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool Flag(const std::string& key) const {
+    return options.count(key) > 0;
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "vorctl: " << message << '\n';
+  return 1;
+}
+
+util::Result<workload::Scenario> LoadScenario(const std::string& path) {
+  auto text = io::ReadFile(path);
+  if (!text.ok()) return text.error();
+  auto json = util::Json::Parse(*text);
+  if (!json.ok()) return json.error();
+  return io::ScenarioFromJson(*json);
+}
+
+util::Result<core::Schedule> LoadSchedule(const std::string& path) {
+  auto text = io::ReadFile(path);
+  if (!text.ok()) return text.error();
+  auto json = util::Json::Parse(*text);
+  if (!json.ok()) return json.error();
+  return io::ScheduleFromJson(*json);
+}
+
+std::optional<core::HeatMetric> ParseHeat(const std::string& name) {
+  if (name == "m1") return core::HeatMetric::kImprovedLength;
+  if (name == "m2") return core::HeatMetric::kLengthPerCost;
+  if (name == "m3") return core::HeatMetric::kTimeSpace;
+  if (name == "m4") return core::HeatMetric::kTimeSpacePerCost;
+  return std::nullopt;
+}
+
+int CmdGenScenario(const Args& args) {
+  workload::ScenarioParams params;
+  params.nrate_per_gb = args.Number("nrate", params.nrate_per_gb);
+  params.srate_per_gb_hour = args.Number("srate", params.srate_per_gb_hour);
+  params.is_capacity = util::GB(args.Number("capacity-gb", 5.0));
+  params.zipf_alpha = args.Number("alpha", params.zipf_alpha);
+  params.storage_count =
+      static_cast<std::size_t>(args.Number("storages", 19));
+  params.users_per_neighborhood =
+      static_cast<std::size_t>(args.Number("users", 10));
+  params.catalog_size = static_cast<std::size_t>(args.Number("catalog", 500));
+  params.seed = static_cast<std::uint64_t>(args.Number("seed", 1997));
+  if (args.Flag("evening")) {
+    params.start_profile = workload::StartTimeProfile::kEveningPeak;
+  }
+
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  const std::string trace_out = args.Str("trace-out", "");
+  if (!trace_out.empty()) {
+    if (const util::Status s = io::WriteFile(
+            trace_out, workload::RequestsToCsv(scenario.requests));
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "wrote " << trace_out << " (" << scenario.requests.size()
+              << " requests)\n";
+  }
+  const std::string text = io::ScenarioToJson(scenario).Dump(2);
+  const std::string out = args.Str("out", "");
+  if (out.empty()) {
+    std::cout << text << '\n';
+  } else {
+    if (const util::Status s = io::WriteFile(out, text); !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "wrote " << out << " (" << scenario.requests.size()
+              << " requests, " << scenario.catalog.size() << " titles, "
+              << scenario.topology.node_count() << " nodes)\n";
+  }
+  return 0;
+}
+
+int CmdSolve(const Args& args) {
+  if (args.positional.empty()) return Fail("solve needs a scenario file");
+  auto scenario = LoadScenario(args.positional[0]);
+  if (!scenario.ok()) return Fail(scenario.error().message);
+
+  // Optional CSV trace replaces the scenario's synthetic requests.
+  const std::string trace_path = args.Str("trace", "");
+  if (!trace_path.empty()) {
+    auto text = io::ReadFile(trace_path);
+    if (!text.ok()) return Fail(text.error().message);
+    auto trace = workload::RequestsFromCsv(*text);
+    if (!trace.ok()) return Fail(trace.error().message);
+    if (const util::Status s = workload::ValidateTrace(
+            *trace, scenario->topology, scenario->catalog);
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    scenario->requests = std::move(*trace);
+  }
+
+  core::SchedulerOptions options;
+  const std::string heat = args.Str("heat", "m4");
+  const auto metric = ParseHeat(heat);
+  if (!metric) return Fail("unknown heat metric '" + heat + "'");
+  options.heat = *metric;
+  options.phase1_threads =
+      static_cast<std::size_t>(args.Number("threads", 0));
+
+  core::Schedule schedule;
+  double phase1_cost = 0.0;
+  double final_cost = 0.0;
+  std::size_t victims = 0;
+
+  if (args.Flag("bandwidth")) {
+    const ext::BandwidthAwareScheduler scheduler(scenario->topology,
+                                                 scenario->catalog, options);
+    auto result = scheduler.Solve(scenario->requests);
+    if (!result.ok()) return Fail(result.error().message);
+    schedule = std::move(result->schedule);
+    phase1_cost = result->phase1_cost.value();
+    final_cost = result->final_cost.value();
+    victims = result->sorp.victims_rescheduled;
+    std::cout << "bandwidth: " << result->forced_requests
+              << " forced request(s), " << result->overloaded_links
+              << " overloaded link(s), worst utilization "
+              << result->worst_utilization << "\n";
+  } else {
+    const core::VorScheduler scheduler(scenario->topology, scenario->catalog,
+                                       options);
+    auto result = scheduler.Solve(scenario->requests);
+    if (!result.ok()) return Fail(result.error().message);
+    schedule = std::move(result->schedule);
+    phase1_cost = result->phase1_cost.value();
+    final_cost = result->final_cost.value();
+    victims = result->sorp.victims_rescheduled;
+  }
+
+  const net::Router router(scenario->topology);
+  const core::CostModel cm(scenario->topology, router, scenario->catalog,
+                           options.pricing);
+  const core::ScheduleReport report =
+      core::BuildReport(schedule, scenario->requests, cm);
+  std::cout << report.ToText(scenario->topology);
+  std::cout << "phase-1 cost $" << phase1_cost
+            << ", overflows resolved with " << victims
+            << " victim reschedule(s)\n";
+  const double direct =
+      cm.TotalCost(baseline::NetworkOnlySchedule(scenario->requests, cm))
+          .value();
+  const double bound =
+      core::UnavoidableNetworkLowerBound(scenario->requests, cm).total();
+  std::cout << "network-only baseline would cost $" << direct
+            << "; unavoidable lower bound $" << bound << '\n';
+  (void)final_cost;
+
+  const std::string out = args.Str("out", "");
+  if (!out.empty()) {
+    if (const util::Status s = io::WriteFile(out, io::ToJson(schedule).Dump(2));
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "wrote " << out << '\n';
+  }
+  return 0;
+}
+
+int CmdDiff(const Args& args) {
+  if (args.positional.size() < 3) {
+    return Fail("diff needs <scenario.json> <before.json> <after.json>");
+  }
+  auto scenario = LoadScenario(args.positional[0]);
+  if (!scenario.ok()) return Fail(scenario.error().message);
+  auto before = LoadSchedule(args.positional[1]);
+  if (!before.ok()) return Fail(before.error().message);
+  auto after = LoadSchedule(args.positional[2]);
+  if (!after.ok()) return Fail(after.error().message);
+  const net::Router router(scenario->topology);
+  const core::CostModel cm(scenario->topology, router, scenario->catalog);
+  std::cout << core::DiffSchedules(*before, *after, cm)
+                   .ToText(scenario->topology);
+  return 0;
+}
+
+int CmdReport(const Args& args) {
+  if (args.positional.size() < 2) {
+    return Fail("report needs <scenario.json> <schedule.json>");
+  }
+  auto scenario = LoadScenario(args.positional[0]);
+  if (!scenario.ok()) return Fail(scenario.error().message);
+  auto schedule = LoadSchedule(args.positional[1]);
+  if (!schedule.ok()) return Fail(schedule.error().message);
+  const net::Router router(scenario->topology);
+  const core::CostModel cm(scenario->topology, router, scenario->catalog);
+  std::cout << core::BuildReport(*schedule, scenario->requests, cm)
+                   .ToText(scenario->topology);
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  if (args.positional.size() < 2) {
+    return Fail("validate needs <scenario.json> <schedule.json>");
+  }
+  auto scenario = LoadScenario(args.positional[0]);
+  if (!scenario.ok()) return Fail(scenario.error().message);
+  auto schedule = LoadSchedule(args.positional[1]);
+  if (!schedule.ok()) return Fail(schedule.error().message);
+
+  const net::Router router(scenario->topology);
+  const core::CostModel cm(scenario->topology, router, scenario->catalog);
+  const auto report =
+      sim::ValidateSchedule(*schedule, scenario->requests, cm);
+  if (report.ok()) {
+    std::cout << "schedule is valid; total cost $"
+              << cm.TotalCost(*schedule).value() << '\n';
+    return 0;
+  }
+  for (const sim::Violation& v : report.violations) {
+    std::cout << sim::ToString(v.kind) << ": " << v.detail << '\n';
+  }
+  std::cout << report.violations.size() << " violation(s)\n";
+  return 2;
+}
+
+int CmdSimulate(const Args& args) {
+  if (args.positional.size() < 2) {
+    return Fail("simulate needs <scenario.json> <schedule.json>");
+  }
+  auto scenario = LoadScenario(args.positional[0]);
+  if (!scenario.ok()) return Fail(scenario.error().message);
+  auto schedule = LoadSchedule(args.positional[1]);
+  if (!schedule.ok()) return Fail(schedule.error().message);
+
+  const net::Router router(scenario->topology);
+  const core::CostModel cm(scenario->topology, router, scenario->catalog);
+  const sim::SimulationResult sim =
+      sim::SimulateSchedule(*schedule, scenario->requests, cm);
+
+  std::cout << "events processed: " << sim.events_processed
+            << ", peak concurrent streams: " << sim.peak_concurrent_streams
+            << '\n';
+  util::Table nodes({"storage", "peak GB", "mean GB", "caches"});
+  for (const sim::NodeTelemetry& n : sim.nodes) {
+    nodes.AddRow({scenario->topology.node(n.node).name,
+                  util::Table::Num(n.peak_bytes / 1e9, 2),
+                  util::Table::Num(n.mean_bytes / 1e9, 2),
+                  std::to_string(n.residencies)});
+  }
+  nodes.PrintPretty(std::cout);
+  util::Table links({"link", "GB shipped", "peak streams"});
+  for (const sim::LinkTelemetry& l : sim.links) {
+    links.AddRow({scenario->topology.node(l.a).name + "-" +
+                      scenario->topology.node(l.b).name,
+                  util::Table::Num(l.total_bytes / 1e9, 2),
+                  std::to_string(l.peak_streams)});
+  }
+  links.PrintPretty(std::cout);
+  return 0;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "usage: vorctl <command> [args]\n"
+      "  gen-scenario [--nrate N] [--srate N] [--capacity-gb N] [--alpha A]\n"
+      "               [--storages N] [--users N] [--catalog N] [--seed N]\n"
+      "               [--evening] [--out FILE] [--trace-out FILE.csv]\n"
+      "  solve <scenario.json> [--heat m1|m2|m3|m4] [--out schedule.json]\n"
+      "        [--trace FILE.csv] [--bandwidth] [--threads N]\n"
+      "  validate <scenario.json> <schedule.json>\n"
+      "  simulate <scenario.json> <schedule.json>\n"
+      "  report <scenario.json> <schedule.json>\n"
+      "  diff <scenario.json> <before.json> <after.json>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  if (command == "gen-scenario") return CmdGenScenario(args);
+  if (command == "solve") return CmdSolve(args);
+  if (command == "validate") return CmdValidate(args);
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "report") return CmdReport(args);
+  if (command == "diff") return CmdDiff(args);
+  if (command == "help" || command == "--help") {
+    PrintUsage();
+    return 0;
+  }
+  return Fail("unknown command '" + command + "' (try 'vorctl help')");
+}
