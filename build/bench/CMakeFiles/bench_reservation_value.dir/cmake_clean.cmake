@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reservation_value.dir/bench_reservation_value.cpp.o"
+  "CMakeFiles/bench_reservation_value.dir/bench_reservation_value.cpp.o.d"
+  "bench_reservation_value"
+  "bench_reservation_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reservation_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

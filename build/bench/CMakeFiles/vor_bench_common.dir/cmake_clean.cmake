@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vor_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/vor_bench_common.dir/bench_common.cpp.o.d"
+  "libvor_bench_common.a"
+  "libvor_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vor_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvor_bench_common.a"
+)

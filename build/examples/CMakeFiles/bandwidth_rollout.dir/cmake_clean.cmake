@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_rollout.dir/bandwidth_rollout.cpp.o"
+  "CMakeFiles/bandwidth_rollout.dir/bandwidth_rollout.cpp.o.d"
+  "bandwidth_rollout"
+  "bandwidth_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_metrics.dir/heat_metrics.cpp.o"
+  "CMakeFiles/heat_metrics.dir/heat_metrics.cpp.o.d"
+  "heat_metrics"
+  "heat_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

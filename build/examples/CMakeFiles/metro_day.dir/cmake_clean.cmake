@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metro_day.dir/metro_day.cpp.o"
+  "CMakeFiles/metro_day.dir/metro_day.cpp.o.d"
+  "metro_day"
+  "metro_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metro_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_whatif.dir/outage_whatif.cpp.o"
+  "CMakeFiles/outage_whatif.dir/outage_whatif.cpp.o.d"
+  "outage_whatif"
+  "outage_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/week_of_service.dir/week_of_service.cpp.o"
+  "CMakeFiles/week_of_service.dir/week_of_service.cpp.o.d"
+  "week_of_service"
+  "week_of_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/week_of_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/batching.cpp" "src/CMakeFiles/vor.dir/baseline/batching.cpp.o" "gcc" "src/CMakeFiles/vor.dir/baseline/batching.cpp.o.d"
+  "/root/repo/src/baseline/exhaustive.cpp" "src/CMakeFiles/vor.dir/baseline/exhaustive.cpp.o" "gcc" "src/CMakeFiles/vor.dir/baseline/exhaustive.cpp.o.d"
+  "/root/repo/src/baseline/local_cache.cpp" "src/CMakeFiles/vor.dir/baseline/local_cache.cpp.o" "gcc" "src/CMakeFiles/vor.dir/baseline/local_cache.cpp.o.d"
+  "/root/repo/src/baseline/network_only.cpp" "src/CMakeFiles/vor.dir/baseline/network_only.cpp.o" "gcc" "src/CMakeFiles/vor.dir/baseline/network_only.cpp.o.d"
+  "/root/repo/src/baseline/online_lru.cpp" "src/CMakeFiles/vor.dir/baseline/online_lru.cpp.o" "gcc" "src/CMakeFiles/vor.dir/baseline/online_lru.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/vor.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/vor.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/diff.cpp" "src/CMakeFiles/vor.dir/core/diff.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/diff.cpp.o.d"
+  "/root/repo/src/core/heat.cpp" "src/CMakeFiles/vor.dir/core/heat.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/heat.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/CMakeFiles/vor.dir/core/incremental.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/incremental.cpp.o.d"
+  "/root/repo/src/core/ivsp.cpp" "src/CMakeFiles/vor.dir/core/ivsp.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/ivsp.cpp.o.d"
+  "/root/repo/src/core/overflow.cpp" "src/CMakeFiles/vor.dir/core/overflow.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/overflow.cpp.o.d"
+  "/root/repo/src/core/rejective_greedy.cpp" "src/CMakeFiles/vor.dir/core/rejective_greedy.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/rejective_greedy.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/vor.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/vor.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/vor.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/shootout.cpp" "src/CMakeFiles/vor.dir/core/shootout.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/shootout.cpp.o.d"
+  "/root/repo/src/core/sorp.cpp" "src/CMakeFiles/vor.dir/core/sorp.cpp.o" "gcc" "src/CMakeFiles/vor.dir/core/sorp.cpp.o.d"
+  "/root/repo/src/ext/bandwidth.cpp" "src/CMakeFiles/vor.dir/ext/bandwidth.cpp.o" "gcc" "src/CMakeFiles/vor.dir/ext/bandwidth.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/vor.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/vor.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/media/catalog.cpp" "src/CMakeFiles/vor.dir/media/catalog.cpp.o" "gcc" "src/CMakeFiles/vor.dir/media/catalog.cpp.o.d"
+  "/root/repo/src/net/generators.cpp" "src/CMakeFiles/vor.dir/net/generators.cpp.o" "gcc" "src/CMakeFiles/vor.dir/net/generators.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/vor.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/vor.dir/net/routing.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/vor.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/vor.dir/net/topology.cpp.o.d"
+  "/root/repo/src/sim/cycle_driver.cpp" "src/CMakeFiles/vor.dir/sim/cycle_driver.cpp.o" "gcc" "src/CMakeFiles/vor.dir/sim/cycle_driver.cpp.o.d"
+  "/root/repo/src/sim/playback_sim.cpp" "src/CMakeFiles/vor.dir/sim/playback_sim.cpp.o" "gcc" "src/CMakeFiles/vor.dir/sim/playback_sim.cpp.o.d"
+  "/root/repo/src/sim/validator.cpp" "src/CMakeFiles/vor.dir/sim/validator.cpp.o" "gcc" "src/CMakeFiles/vor.dir/sim/validator.cpp.o.d"
+  "/root/repo/src/storage/usage_timeline.cpp" "src/CMakeFiles/vor.dir/storage/usage_timeline.cpp.o" "gcc" "src/CMakeFiles/vor.dir/storage/usage_timeline.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/vor.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/vor.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/piecewise.cpp" "src/CMakeFiles/vor.dir/util/piecewise.cpp.o" "gcc" "src/CMakeFiles/vor.dir/util/piecewise.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/vor.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/vor.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/vor.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/vor.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/step_timeline.cpp" "src/CMakeFiles/vor.dir/util/step_timeline.cpp.o" "gcc" "src/CMakeFiles/vor.dir/util/step_timeline.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/vor.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/vor.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/vor.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/vor.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/util/zipf.cpp" "src/CMakeFiles/vor.dir/util/zipf.cpp.o" "gcc" "src/CMakeFiles/vor.dir/util/zipf.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/vor.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/vor.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/CMakeFiles/vor.dir/workload/scenario.cpp.o" "gcc" "src/CMakeFiles/vor.dir/workload/scenario.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/vor.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/vor.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bandwidth.cpp" "tests/CMakeFiles/vor_tests.dir/test_bandwidth.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_bandwidth.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/vor_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_batching.cpp" "tests/CMakeFiles/vor_tests.dir/test_batching.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_batching.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/vor_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_catalog.cpp" "tests/CMakeFiles/vor_tests.dir/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_catalog.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/vor_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_cycle_driver.cpp" "tests/CMakeFiles/vor_tests.dir/test_cycle_driver.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_cycle_driver.cpp.o.d"
+  "/root/repo/tests/test_diff.cpp" "tests/CMakeFiles/vor_tests.dir/test_diff.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_diff.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/vor_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/vor_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/vor_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_heat.cpp" "tests/CMakeFiles/vor_tests.dir/test_heat.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_heat.cpp.o.d"
+  "/root/repo/tests/test_incremental.cpp" "tests/CMakeFiles/vor_tests.dir/test_incremental.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_incremental.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/vor_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/vor_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_ivsp.cpp" "tests/CMakeFiles/vor_tests.dir/test_ivsp.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_ivsp.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/vor_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_online_lru.cpp" "tests/CMakeFiles/vor_tests.dir/test_online_lru.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_online_lru.cpp.o.d"
+  "/root/repo/tests/test_optimality.cpp" "tests/CMakeFiles/vor_tests.dir/test_optimality.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_optimality.cpp.o.d"
+  "/root/repo/tests/test_overflow.cpp" "tests/CMakeFiles/vor_tests.dir/test_overflow.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_overflow.cpp.o.d"
+  "/root/repo/tests/test_paper_example.cpp" "tests/CMakeFiles/vor_tests.dir/test_paper_example.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_paper_example.cpp.o.d"
+  "/root/repo/tests/test_piecewise.cpp" "tests/CMakeFiles/vor_tests.dir/test_piecewise.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_piecewise.cpp.o.d"
+  "/root/repo/tests/test_playback_sim.cpp" "tests/CMakeFiles/vor_tests.dir/test_playback_sim.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_playback_sim.cpp.o.d"
+  "/root/repo/tests/test_pricing.cpp" "tests/CMakeFiles/vor_tests.dir/test_pricing.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_pricing.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/vor_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rejective.cpp" "tests/CMakeFiles/vor_tests.dir/test_rejective.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_rejective.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/vor_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_result.cpp" "tests/CMakeFiles/vor_tests.dir/test_result.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_result.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/vor_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/vor_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/vor_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/vor_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/vor_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_shootout.cpp" "tests/CMakeFiles/vor_tests.dir/test_shootout.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_shootout.cpp.o.d"
+  "/root/repo/tests/test_sorp.cpp" "tests/CMakeFiles/vor_tests.dir/test_sorp.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_sorp.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/vor_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_step_timeline.cpp" "tests/CMakeFiles/vor_tests.dir/test_step_timeline.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_step_timeline.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/vor_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/vor_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/vor_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/vor_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/vor_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_validator.cpp" "tests/CMakeFiles/vor_tests.dir/test_validator.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_validator.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/vor_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_zipf.cpp" "tests/CMakeFiles/vor_tests.dir/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vor_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vorbench.dir/vorbench.cpp.o"
+  "CMakeFiles/vorbench.dir/vorbench.cpp.o.d"
+  "vorbench"
+  "vorbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vorbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

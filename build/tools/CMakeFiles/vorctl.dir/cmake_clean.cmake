@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vorctl.dir/vorctl.cpp.o"
+  "CMakeFiles/vorctl.dir/vorctl.cpp.o.d"
+  "vorctl"
+  "vorctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vorctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
