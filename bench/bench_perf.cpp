@@ -1,15 +1,30 @@
 // Microbenchmarks (google-benchmark) of the library's hot paths: routing,
 // the analytic timelines, Zipf sampling, the phase-1 greedy, and the full
 // two-phase scheduler at paper scale.
+//
+// `bench_perf --baseline [out.json]` skips google-benchmark and instead
+// records the perf trajectory: end-to-end solve wall-time serial vs
+// N-threaded (solver-internal fan-out) and a Table-5-grid sweep serial vs
+// pooled, written as BENCH_perf.json so successive PRs can compare.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
 
 #include "baseline/online_lru.hpp"
 #include "core/ivsp.hpp"
 #include "core/scheduler.hpp"
+#include "core/shootout.hpp"
+#include "io/serialize.hpp"
 #include "net/routing.hpp"
 #include "storage/usage_timeline.hpp"
+#include "util/json.hpp"
 #include "util/piecewise.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/zipf.hpp"
 #include "workload/scenario.hpp"
 
@@ -152,6 +167,118 @@ void BM_UsageMapBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_UsageMapBuild);
 
+void BM_FullSolveTightCapacityThreaded(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.is_capacity = util::GB(5);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  core::SchedulerOptions options;
+  options.parallel.threads = static_cast<std::size_t>(state.range(0));
+  const core::VorScheduler scheduler(scenario.topology, scenario.catalog,
+                                     options);
+  for (auto _ : state) {
+    auto result = scheduler.Solve(scenario.requests);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullSolveTightCapacityThreaded)->Arg(1)->Arg(2)->Arg(8);
+
+// ---- perf baseline (BENCH_perf.json) ------------------------------------
+
+double SecondsOf(const std::function<void()>& work) {
+  const auto t0 = std::chrono::steady_clock::now();
+  work();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Wall-times the scheduler end-to-end (tight capacity, SORP engaged) at
+/// a given thread count, repeated to amortize noise.
+double TimeSolves(const workload::Scenario& scenario, std::size_t threads,
+                  int repeats) {
+  core::SchedulerOptions options;
+  options.parallel.threads = threads;
+  const core::VorScheduler scheduler(scenario.topology, scenario.catalog,
+                                     options);
+  return SecondsOf([&] {
+    for (int r = 0; r < repeats; ++r) {
+      auto result = scheduler.Solve(scenario.requests);
+      benchmark::DoNotOptimize(result);
+    }
+  });
+}
+
+int RunBaseline(const std::string& out_path, std::size_t threads) {
+  // Scheduler-internal parallelism: one tight-capacity Table-4 solve.
+  workload::ScenarioParams tight;
+  tight.is_capacity = util::GB(5);
+  tight.nrate_per_gb = 1000;
+  tight.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(tight);
+  constexpr int kSolveRepeats = 20;
+  const double solve_serial = TimeSolves(scenario, 1, kSolveRepeats);
+  const double solve_parallel = TimeSolves(scenario, threads, kSolveRepeats);
+
+  // Sweep-level parallelism: a stride-sampled slice of the Table-5 grid
+  // (every run is an independent four-metric shootout combo).
+  const std::vector<workload::ScenarioParams> grid = workload::Table4Grid();
+  std::vector<workload::ScenarioParams> subset;
+  for (std::size_t i = 0; i < grid.size(); i += 16) subset.push_back(grid[i]);
+  const double sweep_serial =
+      SecondsOf([&] { benchmark::DoNotOptimize(core::RunShootout(subset)); });
+  util::ThreadPool pool(threads);
+  const double sweep_parallel = SecondsOf(
+      [&] { benchmark::DoNotOptimize(core::RunShootout(subset, &pool)); });
+
+  const auto section = [](double serial, double parallel, std::size_t n,
+                          util::JsonObject extra) {
+    extra["serial_seconds"] = serial;
+    extra["threads"] = n;
+    extra["parallel_seconds"] = parallel;
+    extra["speedup"] = parallel > 0.0 ? serial / parallel : 0.0;
+    return util::Json(std::move(extra));
+  };
+  util::JsonObject doc;
+  doc["version"] = "vor-bench-perf/1";
+  doc["hardware_threads"] =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
+  doc["solve"] = section(solve_serial, solve_parallel, threads,
+                         {{"repeats", kSolveRepeats},
+                          {"scenario", "table4 tight (5GB, nrate 1000)"}});
+  doc["sweep"] = section(sweep_serial, sweep_parallel, threads,
+                         {{"combos", subset.size()},
+                          {"scenario", "table5 grid, stride 16"}});
+  const std::string text = util::Json(std::move(doc)).Dump(2) + "\n";
+  if (const util::Status s = io::WriteFile(out_path, text); !s.ok()) {
+    std::cerr << "bench_perf: " << s.error().message << '\n';
+    return 1;
+  }
+  std::cout << text << "wrote " << out_path << '\n';
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--baseline") {
+      std::string out = "BENCH_perf.json";
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        out = argv[i + 1];
+      }
+      std::size_t threads = 8;
+      for (int j = 1; j < argc - 1; ++j) {
+        if (std::string(argv[j]) == "--threads") {
+          threads = static_cast<std::size_t>(std::stoul(argv[j + 1]));
+        }
+      }
+      return RunBaseline(out, threads);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

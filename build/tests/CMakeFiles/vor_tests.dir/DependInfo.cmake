@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_catalog.cpp" "tests/CMakeFiles/vor_tests.dir/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_catalog.cpp.o.d"
   "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/vor_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_cost_model.cpp.o.d"
   "/root/repo/tests/test_cycle_driver.cpp" "tests/CMakeFiles/vor_tests.dir/test_cycle_driver.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_cycle_driver.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/vor_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_determinism.cpp.o.d"
   "/root/repo/tests/test_diff.cpp" "tests/CMakeFiles/vor_tests.dir/test_diff.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_diff.cpp.o.d"
   "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/vor_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_edge_cases.cpp.o.d"
   "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/vor_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/vor_tests.dir/test_fuzz.cpp.o.d"

@@ -6,6 +6,6 @@
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/vor_tests[1]_include.cmake")
 add_test(vorbench_run "/usr/bin/cmake" "-DVORBENCH=/root/repo/build/tools/vorbench" "-DWORKDIR=/root/repo/build/tests" "-P" "/root/repo/tests/vorbench_run.cmake")
-set_tests_properties(vorbench_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(vorbench_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;57;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(vorctl_round_trip "/usr/bin/cmake" "-DVORCTL=/root/repo/build/tools/vorctl" "-DWORKDIR=/root/repo/build/tests" "-P" "/root/repo/tests/vorctl_round_trip.cmake")
-set_tests_properties(vorctl_round_trip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(vorctl_round_trip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;63;add_test;/root/repo/tests/CMakeLists.txt;0;")

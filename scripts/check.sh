@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the asan-ubsan and tsan presets and runs ctest
+# under each.  The ASan/UBSan run covers the whole suite; the TSan run
+# covers the concurrency-bearing suites (thread pool, scheduler, SORP,
+# IVSP, shootout, incremental, determinism) — the full suite under TSan
+# is an order of magnitude slower for no extra thread coverage.
+#
+# Usage: scripts/check.sh [asan-ubsan|tsan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=${JOBS:-$(nproc)}
+which=${1:-all}
+
+run_preset() {
+  local preset=$1
+  shift
+  echo "==> configure ${preset}"
+  cmake --preset "${preset}"
+  echo "==> build ${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==> ctest ${preset}"
+  ctest --preset "${preset}" -j "${jobs}" "$@"
+}
+
+case "${which}" in
+  asan-ubsan) run_preset asan-ubsan ;;
+  tsan)       run_preset tsan ;;
+  all)
+    run_preset asan-ubsan
+    run_preset tsan
+    ;;
+  *)
+    echo "usage: scripts/check.sh [asan-ubsan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> all sanitizer gates green"

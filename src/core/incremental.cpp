@@ -1,10 +1,12 @@
 #include "core/incremental.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "core/ivsp.hpp"
 #include "core/rejective_greedy.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 namespace vor::core {
@@ -39,24 +41,42 @@ util::Result<SolveOutput> IncrementalSolve(
 
   // Phase 1, incrementally: recompute only affected files; everything
   // else carries over (request indices into the original prefix stay
-  // valid because late requests are appended).
+  // valid because late requests are appended).  The carried-over /
+  // rescheduled split is decided serially, then both kinds of slot fill
+  // through the same shard-parallel per-file path as IvspSolve.
   SolveOutput out;
   IncrementalStats local_stats;
   const auto groups = workload::GroupByVideo(*merged_requests);
-  out.schedule.files.reserve(groups.size());
-  for (const auto& [video, indices] : groups) {
-    if (affected.count(video) == 0) {
-      const std::size_t existing = previous.schedule.FindFile(video);
-      if (existing != static_cast<std::size_t>(-1)) {
-        out.schedule.files.push_back(previous.schedule.files[existing]);
-        ++local_stats.files_carried_over;
-        continue;
-      }
+  constexpr std::size_t kReschedule = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> carry_from(groups.size(), kReschedule);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (affected.count(groups[i].first) != 0) continue;
+    const std::size_t existing = previous.schedule.FindFile(groups[i].first);
+    if (existing != static_cast<std::size_t>(-1)) carry_from[i] = existing;
+  }
+  for (const std::size_t from : carry_from) {
+    ++(from == kReschedule ? local_stats.files_rescheduled
+                           : local_stats.files_carried_over);
+  }
+
+  out.schedule.files.resize(groups.size());
+  const auto fill_slot = [&](std::size_t i) {
+    if (carry_from[i] != kReschedule) {
+      out.schedule.files[i] = previous.schedule.files[carry_from[i]];
+    } else {
+      out.schedule.files[i] =
+          ScheduleFileGreedy(groups[i].first, *merged_requests,
+                             groups[i].second, cm, scheduler.options().ivsp,
+                             nullptr);
     }
-    out.schedule.files.push_back(
-        ScheduleFileGreedy(video, *merged_requests, indices, cm,
-                           scheduler.options().ivsp, nullptr));
-    ++local_stats.files_rescheduled;
+  };
+  std::unique_ptr<util::ThreadPool> pool;
+  if (scheduler.options().parallel.Resolve() > 1 && groups.size() > 1) {
+    pool = std::make_unique<util::ThreadPool>(
+        scheduler.options().parallel.Resolve());
+    pool->ParallelFor(groups.size(), fill_slot);
+  } else {
+    for (std::size_t i = 0; i < groups.size(); ++i) fill_slot(i);
   }
   out.phase1_cost = cm.TotalCost(out.schedule);
 
@@ -66,6 +86,7 @@ util::Result<SolveOutput> IncrementalSolve(
   sorp_options.heat = scheduler.options().heat;
   sorp_options.ivsp = scheduler.options().ivsp;
   sorp_options.max_iterations = scheduler.options().max_sorp_iterations;
+  sorp_options.pool = pool.get();
   out.sorp = SorpSolve(out.schedule, *merged_requests, cm, sorp_options);
   out.final_cost = out.sorp.cost_after;
 

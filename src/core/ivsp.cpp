@@ -4,6 +4,7 @@
 #include <map>
 #include <cassert>
 #include <limits>
+#include <memory>
 
 #include "workload/generator.hpp"
 
@@ -270,6 +271,11 @@ Schedule IvspSolve(const std::vector<workload::Request>& requests,
   const auto groups = workload::GroupByVideo(requests);
   Schedule schedule;
   schedule.files.resize(groups.size());
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (pool == nullptr && options.parallel.Resolve() > 1 && groups.size() > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(options.parallel.Resolve());
+    pool = owned_pool.get();
+  }
   if (pool == nullptr || groups.size() < 2) {
     for (std::size_t i = 0; i < groups.size(); ++i) {
       schedule.files[i] =

@@ -40,6 +40,12 @@ struct IvspOptions {
   bool allow_remote_caching = true;
   /// Allow serving a request from a cache in another neighborhood.
   bool allow_remote_cache_service = true;
+  /// Worker threads for the per-file fan-out of IvspSolve (phase 1 is
+  /// embarrassingly parallel by construction).  Only consulted when no
+  /// external pool is passed to IvspSolve; the per-file greedy itself
+  /// (ScheduleFileGreedy) is always sequential.  Output is identical at
+  /// any thread count.
+  util::ParallelOptions parallel{};
 };
 
 /// Phase-2 constraints for the rejective greedy.

@@ -32,9 +32,11 @@ util::Result<SolveOutput> VorScheduler::Solve(
   }
 
   SolveOutput out;
+  // One pool serves both phases: phase 1's per-file greedies and each
+  // SORP round's tentative victim evaluations.
   std::unique_ptr<util::ThreadPool> pool;
-  if (options_.phase1_threads > 0) {
-    pool = std::make_unique<util::ThreadPool>(options_.phase1_threads);
+  if (options_.parallel.Resolve() > 1) {
+    pool = std::make_unique<util::ThreadPool>(options_.parallel.Resolve());
   }
   out.schedule = IvspSolve(requests, cost_model_, options_.ivsp, pool.get());
   out.phase1_cost = cost_model_.TotalCost(out.schedule);
@@ -43,6 +45,7 @@ util::Result<SolveOutput> VorScheduler::Solve(
   sorp_options.heat = options_.heat;
   sorp_options.ivsp = options_.ivsp;
   sorp_options.max_iterations = options_.max_sorp_iterations;
+  sorp_options.pool = pool.get();
   out.sorp = SorpSolve(out.schedule, requests, cost_model_, sorp_options);
   out.final_cost = out.sorp.cost_after;
   return out;

@@ -17,6 +17,7 @@
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "util/result.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/request.hpp"
 
 namespace vor::core {
@@ -26,9 +27,12 @@ struct SchedulerOptions {
   PricingOptions pricing;
   IvspOptions ivsp;
   std::size_t max_sorp_iterations = 10000;
-  /// Worker threads for the (embarrassingly parallel) phase 1:
-  /// 0 = serial, 1+ = pool size.  Output is identical either way.
-  std::size_t phase1_threads = 0;
+  /// Worker threads shared by both phases: phase 1's per-file greedies
+  /// and each SORP round's tentative victim evaluations fan out over one
+  /// pool (1 = serial, 0 = hardware concurrency, N = pool of N).  The
+  /// commit step stays serial and the victim reduction is deterministic,
+  /// so the solved schedule is byte-identical at any thread count.
+  util::ParallelOptions parallel{};
 };
 
 struct SolveOutput {

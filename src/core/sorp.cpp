@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <set>
 
 #include "core/overflow.hpp"
@@ -12,15 +13,53 @@ namespace vor::core {
 
 namespace {
 
-struct VictimChoice {
-  double heat = -std::numeric_limits<double>::infinity();
-  std::size_t file_index = static_cast<std::size_t>(-1);
-  FileSchedule new_schedule;
-
-  [[nodiscard]] bool Found() const {
-    return file_index != static_cast<std::size_t>(-1);
-  }
+/// One (victim file, overflow window) pairing from the paper's nested
+/// loops in Table 3, collected up front so the tentative evaluations can
+/// fan out over a pool.  Discovery order (overflow windows node/time
+/// ordered, contributors in residency order) is deterministic and doubles
+/// as the final tie-break level.
+struct VictimCandidate {
+  std::size_t file_index = 0;
+  net::NodeId node = net::kInvalidNode;
+  util::Interval window;
+  double chi = 0.0;  // improved-interval length (Eq. 8 input)
+  double ds = 0.0;   // time-space improvement (Eq. 10 input)
 };
+
+/// Result of one tentative rejective-greedy dry run.
+struct Evaluation {
+  double heat = -std::numeric_limits<double>::infinity();
+  FileSchedule schedule;
+};
+
+/// Enumerates this round's candidates against the frozen integrated
+/// schedule.  Skips residencies with no actual demand inside the window
+/// (rescheduling them cannot reduce the excess) and duplicate
+/// (file, window) pairings.
+std::vector<VictimCandidate> CollectCandidates(
+    const Schedule& schedule, const std::vector<OverflowWindow>& overflows,
+    const CostModel& cost_model) {
+  std::vector<VictimCandidate> candidates;
+  std::set<std::pair<std::size_t, std::uint64_t>> evaluated;
+  for (const OverflowWindow& of : overflows) {
+    for (const ResidencyRef& ref : of.contributors) {
+      const FileSchedule& file = schedule.files[ref.file_index];
+      const Residency& c = file.residencies[ref.residency_index];
+
+      const double ds = TimeSpaceImprovement(c, of, cost_model);
+      if (ds <= 0.0) continue;
+      const double chi = ImprovedLength(c, of, cost_model);
+
+      const std::uint64_t window_key =
+          (static_cast<std::uint64_t>(of.node) << 32) ^
+          static_cast<std::uint64_t>(of.window.start.value());
+      if (!evaluated.emplace(ref.file_index, window_key).second) continue;
+      candidates.push_back(
+          VictimCandidate{ref.file_index, of.node, of.window, chi, ds});
+    }
+  }
+  return candidates;
+}
 
 }  // namespace
 
@@ -37,71 +76,91 @@ SorpStats SorpSolve(Schedule& schedule,
   stats.initial_excess = TotalExcess(usage, cost_model.topology());
   double excess = stats.initial_excess;
 
-  while (!overflows.empty() && stats.victims_rescheduled < options.max_iterations) {
-    VictimChoice best;
-    // (file, node, window-start) triples already evaluated this iteration:
-    // a file may contribute to several windows; each pairing is one
-    // candidate victim, per the paper's nested loops in Table 3.
-    std::set<std::pair<std::size_t, std::uint64_t>> evaluated;
+  // The extension hooks exclude/re-include a file's streams in external
+  // trackers around each dry run; that protocol is inherently serial.
+  const bool hooks_serial = static_cast<bool>(options.on_file_excluded) ||
+                            static_cast<bool>(options.on_file_included) ||
+                            static_cast<bool>(options.route_ok);
+  util::ThreadPool* pool = options.pool;
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (pool == nullptr && !hooks_serial && options.parallel.Resolve() > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(options.parallel.Resolve());
+    pool = owned_pool.get();
+  }
 
-    for (const OverflowWindow& of : overflows) {
-      for (const ResidencyRef& ref : of.contributors) {
-        const FileSchedule& file = schedule.files[ref.file_index];
-        const Residency& c = file.residencies[ref.residency_index];
+  // One tentative rejective-greedy dry run; pure given a frozen schedule
+  // (the hook calls around it are made by the caller when serial).
+  const auto evaluate = [&](const VictimCandidate& c) -> Evaluation {
+    const storage::UsageMap other =
+        options.capacity_aware_reschedule
+            ? storage::BuildUsageExcludingFile(schedule, cost_model,
+                                               c.file_index)
+            : storage::UsageMap{};
+    RescheduleResult attempt = RescheduleVictim(
+        schedule, c.file_index, requests, cost_model, options.ivsp,
+        {{c.node, c.window}}, other, options.route_ok);
+    Evaluation out;
+    out.heat =
+        ComputeHeat(options.heat, c.chi, c.ds, attempt.Overhead().value());
+    out.schedule = std::move(attempt.schedule);
+    return out;
+  };
 
-        // Skip residencies with no actual demand inside the window —
-        // rescheduling them cannot reduce the excess.
-        const double ds = TimeSpaceImprovement(c, of, cost_model);
-        if (ds <= 0.0) continue;
-        const double chi = ImprovedLength(c, of, cost_model);
+  while (!overflows.empty() &&
+         stats.victims_rescheduled < options.max_iterations) {
+    std::vector<VictimCandidate> candidates =
+        CollectCandidates(schedule, overflows, cost_model);
+    if (candidates.empty()) break;  // nothing can improve any window
 
-        const std::uint64_t window_key =
-            (static_cast<std::uint64_t>(of.node) << 32) ^
-            static_cast<std::uint64_t>(of.window.start.value());
-        if (!evaluated.emplace(ref.file_index, window_key).second) continue;
+    // The ablation policy commits the first eligible pairing outright —
+    // no shootout, so only one dry run is needed.
+    if (options.victim_policy == VictimPolicy::kFirstContributor) {
+      candidates.resize(1);
+    }
 
-        const storage::UsageMap other =
-            options.capacity_aware_reschedule
-                ? storage::BuildUsageExcludingFile(schedule, cost_model,
-                                                   ref.file_index)
-                : storage::UsageMap{};
-        if (options.on_file_excluded) options.on_file_excluded(ref.file_index);
-        RescheduleResult attempt = RescheduleVictim(
-            schedule, ref.file_index, requests, cost_model, options.ivsp,
-            {{of.node, of.window}}, other, options.route_ok);
+    std::vector<Evaluation> evals(candidates.size());
+    const bool parallel = pool != nullptr && !hooks_serial &&
+                          candidates.size() > 1 &&
+                          !pool->InWorkerThread();
+    if (parallel) {
+      // Fan the dry runs out; each shard reads the frozen schedule and
+      // writes only its own slot.  The reduction below is order-based,
+      // so thread scheduling cannot change the chosen victim.
+      pool->ParallelFor(candidates.size(), [&](std::size_t i) {
+        evals[i] = evaluate(candidates[i]);
+      });
+    } else {
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (options.on_file_excluded) {
+          options.on_file_excluded(candidates[i].file_index);
+        }
+        evals[i] = evaluate(candidates[i]);
         if (options.on_file_included) {
           // Tentative evaluation: restore the victim's current streams.
-          options.on_file_included(ref.file_index,
-                                   schedule.files[ref.file_index]);
-        }
-        ++stats.evaluations;
-
-        const double heat = ComputeHeat(options.heat, chi, ds,
-                                        attempt.Overhead().value());
-        if (heat > best.heat ||
-            (options.victim_policy == VictimPolicy::kFirstContributor &&
-             !best.Found())) {
-          best.heat = heat;
-          best.file_index = ref.file_index;
-          best.new_schedule = std::move(attempt.schedule);
-        }
-        if (options.victim_policy == VictimPolicy::kFirstContributor &&
-            best.Found()) {
-          break;  // no shootout: commit the first eligible victim
+          options.on_file_included(candidates[i].file_index,
+                                   schedule.files[candidates[i].file_index]);
         }
       }
-      if (options.victim_policy == VictimPolicy::kFirstContributor &&
-          best.Found()) {
-        break;
+    }
+    stats.evaluations += candidates.size();
+
+    // Serial, deterministic reduction: max heat, ties to the smallest
+    // file index, then to discovery order.  Independent of thread count.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < evals.size(); ++i) {
+      if (evals[i].heat > evals[best].heat ||
+          (evals[i].heat == evals[best].heat &&
+           candidates[i].file_index < candidates[best].file_index)) {
+        best = i;
       }
     }
 
-    if (!best.Found()) break;  // nothing can improve any window
-
-    if (options.on_file_excluded) options.on_file_excluded(best.file_index);
-    schedule.files[best.file_index] = std::move(best.new_schedule);
+    // Commit step — always serial, per the paper's Table-3 loop.
+    const std::size_t victim = candidates[best].file_index;
+    if (options.on_file_excluded) options.on_file_excluded(victim);
+    schedule.files[victim] = std::move(evals[best].schedule);
     if (options.on_file_included) {
-      options.on_file_included(best.file_index, schedule.files[best.file_index]);
+      options.on_file_included(victim, schedule.files[victim]);
     }
     ++stats.victims_rescheduled;
 

@@ -14,6 +14,7 @@
 #include "core/heat.hpp"
 #include "core/ivsp.hpp"
 #include "core/schedule.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/request.hpp"
 
 namespace vor::core {
@@ -40,6 +41,22 @@ struct SorpOptions {
   /// Hard stop for the resolution loop; the loop also stops on its own
   /// when the total excess fails to decrease (defensive, should not fire).
   std::size_t max_iterations = 10000;
+
+  // ---- parallelism ----------------------------------------------------
+  /// Each round's tentative victim evaluations (one rejective-greedy dry
+  /// run per overflow contributor, all against the same frozen integrated
+  /// schedule) are independent and fan out over a thread pool; the commit
+  /// step stays serial and the victim is reduced with a deterministic
+  /// tie-break (max heat, then smallest file index, then discovery
+  /// order), so the victim sequence — and the final schedule bytes — are
+  /// identical at any thread count.  Evaluations degrade to serial when
+  /// any of the extension hooks below is set (they mutate external
+  /// tracker state and are not thread-safe).
+  util::ParallelOptions parallel{};
+  /// Optional externally owned pool (shared with phase 1); when null and
+  /// `parallel` resolves to more than one thread, SorpSolve builds its
+  /// own.
+  util::ThreadPool* pool = nullptr;
 
   // ---- extension hooks (src/ext) -------------------------------------
   /// Candidate route filter threaded into every rejective reschedule

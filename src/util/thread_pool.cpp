@@ -1,10 +1,18 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 namespace vor::util {
+
+namespace {
+
+/// Set for the duration of WorkerLoop, so ParallelFor can recognise a
+/// call made from one of its own tasks and degrade to inline execution
+/// (all workers blocking in f.get() on pool-owned futures is a deadlock).
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -16,36 +24,92 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  // Join exactly once; later Shutdown() calls (including the destructor
+  // after an explicit Shutdown) are no-ops.
+  bool do_join = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (!joined_) {
+      joined_ = true;
+      do_join = true;
+    }
+  }
+  if (do_join) {
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+bool ThreadPool::stopping() const {
+  std::lock_guard lock(mutex_);
+  return stopping_;
+}
+
+bool ThreadPool::InWorkerThread() const noexcept {
+  return tls_worker_pool == this;
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ with drained queue
+      if (queue_.empty()) break;  // stopping_ with drained queue
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
   }
+  tls_worker_pool = nullptr;
 }
 
-void ThreadPool::ParallelFor(std::size_t n,
-                             const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
+ParallelForStatus ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t)>& body,
+    CancellationToken* cancel, ParallelForStatus* status_out) {
+  ParallelForStatus status;
+  if (status_out != nullptr) *status_out = status;
+  if (n == 0) return status;
+
+  // Reentrancy guard: a body running on this pool that fans out again
+  // must not wait on futures only this pool's (busy) workers could
+  // fulfil.  Inline serial execution preserves the semantics (same
+  // indices, same exceptions, same cancellation behaviour).
+  if (InWorkerThread()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        status.abandoned = n - i;
+        break;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        status.abandoned = n - i - 1;
+        if (status_out != nullptr) *status_out = status;
+        throw;
+      }
+      ++status.completed;
+    }
+    if (status_out != nullptr) *status_out = status;
+    return status;
+  }
+
   // Atomic work counter: each worker claims the next index, so uneven task
-  // costs (some sweep points resolve many overflows, some none) balance out.
+  // costs (some sweep points resolve many overflows, some none) balance
+  // out.  `attempted` counts indices whose body actually started, so the
+  // caller can tell a completed run from one aborted by error/cancel.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto attempted = std::make_shared<std::atomic<std::size_t>>(0);
+  auto completed = std::make_shared<std::atomic<std::size_t>>(0);
+  auto aborted = std::make_shared<std::atomic<bool>>(false);
   std::exception_ptr error;
   std::mutex error_mutex;
 
@@ -53,22 +117,35 @@ void ThreadPool::ParallelFor(std::size_t n,
   std::vector<std::future<void>> futures;
   futures.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    futures.push_back(Submit([&, next, first_error] {
+    futures.push_back(Submit([&, next, attempted, completed, aborted] {
       for (;;) {
+        if (aborted->load() ||
+            (cancel != nullptr && cancel->cancelled())) {
+          return;
+        }
         const std::size_t i = next->fetch_add(1);
-        if (i >= n || first_error->load()) return;
+        if (i >= n) return;
+        attempted->fetch_add(1);
         try {
           body(i);
         } catch (...) {
           std::lock_guard lock(error_mutex);
-          if (!first_error->exchange(true)) error = std::current_exception();
+          if (!aborted->exchange(true)) error = std::current_exception();
           return;
         }
+        completed->fetch_add(1);
       }
     }));
   }
   for (auto& f : futures) f.get();
+
+  status.completed = completed->load();
+  // The index that threw was attempted but not completed; it belongs to
+  // neither bucket, matching the inline path.
+  status.abandoned = n - attempted->load();
+  if (status_out != nullptr) *status_out = status;
   if (error) std::rethrow_exception(error);
+  return status;
 }
 
 }  // namespace vor::util

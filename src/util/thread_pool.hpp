@@ -1,22 +1,77 @@
 // Fixed-size thread pool with a blocking work queue plus a ParallelFor
-// helper for shard-parallel parameter sweeps.
+// helper for shard-parallel parameter sweeps and solver-internal fan-out.
 //
 // Design notes (CppCoreGuidelines CP.*): all synchronization lives inside
 // this class; callers submit value-captured, shared-nothing tasks.  The
 // benchmark sweeps use ParallelFor with one scheduler instance per index,
-// so there is no shared mutable state between shards by construction.
+// and the solver fans per-file greedy runs / tentative victim evaluations
+// over the pool, so there is no shared mutable state between shards by
+// construction.
+//
+// Lifecycle contract:
+//   * Shutdown() (also run by the destructor) drains the queue: tasks
+//     already accepted run to completion, then the workers join.
+//   * Submit() after Shutdown() has begun throws std::runtime_error —
+//     a silently enqueued task would never run and its future would
+//     never become ready, which is how the pre-fix bug manifested.
+//   * ParallelFor() called from inside one of this pool's own worker
+//     threads (a task body fanning out again) degrades to inline serial
+//     execution instead of deadlocking on pool-owned futures.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace vor::util {
+
+/// Cooperative cancellation for ParallelFor: a failed or aborted shard
+/// flips the token and the remaining shards stop claiming indices at the
+/// next claim point.  Shareable across threads; all operations are
+/// lock-free.
+class CancellationToken {
+ public:
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Outcome of a ParallelFor run.  `completed` counts body invocations
+/// that returned normally; `abandoned` counts indices that were never
+/// attempted because an earlier body threw or the caller cancelled.
+/// completed + abandoned == n except when a body threw (the throwing
+/// index is in neither bucket).
+struct ParallelForStatus {
+  std::size_t completed = 0;
+  std::size_t abandoned = 0;
+  [[nodiscard]] bool AllCompleted() const { return abandoned == 0; }
+};
+
+/// User-facing parallelism knob threaded through the solver options.
+///   threads == 1  -> run serially on the calling thread (default);
+///   threads == 0  -> one worker per hardware thread;
+///   threads == N  -> pool of exactly N workers.
+struct ParallelOptions {
+  std::size_t threads = 1;
+
+  /// Worker count this knob resolves to (never 0).
+  [[nodiscard]] std::size_t Resolve() const {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+};
 
 class ThreadPool {
  public:
@@ -29,7 +84,19 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its result.
+  /// Begins teardown: already-queued tasks still run, then workers join.
+  /// Idempotent; after it returns, Submit() throws.
+  void Shutdown();
+
+  /// True once Shutdown() (or destruction) has begun.
+  [[nodiscard]] bool stopping() const;
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool InWorkerThread() const noexcept;
+
+  /// Enqueue a task; returns a future for its result.  Throws
+  /// std::runtime_error if the pool is shutting down — never silently
+  /// accepts work that cannot run.
   template <class F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -37,6 +104,10 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error(
+            "ThreadPool::Submit called after Shutdown(): task would never run");
+      }
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -44,18 +115,27 @@ class ThreadPool {
   }
 
   /// Runs body(i) for i in [0, n), distributing indices over the pool, and
-  /// blocks until all complete.  Exceptions from body propagate (first one
-  /// wins).  body must be safe to invoke concurrently for distinct i.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// blocks until all shards finish.  Exceptions from body propagate
+  /// (first one wins); remaining indices are then abandoned, and the
+  /// returned status (written through `status_out` before any rethrow)
+  /// says how many.  A non-null `cancel` token lets the caller (or a
+  /// body) stop further indices from being claimed without an exception.
+  /// Reentrant calls from a worker of this pool run inline and serially.
+  /// body must be safe to invoke concurrently for distinct i.
+  ParallelForStatus ParallelFor(std::size_t n,
+                                const std::function<void(std::size_t)>& body,
+                                CancellationToken* cancel = nullptr,
+                                ParallelForStatus* status_out = nullptr);
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  bool joined_ = false;
 };
 
 }  // namespace vor::util

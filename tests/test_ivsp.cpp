@@ -217,7 +217,7 @@ TEST(IvspTest, SchedulerThreadOptionKeepsResultsIdentical) {
   const workload::Scenario scenario = workload::MakeScenario({});
   core::SchedulerOptions serial_options;
   core::SchedulerOptions parallel_options;
-  parallel_options.phase1_threads = 4;
+  parallel_options.parallel.threads = 4;
   VorScheduler serial(scenario.topology, scenario.catalog, serial_options);
   VorScheduler parallel(scenario.topology, scenario.catalog, parallel_options);
   const auto a = serial.Solve(scenario.requests);

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace vor::util {
@@ -32,15 +35,21 @@ TEST(ThreadPoolTest, ManyTasksAllComplete) {
 TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);
-  pool.ParallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  const ParallelForStatus status =
+      pool.ParallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_TRUE(status.AllCompleted());
+  EXPECT_EQ(status.completed, 1000u);
+  EXPECT_EQ(status.abandoned, 0u);
 }
 
 TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
   ThreadPool pool(2);
   bool called = false;
-  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  const ParallelForStatus status =
+      pool.ParallelFor(0, [&](std::size_t) { called = true; });
   EXPECT_FALSE(called);
+  EXPECT_TRUE(status.AllCompleted());
 }
 
 TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
@@ -70,6 +79,186 @@ TEST(ThreadPoolTest, SingleThreadPoolWorks) {
 TEST(ThreadPoolTest, DefaultUsesHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+// ---- shutdown contract --------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_TRUE(pool.stopping());
+  // Pre-fix, this silently enqueued a task that could never run and left
+  // the returned future forever unready; the contract is now fail-fast.
+  EXPECT_THROW(pool.Submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call (and the destructor after) must no-op
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAcceptedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    // The single worker is busy with the first task while the rest queue
+    // up; Shutdown must still run every accepted task before joining.
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(pool.Submit([&executed] { executed.fetch_add(1); }));
+    }
+    pool.Shutdown();
+    for (auto& f : futures) f.get();  // all ready: nothing lost
+  }
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPoolStressTest, SubmitShutdownRaceAcceptedImpliesExecuted) {
+  // A submitter hammers the pool while the main thread shuts it down.
+  // Every Submit either throws (rejected) or yields a future that becomes
+  // ready (executed) — no accepted task may be dropped, no hang.
+  for (int round = 0; round < 25; ++round) {
+    auto pool = std::make_unique<ThreadPool>(2);
+    std::atomic<int> executed{0};
+    int accepted = 0;
+    std::atomic<bool> go{false};
+    std::thread submitter([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 500; ++i) {
+        try {
+          pool->Submit([&executed] { executed.fetch_add(1); });
+          ++accepted;
+        } catch (const std::runtime_error&) {
+          break;  // shutdown won the race: fail-fast is the contract
+        }
+      }
+    });
+    go.store(true);
+    pool->Shutdown();
+    submitter.join();
+    pool.reset();
+    EXPECT_EQ(executed.load(), accepted);
+  }
+}
+
+TEST(ThreadPoolStressTest, OversubscribedPoolCompletesAllWork) {
+  // Many more workers than cores, many more indices than workers.
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(5000);
+  const ParallelForStatus status =
+      pool.ParallelFor(5000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(status.completed, 5000u);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolStressTest, ExceptionPropagationOrderFirstThrownWins) {
+  // One worker claims indices in order, so the smallest failing index's
+  // exception is the first thrown and must be the one propagated.
+  ThreadPool pool(1);
+  try {
+    pool.ParallelFor(100, [](std::size_t i) {
+      if (i == 5) throw std::runtime_error("first");
+      if (i == 9) throw std::runtime_error("second");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+// ---- reentrancy ---------------------------------------------------------
+
+TEST(ThreadPoolTest, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  auto f = pool.Submit([&pool] { return pool.InWorkerThread(); });
+  EXPECT_TRUE(f.get());
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // A body fanning out on the pool it runs on used to deadlock: every
+  // worker blocked in f.get() on futures only those same (busy) workers
+  // could fulfil.  Reentrant calls now execute inline.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&](std::size_t) {
+    const ParallelForStatus inner = pool.ParallelFor(
+        8, [&](std::size_t) { inner_total.fetch_add(1); });
+    EXPECT_TRUE(inner.AllCompleted());
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(2,
+                                [&](std::size_t) {
+                                  pool.ParallelFor(4, [](std::size_t j) {
+                                    if (j == 2) {
+                                      throw std::runtime_error("inner");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+}
+
+// ---- cancellation & abandoned-index accounting --------------------------
+
+TEST(ThreadPoolTest, CancellationStopsClaimingPromptly) {
+  ThreadPool pool(1);  // single worker: deterministic claim order
+  CancellationToken cancel;
+  std::atomic<std::size_t> ran{0};
+  const ParallelForStatus status = pool.ParallelFor(
+      100,
+      [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 9) cancel.Cancel();
+      },
+      &cancel);
+  EXPECT_EQ(ran.load(), 10u);
+  EXPECT_EQ(status.completed, 10u);
+  EXPECT_EQ(status.abandoned, 90u);
+  EXPECT_FALSE(status.AllCompleted());
+}
+
+TEST(ThreadPoolTest, AbandonedCountSurfacedWhenBodyThrows) {
+  // Early exit on the first error skips un-started indices; the caller
+  // can now distinguish "completed" from "aborted early" even though the
+  // exception still propagates.
+  ThreadPool pool(1);
+  ParallelForStatus status;
+  EXPECT_THROW(pool.ParallelFor(
+                   100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   },
+                   /*cancel=*/nullptr, &status),
+               std::runtime_error);
+  // Indices 0..36 completed, 37 threw (neither bucket), 38..99 abandoned.
+  EXPECT_EQ(status.completed, 37u);
+  EXPECT_EQ(status.abandoned, 62u);
+  EXPECT_FALSE(status.AllCompleted());
+}
+
+TEST(ThreadPoolTest, InlineReentrantCallHonoursCancellationAndStatus) {
+  ThreadPool pool(1);
+  auto outer = pool.Submit([&pool] {
+    CancellationToken cancel;
+    std::size_t ran = 0;
+    const ParallelForStatus status = pool.ParallelFor(
+        20,
+        [&](std::size_t i) {
+          ++ran;
+          if (i == 4) cancel.Cancel();
+        },
+        &cancel);
+    EXPECT_EQ(ran, 5u);
+    EXPECT_EQ(status.completed, 5u);
+    EXPECT_EQ(status.abandoned, 15u);
+  });
+  outer.get();
 }
 
 }  // namespace

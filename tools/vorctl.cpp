@@ -187,8 +187,12 @@ int CmdSolve(const Args& args) {
   const auto metric = ParseHeat(heat);
   if (!metric) return Fail("unknown heat metric '" + heat + "'");
   options.heat = *metric;
-  options.phase1_threads =
-      static_cast<std::size_t>(args.Number("threads", 0));
+  // --threads N: worker threads shared by phase 1 and SORP evaluations
+  // (1 = serial, 0 = one per hardware thread).  The schedule is
+  // byte-identical at any setting.
+  const double threads = args.Number("threads", 1);
+  if (threads < 0) return Fail("--threads must be >= 0");
+  options.parallel.threads = static_cast<std::size_t>(threads);
 
   core::Schedule schedule;
   double phase1_cost = 0.0;
