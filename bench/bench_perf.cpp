@@ -11,6 +11,7 @@
 #include <chrono>
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -20,6 +21,7 @@
 #include "core/shootout.hpp"
 #include "io/serialize.hpp"
 #include "net/routing.hpp"
+#include "obs/metrics.hpp"
 #include "storage/usage_timeline.hpp"
 #include "util/json.hpp"
 #include "util/piecewise.hpp"
@@ -222,6 +224,18 @@ int RunBaseline(const std::string& out_path, std::size_t threads) {
 
   // Sweep-level parallelism: a stride-sampled slice of the Table-5 grid
   // (every run is an independent four-metric shootout combo).
+  // One extra instrumented solve for the phase breakdown: where the wall
+  // time goes (IVSP vs SORP rounds) and the solver's decision mix.
+  obs::MetricsRegistry registry;
+  core::SchedulerOptions instrumented;
+  instrumented.metrics = &registry;
+  const core::VorScheduler profiled(scenario.topology, scenario.catalog,
+                                    instrumented);
+  {
+    auto result = profiled.Solve(scenario.requests);
+    benchmark::DoNotOptimize(result);
+  }
+
   const std::vector<workload::ScenarioParams> grid = workload::Table4Grid();
   std::vector<workload::ScenarioParams> subset;
   for (std::size_t i = 0; i < grid.size(); i += 16) subset.push_back(grid[i]);
@@ -249,6 +263,7 @@ int RunBaseline(const std::string& out_path, std::size_t threads) {
   doc["sweep"] = section(sweep_serial, sweep_parallel, threads,
                          {{"combos", subset.size()},
                           {"scenario", "table5 grid, stride 16"}});
+  doc["phases"] = registry.ToJson();
   const std::string text = util::Json(std::move(doc)).Dump(2) + "\n";
   if (const util::Status s = io::WriteFile(out_path, text); !s.ok()) {
     std::cerr << "bench_perf: " << s.error().message << '\n';
@@ -270,7 +285,17 @@ int main(int argc, char** argv) {
       std::size_t threads = 8;
       for (int j = 1; j < argc - 1; ++j) {
         if (std::string(argv[j]) == "--threads") {
-          threads = static_cast<std::size_t>(std::stoul(argv[j + 1]));
+          const std::string value = argv[j + 1];
+          try {
+            std::size_t consumed = 0;
+            threads = std::stoul(value, &consumed);
+            if (consumed != value.size()) throw std::invalid_argument(value);
+          } catch (const std::exception&) {
+            std::cerr << "bench_perf: --threads expects a non-negative "
+                         "integer, got '"
+                      << value << "'\n";
+            return 1;
+          }
         }
       }
       return RunBaseline(out, threads);

@@ -12,6 +12,16 @@ cd "$(dirname "$0")/.."
 jobs=${JOBS:-$(nproc)}
 which=${1:-all}
 
+# Build trees must never be committed; .gitignore covers build*/ but a
+# forced add would slip past it, so fail fast if any are tracked.
+echo "==> check no build trees are git-tracked"
+if tracked=$(git ls-files 'build*/' 'build*' | head -20) && [[ -n "${tracked}" ]]; then
+  echo "error: build artifacts are git-tracked:" >&2
+  echo "${tracked}" >&2
+  echo "fix with: git rm -r --cached <dir>" >&2
+  exit 1
+fi
+
 run_preset() {
   local preset=$1
   shift

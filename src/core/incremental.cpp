@@ -6,6 +6,7 @@
 
 #include "core/ivsp.hpp"
 #include "core/rejective_greedy.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
@@ -46,6 +47,8 @@ util::Result<SolveOutput> IncrementalSolve(
   // through the same shard-parallel per-file path as IvspSolve.
   SolveOutput out;
   IncrementalStats local_stats;
+  obs::MetricsRegistry* metrics = scheduler.options().metrics;
+  const obs::ScopedSpan span(metrics, "incremental_solve");
   const auto groups = workload::GroupByVideo(*merged_requests);
   constexpr std::size_t kReschedule = static_cast<std::size_t>(-1);
   std::vector<std::size_t> carry_from(groups.size(), kReschedule);
@@ -79,6 +82,10 @@ util::Result<SolveOutput> IncrementalSolve(
     for (std::size_t i = 0; i < groups.size(); ++i) fill_slot(i);
   }
   out.phase1_cost = cm.TotalCost(out.schedule);
+  obs::Add(metrics, "incremental.files_carried_over",
+           local_stats.files_carried_over);
+  obs::Add(metrics, "incremental.files_rescheduled",
+           local_stats.files_rescheduled);
 
   // Phase 2 runs on the merged schedule as usual: overflow interactions
   // are global, so no shortcut is sound there.
@@ -87,6 +94,7 @@ util::Result<SolveOutput> IncrementalSolve(
   sorp_options.ivsp = scheduler.options().ivsp;
   sorp_options.max_iterations = scheduler.options().max_sorp_iterations;
   sorp_options.pool = pool.get();
+  sorp_options.metrics = metrics;
   out.sorp = SorpSolve(out.schedule, *merged_requests, cm, sorp_options);
   out.final_cost = out.sorp.cost_after;
 

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "workload/generator.hpp"
 
 namespace vor::core {
@@ -69,6 +70,8 @@ class GreedyRun {
     return out;
   }
 
+  [[nodiscard]] const GreedyStats& stats() const { return stats_; }
+
  private:
   /// Checks a hypothetical residency [t_start, t_last] at `node` against
   /// forbidden windows and capacity.  `replacing` points at the current
@@ -78,7 +81,10 @@ class GreedyRun {
                         util::Seconds t_last) const {
     if (constraints_ == nullptr) return true;
     const util::Interval support{t_start, t_last + playback_};
-    if (constraints_->ForbidsResidency(node, support)) return false;
+    if (constraints_->ForbidsResidency(node, support)) {
+      ++stats_.rejected_forbidden;
+      return false;
+    }
     if (constraints_->other_usage != nullptr) {
       Residency probe;
       probe.video = video_;
@@ -88,10 +94,11 @@ class GreedyRun {
       const util::LinearPiece piece = cm_.OccupancyPiece(probe, /*tag=*/0);
       const double capacity = cm_.topology().node(node).capacity.value();
       const auto it = constraints_->other_usage->find(node);
-      if (it == constraints_->other_usage->end()) {
-        return piece.height <= capacity;
-      }
-      return it->second.FitsUnder(piece, capacity);
+      const bool fits = it == constraints_->other_usage->end()
+                            ? piece.height <= capacity
+                            : it->second.FitsUnder(piece, capacity);
+      if (!fits) ++stats_.rejected_capacity;
+      return fits;
     }
     return true;
   }
@@ -99,10 +106,13 @@ class GreedyRun {
   bool RouteAllowed(const std::vector<net::NodeId>& route,
                     util::Seconds t) const {
     if (constraints_ == nullptr || !constraints_->route_ok) return true;
-    return constraints_->route_ok(route, t, video_);
+    if (constraints_->route_ok(route, t, video_)) return true;
+    ++stats_.rejected_route;
+    return false;
   }
 
   void ConsiderDirect(const workload::Request& req, Candidate& best) const {
+    ++stats_.candidates;
     const auto& path = cm_.router().CheapestPath(vw_, req.neighborhood);
     if (!RouteAllowed(path.nodes, req.start_time)) return;
     const util::Money cost = cm_.RouteRate(vw_, req.neighborhood) *
@@ -119,6 +129,7 @@ class GreedyRun {
           cache.location != req.neighborhood) {
         continue;
       }
+      ++stats_.candidates;
       assert(cache.t_start <= req.start_time);
       const util::Seconds new_last =
           std::max(cache.t_last, req.start_time);
@@ -146,6 +157,7 @@ class GreedyRun {
     for (const auto& [node, anchor] : anchors_) {
       if (IsCached(node)) continue;  // extension candidate covers it
       if (!options_.allow_remote_caching && node != req.neighborhood) continue;
+      ++stats_.candidates;
       assert(anchor.time <= req.start_time);
       if (!ResidencyAllowed(node, anchor.time, req.start_time)) continue;
       const auto& path = cm_.router().CheapestPath(node, req.neighborhood);
@@ -196,6 +208,7 @@ class GreedyRun {
   }
 
   void ServeRequest(std::size_t request_index, const workload::Request& req) {
+    ++stats_.requests;
     Candidate best;
     ConsiderDirect(req, best);
     if (options_.enable_caching) {
@@ -207,6 +220,7 @@ class GreedyRun {
     // (every reservation must be honoured) — the ext layer accounts for
     // the violation.
     if (!best.Feasible()) {
+      ++stats_.forced_direct;
       best = Candidate{CandidateKind::kDirect,
                        cm_.RouteRate(vw_, req.neighborhood) *
                            cm_.StreamBytes(video_),
@@ -215,10 +229,12 @@ class GreedyRun {
 
     switch (best.kind) {
       case CandidateKind::kDirect: {
+        ++stats_.direct;
         RecordDelivery(vw_, req, request_index);
         break;
       }
       case CandidateKind::kExtend: {
+        ++stats_.extend;
         Residency& cache = caches_[best.cache_index];
         cache.t_last = std::max(cache.t_last, req.start_time);
         cache.services.push_back(request_index);
@@ -226,6 +242,7 @@ class GreedyRun {
         break;
       }
       case CandidateKind::kNewCache: {
+        ++stats_.new_cache;
         Residency cache;
         cache.video = video_;
         cache.location = best.cache_node;
@@ -251,6 +268,9 @@ class GreedyRun {
   std::vector<Delivery> deliveries_;
   std::vector<Residency> caches_;
   std::map<net::NodeId, Anchor> anchors_;  // ordered: deterministic tie-breaks
+  // Tallies only; mutable so the const Consider*/allowed helpers can count
+  // the rejections they decide.
+  mutable GreedyStats stats_;
 };
 
 }  // namespace
@@ -260,14 +280,18 @@ FileSchedule ScheduleFileGreedy(media::VideoId video,
                                 const std::vector<std::size_t>& indices,
                                 const CostModel& cost_model,
                                 const IvspOptions& options,
-                                const ConstraintSet* constraints) {
+                                const ConstraintSet* constraints,
+                                GreedyStats* stats) {
   GreedyRun run(video, requests, cost_model, options, constraints);
-  return run.Run(indices);
+  FileSchedule out = run.Run(indices);
+  if (stats != nullptr) *stats = run.stats();
+  return out;
 }
 
 Schedule IvspSolve(const std::vector<workload::Request>& requests,
                    const CostModel& cost_model, const IvspOptions& options,
-                   util::ThreadPool* pool) {
+                   util::ThreadPool* pool, obs::MetricsRegistry* metrics) {
+  const obs::ScopedSpan span(metrics, "ivsp");
   const auto groups = workload::GroupByVideo(requests);
   Schedule schedule;
   schedule.files.resize(groups.size());
@@ -276,20 +300,41 @@ Schedule IvspSolve(const std::vector<workload::Request>& requests,
     owned_pool = std::make_unique<util::ThreadPool>(options.parallel.Resolve());
     pool = owned_pool.get();
   }
+  // Per-file tallies/timings land in slot-indexed vectors and are folded
+  // into the registry serially below, so counter values are identical at
+  // any thread count (only the wall-clock observations vary).
+  std::vector<GreedyStats> file_stats(metrics != nullptr ? groups.size() : 0);
+  std::vector<double> file_seconds(file_stats.size(), 0.0);
+  const auto solve_one = [&](std::size_t i) {
+    GreedyStats* stats = metrics != nullptr ? &file_stats[i] : nullptr;
+    const obs::Stopwatch watch;
+    schedule.files[i] =
+        ScheduleFileGreedy(groups[i].first, requests, groups[i].second,
+                           cost_model, options, /*constraints=*/nullptr, stats);
+    if (metrics != nullptr) file_seconds[i] = watch.Seconds();
+  };
   if (pool == nullptr || groups.size() < 2) {
-    for (std::size_t i = 0; i < groups.size(); ++i) {
-      schedule.files[i] =
-          ScheduleFileGreedy(groups[i].first, requests, groups[i].second,
-                             cost_model, options, /*constraints=*/nullptr);
-    }
+    for (std::size_t i = 0; i < groups.size(); ++i) solve_one(i);
   } else {
     // Shared-nothing fan-out: each shard writes only its own slot, reads
     // only const state (CP.1/CP.9 compliant by construction).
-    pool->ParallelFor(groups.size(), [&](std::size_t i) {
-      schedule.files[i] =
-          ScheduleFileGreedy(groups[i].first, requests, groups[i].second,
-                             cost_model, options, /*constraints=*/nullptr);
-    });
+    pool->ParallelFor(groups.size(), solve_one);
+  }
+  if (metrics != nullptr) {
+    GreedyStats total;
+    obs::Timer& greedy_timer = metrics->GetTimer("ivsp.file_greedy");
+    for (std::size_t i = 0; i < file_stats.size(); ++i) {
+      total += file_stats[i];
+      greedy_timer.Observe(file_seconds[i]);
+    }
+    obs::Add(metrics, "ivsp.files", groups.size());
+    obs::Add(metrics, "ivsp.requests", total.requests);
+    obs::Add(metrics, "ivsp.decision.direct", total.direct);
+    obs::Add(metrics, "ivsp.decision.extend", total.extend);
+    obs::Add(metrics, "ivsp.decision.new_cache", total.new_cache);
+    obs::Add(metrics, "ivsp.candidates_evaluated", total.candidates);
+    obs::Add(metrics, "ivsp.forced_direct", total.forced_direct);
+    if (owned_pool != nullptr) obs::ExportPoolTelemetry(metrics, *owned_pool);
   }
   return schedule;
 }

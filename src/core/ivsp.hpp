@@ -30,6 +30,10 @@
 #include "util/thread_pool.hpp"
 #include "workload/request.hpp"
 
+namespace vor::obs {
+class MetricsRegistry;
+}  // namespace vor::obs
+
 namespace vor::core {
 
 struct IvspOptions {
@@ -46,6 +50,42 @@ struct IvspOptions {
   /// (ScheduleFileGreedy) is always sequential.  Output is identical at
   /// any thread count.
   util::ParallelOptions parallel{};
+};
+
+/// Decision/rejection tallies of one greedy run.  Collected inline (a few
+/// integer increments per request — cheap enough to be always-on); callers
+/// aggregate them into an obs::MetricsRegistry.  Values are fully
+/// deterministic for a deterministic input.
+struct GreedyStats {
+  /// Requests placed.
+  std::size_t requests = 0;
+  /// Winning update kinds (the paper's decision set A/B/C).
+  std::size_t direct = 0;
+  std::size_t extend = 0;
+  std::size_t new_cache = 0;
+  /// Candidate updates priced across all requests (direct + each
+  /// extension + each new-cache anchor that survived the cheap filters).
+  std::size_t candidates = 0;
+  /// Rejective-greedy rejections by cause (phase 2 only; all zero when no
+  /// ConstraintSet is supplied).
+  std::size_t rejected_forbidden = 0;
+  std::size_t rejected_capacity = 0;
+  std::size_t rejected_route = 0;
+  /// Requests with no feasible candidate, forced onto the VW route.
+  std::size_t forced_direct = 0;
+
+  GreedyStats& operator+=(const GreedyStats& o) {
+    requests += o.requests;
+    direct += o.direct;
+    extend += o.extend;
+    new_cache += o.new_cache;
+    candidates += o.candidates;
+    rejected_forbidden += o.rejected_forbidden;
+    rejected_capacity += o.rejected_capacity;
+    rejected_route += o.rejected_route;
+    forced_direct += o.forced_direct;
+    return *this;
+  }
 };
 
 /// Phase-2 constraints for the rejective greedy.
@@ -79,10 +119,12 @@ struct ConstraintSet {
 /// Computes S_i for one file.  `indices` are positions into `requests`,
 /// already sorted by start time; all must reference `video`.
 /// `constraints` may be nullptr (pure phase-1 behaviour: capacity ignored).
+/// A non-null `stats` receives this run's decision/rejection tallies.
 [[nodiscard]] FileSchedule ScheduleFileGreedy(
     media::VideoId video, const std::vector<workload::Request>& requests,
     const std::vector<std::size_t>& indices, const CostModel& cost_model,
-    const IvspOptions& options, const ConstraintSet* constraints);
+    const IvspOptions& options, const ConstraintSet* constraints,
+    GreedyStats* stats = nullptr);
 
 /// Phase 1, IVSP-solve (Table 2 of the paper): independent greedy per file,
 /// capacity ignored.  Returns one FileSchedule per distinct requested video,
@@ -91,9 +133,15 @@ struct ConstraintSet {
 /// Files are scheduled independently (the definition of phase 1), so the
 /// per-file greedies are embarrassingly parallel: pass a thread pool to
 /// shard them across cores.  Results are identical to the serial run.
+///
+/// A non-null `metrics` registry receives the phase span ("ivsp"),
+/// per-file greedy timings, and aggregated decision counters; counter and
+/// series values are identical at any thread count (per-file tallies are
+/// collected slot-indexed and folded in serially).
 [[nodiscard]] Schedule IvspSolve(const std::vector<workload::Request>& requests,
                                  const CostModel& cost_model,
                                  const IvspOptions& options,
-                                 util::ThreadPool* pool = nullptr);
+                                 util::ThreadPool* pool = nullptr,
+                                 obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace vor::core

@@ -43,7 +43,7 @@ RescheduleResult RescheduleVictim(
   result.old_cost = cost_model.FileCost(old_file);
   result.schedule = ScheduleFileGreedy(
       old_file.video, requests, FileRequestIndices(old_file, requests),
-      cost_model, options, &constraints);
+      cost_model, options, &constraints, &result.greedy);
   result.new_cost = cost_model.FileCost(result.schedule);
   return result;
 }

@@ -24,6 +24,9 @@ struct RescheduleResult {
   FileSchedule schedule;
   util::Money old_cost{0.0};
   util::Money new_cost{0.0};
+  /// Decision/rejection tallies of the constrained greedy run (candidate
+  /// updates priced, forbidden-window / capacity / route rejections).
+  GreedyStats greedy;
 
   /// The overhead cost of Sec. 4.2: Psi(S_new) - Psi(S_old).  Usually
   /// positive, but can be negative because phase 1 is itself heuristic.

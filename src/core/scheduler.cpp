@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/ivsp.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vor::core {
@@ -32,13 +33,17 @@ util::Result<SolveOutput> VorScheduler::Solve(
   }
 
   SolveOutput out;
+  obs::MetricsRegistry* metrics = options_.metrics;
+  const obs::ScopedSpan solve_span(metrics, "solve");
+  obs::Add(metrics, "solve.requests", requests.size());
   // One pool serves both phases: phase 1's per-file greedies and each
   // SORP round's tentative victim evaluations.
   std::unique_ptr<util::ThreadPool> pool;
   if (options_.parallel.Resolve() > 1) {
     pool = std::make_unique<util::ThreadPool>(options_.parallel.Resolve());
   }
-  out.schedule = IvspSolve(requests, cost_model_, options_.ivsp, pool.get());
+  out.schedule =
+      IvspSolve(requests, cost_model_, options_.ivsp, pool.get(), metrics);
   out.phase1_cost = cost_model_.TotalCost(out.schedule);
 
   SorpOptions sorp_options;
@@ -46,8 +51,11 @@ util::Result<SolveOutput> VorScheduler::Solve(
   sorp_options.ivsp = options_.ivsp;
   sorp_options.max_iterations = options_.max_sorp_iterations;
   sorp_options.pool = pool.get();
+  sorp_options.metrics = metrics;
   out.sorp = SorpSolve(out.schedule, requests, cost_model_, sorp_options);
   out.final_cost = out.sorp.cost_after;
+  // The shared pool served both phases; fold its lifetime counters in.
+  if (pool != nullptr) obs::ExportPoolTelemetry(metrics, *pool);
   return out;
 }
 

@@ -20,6 +20,10 @@
 #include "util/thread_pool.hpp"
 #include "workload/request.hpp"
 
+namespace vor::obs {
+class MetricsRegistry;
+}  // namespace vor::obs
+
 namespace vor::core {
 
 struct SchedulerOptions {
@@ -33,6 +37,15 @@ struct SchedulerOptions {
   /// commit step stays serial and the victim reduction is deterministic,
   /// so the solved schedule is byte-identical at any thread count.
   util::ParallelOptions parallel{};
+  /// Optional caller-owned metrics sink (src/obs).  When set, Solve
+  /// records the span hierarchy ("solve" -> "solve/ivsp" / "solve/sorp" /
+  /// "solve/sorp/round"), per-phase counters (greedy decision mix,
+  /// candidates, rejections, victims), the SORP excess trajectory, and
+  /// thread-pool telemetry.  Never alters the schedule; counter and
+  /// series values are identical at any thread count.  nullptr (the
+  /// default) disables all instrumentation at the cost of one pointer
+  /// test per site.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SolveOutput {

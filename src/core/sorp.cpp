@@ -4,43 +4,36 @@
 #include <limits>
 #include <memory>
 #include <set>
+#include <tuple>
 
 #include "core/overflow.hpp"
 #include "core/rejective_greedy.hpp"
+#include "obs/metrics.hpp"
 #include "storage/usage_timeline.hpp"
 
 namespace vor::core {
 
 namespace {
 
-/// One (victim file, overflow window) pairing from the paper's nested
-/// loops in Table 3, collected up front so the tentative evaluations can
-/// fan out over a pool.  Discovery order (overflow windows node/time
-/// ordered, contributors in residency order) is deterministic and doubles
-/// as the final tie-break level.
-struct VictimCandidate {
-  std::size_t file_index = 0;
-  net::NodeId node = net::kInvalidNode;
-  util::Interval window;
-  double chi = 0.0;  // improved-interval length (Eq. 8 input)
-  double ds = 0.0;   // time-space improvement (Eq. 10 input)
-};
-
 /// Result of one tentative rejective-greedy dry run.
 struct Evaluation {
   double heat = -std::numeric_limits<double>::infinity();
   FileSchedule schedule;
+  GreedyStats greedy;
+  double seconds = 0.0;
 };
 
-/// Enumerates this round's candidates against the frozen integrated
-/// schedule.  Skips residencies with no actual demand inside the window
-/// (rescheduling them cannot reduce the excess) and duplicate
-/// (file, window) pairings.
-std::vector<VictimCandidate> CollectCandidates(
+}  // namespace
+
+std::vector<SorpCandidate> CollectSorpCandidates(
     const Schedule& schedule, const std::vector<OverflowWindow>& overflows,
     const CostModel& cost_model) {
-  std::vector<VictimCandidate> candidates;
-  std::set<std::pair<std::size_t, std::uint64_t>> evaluated;
+  std::vector<SorpCandidate> candidates;
+  // Dedupe on the full (file, node, window.start, window.end) tuple.  The
+  // previous packed key `(node << 32) ^ window.start` dropped the window
+  // end entirely and aliased node bits once a start time exceeded 2^32
+  // seconds, silently skipping distinct (file, window) pairings.
+  std::set<std::tuple<std::size_t, net::NodeId, double, double>> evaluated;
   for (const OverflowWindow& of : overflows) {
     for (const ResidencyRef& ref : of.contributors) {
       const FileSchedule& file = schedule.files[ref.file_index];
@@ -50,22 +43,24 @@ std::vector<VictimCandidate> CollectCandidates(
       if (ds <= 0.0) continue;
       const double chi = ImprovedLength(c, of, cost_model);
 
-      const std::uint64_t window_key =
-          (static_cast<std::uint64_t>(of.node) << 32) ^
-          static_cast<std::uint64_t>(of.window.start.value());
-      if (!evaluated.emplace(ref.file_index, window_key).second) continue;
+      if (!evaluated
+               .emplace(ref.file_index, of.node, of.window.start.value(),
+                        of.window.end.value())
+               .second) {
+        continue;
+      }
       candidates.push_back(
-          VictimCandidate{ref.file_index, of.node, of.window, chi, ds});
+          SorpCandidate{ref.file_index, of.node, of.window, chi, ds});
     }
   }
   return candidates;
 }
 
-}  // namespace
-
 SorpStats SorpSolve(Schedule& schedule,
                     const std::vector<workload::Request>& requests,
                     const CostModel& cost_model, const SorpOptions& options) {
+  obs::MetricsRegistry* metrics = options.metrics;
+  const obs::ScopedSpan span(metrics, "sorp");
   SorpStats stats;
   stats.cost_before = cost_model.TotalCost(schedule);
 
@@ -75,6 +70,10 @@ SorpStats SorpSolve(Schedule& schedule,
   stats.initial_overflow_windows = overflows.size();
   stats.initial_excess = TotalExcess(usage, cost_model.topology());
   double excess = stats.initial_excess;
+  obs::Add(metrics, "sorp.initial_overflow_windows", overflows.size());
+  if (metrics != nullptr && !overflows.empty()) {
+    obs::Append(metrics, "sorp.excess_trajectory", excess);
+  }
 
   // The extension hooks exclude/re-include a file's streams in external
   // trackers around each dry run; that protocol is inherently serial.
@@ -89,8 +88,11 @@ SorpStats SorpSolve(Schedule& schedule,
   }
 
   // One tentative rejective-greedy dry run; pure given a frozen schedule
-  // (the hook calls around it are made by the caller when serial).
-  const auto evaluate = [&](const VictimCandidate& c) -> Evaluation {
+  // (the hook calls around it are made by the caller when serial).  The
+  // per-evaluation tallies/timings ride back in the slot-indexed
+  // Evaluation and are folded into the registry serially.
+  const auto evaluate = [&](const SorpCandidate& c) -> Evaluation {
+    const obs::Stopwatch watch;
     const storage::UsageMap other =
         options.capacity_aware_reschedule
             ? storage::BuildUsageExcludingFile(schedule, cost_model,
@@ -103,13 +105,16 @@ SorpStats SorpSolve(Schedule& schedule,
     out.heat =
         ComputeHeat(options.heat, c.chi, c.ds, attempt.Overhead().value());
     out.schedule = std::move(attempt.schedule);
+    out.greedy = attempt.greedy;
+    out.seconds = watch.Seconds();
     return out;
   };
 
   while (!overflows.empty() &&
          stats.victims_rescheduled < options.max_iterations) {
-    std::vector<VictimCandidate> candidates =
-        CollectCandidates(schedule, overflows, cost_model);
+    const obs::ScopedSpan round_span(metrics, "round");
+    std::vector<SorpCandidate> candidates =
+        CollectSorpCandidates(schedule, overflows, cost_model);
     if (candidates.empty()) break;  // nothing can improve any window
 
     // The ablation policy commits the first eligible pairing outright —
@@ -143,6 +148,24 @@ SorpStats SorpSolve(Schedule& schedule,
       }
     }
     stats.evaluations += candidates.size();
+    if (metrics != nullptr) {
+      obs::Add(metrics, "sorp.rounds");
+      obs::Add(metrics, "sorp.candidates_evaluated", candidates.size());
+      GreedyStats round_greedy;
+      obs::Timer& eval_timer = metrics->GetTimer("sorp.evaluation");
+      for (const Evaluation& e : evals) {
+        round_greedy += e.greedy;
+        eval_timer.Observe(e.seconds);
+      }
+      obs::Add(metrics, "sorp.reschedule.candidates_priced",
+               round_greedy.candidates);
+      obs::Add(metrics, "sorp.reject.forbidden_window",
+               round_greedy.rejected_forbidden);
+      obs::Add(metrics, "sorp.reject.capacity", round_greedy.rejected_capacity);
+      obs::Add(metrics, "sorp.reject.route", round_greedy.rejected_route);
+      obs::Add(metrics, "sorp.reschedule.forced_direct",
+               round_greedy.forced_direct);
+    }
 
     // Serial, deterministic reduction: max heat, ties to the smallest
     // file index, then to discovery order.  Independent of thread count.
@@ -167,12 +190,18 @@ SorpStats SorpSolve(Schedule& schedule,
     usage = storage::BuildUsage(schedule, cost_model);
     overflows = DetectOverflowsIn(usage, cost_model.topology());
     const double new_excess = TotalExcess(usage, cost_model.topology());
+    obs::Append(metrics, "sorp.excess_trajectory", new_excess);
     if (new_excess >= excess) break;  // defensive: no progress
     excess = new_excess;
   }
 
   stats.final_excess = TotalExcess(usage, cost_model.topology());
   stats.cost_after = cost_model.TotalCost(schedule);
+  obs::Add(metrics, "sorp.victims_rescheduled", stats.victims_rescheduled);
+  if (owned_pool != nullptr) obs::ExportPoolTelemetry(metrics, *owned_pool);
+  if (metrics != nullptr && !stats.Resolved()) {
+    obs::Add(metrics, "sorp.unresolved_runs");
+  }
   return stats;
 }
 

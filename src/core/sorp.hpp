@@ -13,9 +13,14 @@
 #include "core/cost_model.hpp"
 #include "core/heat.hpp"
 #include "core/ivsp.hpp"
+#include "core/overflow.hpp"
 #include "core/schedule.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/request.hpp"
+
+namespace vor::obs {
+class MetricsRegistry;
+}  // namespace vor::obs
 
 namespace vor::core {
 
@@ -71,7 +76,37 @@ struct SorpOptions {
   /// ... and with the file schedule to re-include afterwards (the old one
   /// after a tentative evaluation, the new one after a commit).
   std::function<void(std::size_t, const FileSchedule&)> on_file_included;
+
+  // ---- observability --------------------------------------------------
+  /// Optional metrics sink: phase span ("sorp"), round/evaluation timers,
+  /// candidate/rejection counters, and the excess trajectory series.
+  /// Counter and series values are identical at any thread count.
+  obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// One (victim file, overflow window) pairing from the paper's Table-3
+/// nested loops, collected up front so the tentative evaluations can fan
+/// out over a pool.  Discovery order (overflow windows node/time ordered,
+/// contributors in residency order) is deterministic and doubles as the
+/// final tie-break level.
+struct SorpCandidate {
+  std::size_t file_index = 0;
+  net::NodeId node = net::kInvalidNode;
+  util::Interval window;
+  double chi = 0.0;  // improved-interval length (Eq. 8 input)
+  double ds = 0.0;   // time-space improvement (Eq. 10 input)
+};
+
+/// Enumerates one round's candidates against the frozen integrated
+/// schedule.  Skips residencies with no actual demand inside the window
+/// (rescheduling them cannot reduce the excess) and duplicate
+/// (file, window) pairings — the dedupe key is the full
+/// (file, node, window.start, window.end) tuple, so distinct windows that
+/// share a start time are still evaluated separately.  Exposed for
+/// diagnostics and direct testing.
+[[nodiscard]] std::vector<SorpCandidate> CollectSorpCandidates(
+    const Schedule& schedule, const std::vector<OverflowWindow>& overflows,
+    const CostModel& cost_model);
 
 struct SorpStats {
   /// Overflow windows in the integrated phase-1 schedule.

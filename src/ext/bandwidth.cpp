@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/ivsp.hpp"
+#include "obs/metrics.hpp"
 #include "workload/generator.hpp"
 
 namespace vor::ext {
@@ -133,32 +134,52 @@ util::Result<BandwidthSolveOutput> BandwidthAwareScheduler::Solve(
 
   LinkLoadTracker tracker(*topology_, *catalog_);
   BandwidthSolveOutput out;
+  obs::MetricsRegistry* metrics = options_.metrics;
+  const obs::ScopedSpan solve_span(metrics, "solve");
 
   // ---- Phase 1: bandwidth-aware individual video scheduling ----------
   std::size_t forced = 0;
   const auto groups = workload::GroupByVideo(requests);
   out.schedule.files.reserve(groups.size());
-  for (std::size_t file_index = 0; file_index < groups.size(); ++file_index) {
-    const auto& [video, indices] = groups[file_index];
-    core::ConstraintSet constraints;
-    constraints.route_ok = [&tracker](const std::vector<net::NodeId>& route,
-                                      util::Seconds t, media::VideoId v) {
-      return tracker.RouteFeasible(route, t, v);
-    };
-    constraints.on_commit = [&tracker, &forced, file_index](
-                                const core::Delivery& d) {
-      // The greedy falls back to a (possibly infeasible) direct delivery
-      // when every candidate is saturated; detect that here.
-      // Feasibility is re-tested before accounting so forced streams are
-      // counted exactly once.
-      tracker.AddDelivery(d, file_index);
-    };
-    // Count forced requests: a request is forced when even the VW route
-    // fails the feasibility test at selection time.  The greedy signals
-    // this implicitly; re-check after the fact.
-    core::FileSchedule file = core::ScheduleFileGreedy(
-        video, requests, indices, cost_model_, options_.ivsp, &constraints);
-    out.schedule.files.push_back(std::move(file));
+  {
+    const obs::ScopedSpan ivsp_span(metrics, "ivsp");
+    core::GreedyStats phase1_greedy;
+    for (std::size_t file_index = 0; file_index < groups.size();
+         ++file_index) {
+      const auto& [video, indices] = groups[file_index];
+      core::ConstraintSet constraints;
+      constraints.route_ok = [&tracker](const std::vector<net::NodeId>& route,
+                                        util::Seconds t, media::VideoId v) {
+        return tracker.RouteFeasible(route, t, v);
+      };
+      constraints.on_commit = [&tracker, &forced, file_index](
+                                  const core::Delivery& d) {
+        // The greedy falls back to a (possibly infeasible) direct delivery
+        // when every candidate is saturated; detect that here.
+        // Feasibility is re-tested before accounting so forced streams are
+        // counted exactly once.
+        tracker.AddDelivery(d, file_index);
+      };
+      // Count forced requests: a request is forced when even the VW route
+      // fails the feasibility test at selection time.  The greedy signals
+      // this implicitly; re-check after the fact.
+      core::GreedyStats file_stats;
+      core::FileSchedule file = core::ScheduleFileGreedy(
+          video, requests, indices, cost_model_, options_.ivsp, &constraints,
+          metrics != nullptr ? &file_stats : nullptr);
+      phase1_greedy += file_stats;
+      out.schedule.files.push_back(std::move(file));
+    }
+    if (metrics != nullptr) {
+      obs::Add(metrics, "ivsp.files", groups.size());
+      obs::Add(metrics, "ivsp.requests", phase1_greedy.requests);
+      obs::Add(metrics, "ivsp.decision.direct", phase1_greedy.direct);
+      obs::Add(metrics, "ivsp.decision.extend", phase1_greedy.extend);
+      obs::Add(metrics, "ivsp.decision.new_cache", phase1_greedy.new_cache);
+      obs::Add(metrics, "ivsp.candidates_evaluated", phase1_greedy.candidates);
+      obs::Add(metrics, "ivsp.forced_direct", phase1_greedy.forced_direct);
+      obs::Add(metrics, "ivsp.reject.route", phase1_greedy.rejected_route);
+    }
   }
   out.phase1_cost = cost_model_.TotalCost(out.schedule);
 
@@ -178,6 +199,7 @@ util::Result<BandwidthSolveOutput> BandwidthAwareScheduler::Solve(
                                      const core::FileSchedule& file) {
     tracker.AddFile(file, file_index);
   };
+  sorp.metrics = metrics;
   out.sorp = core::SorpSolve(out.schedule, requests, cost_model_, sorp);
   out.final_cost = out.sorp.cost_after;
 

@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
+namespace vor::obs {
+
+namespace {
+
+/// Current span path of this thread; ScopedSpan appends on entry and
+/// truncates back on exit, so nesting is tracked without a registry-wide
+/// lock or any per-span allocation beyond the path copy.
+thread_local std::string tls_span_path;  // NOLINT(runtime/string)
+
+}  // namespace
+
+void Timer::Observe(double v) {
+  std::lock_guard lock(mutex_);
+  if (snap_.count == 0) {
+    snap_.min = v;
+    snap_.max = v;
+  } else {
+    snap_.min = std::min(snap_.min, v);
+    snap_.max = std::max(snap_.max, v);
+  }
+  snap_.sum += v;
+  ++snap_.count;
+}
+
+Timer::Snapshot Timer::Snap() const {
+  std::lock_guard lock(mutex_);
+  return snap_;
+}
+
+void Series::Append(double v) {
+  std::lock_guard lock(mutex_);
+  values_.push_back(v);
+}
+
+std::vector<double> Series::Values() const {
+  std::lock_guard lock(mutex_);
+  return values_;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Timer& MetricsRegistry::GetTimer(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = timers_[name];
+  if (slot == nullptr) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Series& MetricsRegistry::GetSeries(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = series_[name];
+  if (slot == nullptr) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+util::Json MetricsRegistry::ToJson() const {
+  std::lock_guard lock(mutex_);
+  util::JsonObject counters;
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = static_cast<double>(counter->value());
+  }
+  util::JsonObject timers;
+  for (const auto& [name, timer] : timers_) {
+    const Timer::Snapshot s = timer->Snap();
+    timers[name] = util::JsonObject{{"count", s.count},
+                                    {"total_seconds", s.sum},
+                                    {"min_seconds", s.min},
+                                    {"max_seconds", s.max},
+                                    {"mean_seconds", s.mean()}};
+  }
+  util::JsonObject series;
+  for (const auto& [name, values] : series_) {
+    util::JsonArray arr;
+    for (const double v : values->Values()) arr.emplace_back(v);
+    series[name] = std::move(arr);
+  }
+  return util::JsonObject{{"counters", std::move(counters)},
+                          {"timers", std::move(timers)},
+                          {"series", std::move(series)}};
+}
+
+void ExportPoolTelemetry(MetricsRegistry* registry,
+                         const util::ThreadPool& pool) {
+  if (registry == nullptr) return;
+  const util::ThreadPoolTelemetry t = pool.Telemetry();
+  registry->GetCounter("pool.threads").Add(pool.thread_count());
+  registry->GetCounter("pool.tasks_submitted").Add(t.tasks_submitted);
+  registry->GetCounter("pool.tasks_executed").Add(t.tasks_executed);
+  registry->GetCounter("pool.peak_queue_depth").Add(t.peak_queue_depth);
+  registry->GetCounter("pool.parallel_for.calls").Add(t.parallel_for_calls);
+  registry->GetCounter("pool.parallel_for.inline_calls")
+      .Add(t.parallel_for_inline_calls);
+  registry->GetCounter("pool.parallel_for.indices").Add(t.parallel_for_indices);
+}
+
+ScopedSpan::ScopedSpan(MetricsRegistry* registry, const std::string& name)
+    : registry_(registry) {
+  if (registry_ == nullptr) return;
+  saved_depth_ = tls_span_path.size();
+  if (!tls_span_path.empty()) tls_span_path += '/';
+  tls_span_path += name;
+  path_ = tls_span_path;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (registry_ == nullptr) return;
+  registry_->GetTimer(path_).Observe(watch_.Seconds());
+  tls_span_path.resize(saved_depth_);
+}
+
+}  // namespace vor::obs

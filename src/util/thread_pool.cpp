@@ -56,6 +56,11 @@ bool ThreadPool::InWorkerThread() const noexcept {
   return tls_worker_pool == this;
 }
 
+ThreadPoolTelemetry ThreadPool::Telemetry() const {
+  std::lock_guard lock(mutex_);
+  return telemetry_;
+}
+
 void ThreadPool::WorkerLoop() {
   tls_worker_pool = this;
   for (;;) {
@@ -66,6 +71,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) break;  // stopping_ with drained queue
       task = std::move(queue_.front());
       queue_.pop();
+      ++telemetry_.tasks_executed;
     }
     task();
   }
@@ -78,6 +84,12 @@ ParallelForStatus ThreadPool::ParallelFor(
   ParallelForStatus status;
   if (status_out != nullptr) *status_out = status;
   if (n == 0) return status;
+  {
+    std::lock_guard lock(mutex_);
+    ++telemetry_.parallel_for_calls;
+    telemetry_.parallel_for_indices += n;
+    if (InWorkerThread()) ++telemetry_.parallel_for_inline_calls;
+  }
 
   // Reentrancy guard: a body running on this pool that fans out again
   // must not wait on futures only this pool's (busy) workers could

@@ -19,6 +19,7 @@
 //     execution instead of deadlocking on pool-owned futures.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -73,6 +74,20 @@ struct ParallelOptions {
   }
 };
 
+/// Lifetime-aggregate pool activity, snapshotted by Telemetry().  All
+/// numbers are cumulative since construction; `peak_queue_depth` is the
+/// high-water mark of tasks waiting (not yet picked up) in the queue.
+struct ThreadPoolTelemetry {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t parallel_for_calls = 0;
+  /// ParallelFor calls that ran inline (reentrancy guard).
+  std::uint64_t parallel_for_inline_calls = 0;
+  /// Total indices requested across all ParallelFor calls.
+  std::uint64_t parallel_for_indices = 0;
+};
+
 class ThreadPool {
  public:
   /// threads == 0 selects hardware_concurrency() (min 1).
@@ -94,6 +109,9 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   [[nodiscard]] bool InWorkerThread() const noexcept;
 
+  /// Consistent snapshot of the pool's cumulative activity counters.
+  [[nodiscard]] ThreadPoolTelemetry Telemetry() const;
+
   /// Enqueue a task; returns a future for its result.  Throws
   /// std::runtime_error if the pool is shutting down — never silently
   /// accepts work that cannot run.
@@ -109,6 +127,9 @@ class ThreadPool {
             "ThreadPool::Submit called after Shutdown(): task would never run");
       }
       queue_.emplace([task] { (*task)(); });
+      ++telemetry_.tasks_submitted;
+      telemetry_.peak_queue_depth =
+          std::max<std::uint64_t>(telemetry_.peak_queue_depth, queue_.size());
     }
     cv_.notify_one();
     return result;
@@ -136,6 +157,7 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
   bool joined_ = false;
+  ThreadPoolTelemetry telemetry_;  // guarded by mutex_
 };
 
 }  // namespace vor::util

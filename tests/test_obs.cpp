@@ -1,0 +1,272 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/ivsp.hpp"
+#include "core/scheduler.hpp"
+#include "media/catalog.hpp"
+#include "test_helpers.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/request.hpp"
+
+namespace vor::obs {
+namespace {
+
+TEST(CounterTest, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(TimerTest, EmptySnapshotIsZero) {
+  Timer t;
+  const Timer::Snapshot s = t.Snap();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(TimerTest, TracksCountSumMinMax) {
+  Timer t;
+  t.Observe(2.0);
+  t.Observe(0.5);
+  t.Observe(1.5);
+  const Timer::Snapshot s = t.Snap();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0 / 3.0);
+}
+
+TEST(SeriesTest, AppendsInOrder) {
+  Series s;
+  s.Append(3.0);
+  s.Append(1.0);
+  s.Append(2.0);
+  EXPECT_EQ(s.Values(), (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  a.Add(7);
+  EXPECT_EQ(&registry.GetCounter("x"), &a);
+  EXPECT_EQ(registry.GetCounter("x").value(), 7u);
+  EXPECT_NE(&registry.GetCounter("y"), &a);
+}
+
+TEST(MetricsRegistryTest, NullSafeHelpersAreNoops) {
+  // The disabled path must be callable from any site without a registry.
+  Add(nullptr, "c");
+  Observe(nullptr, "t", 1.0);
+  Append(nullptr, "s", 1.0);
+  const ScopedSpan span(nullptr, "phase");
+  EXPECT_TRUE(span.path().empty());
+}
+
+TEST(MetricsRegistryTest, HelpersRecordWhenEnabled) {
+  MetricsRegistry registry;
+  Add(&registry, "c", 3);
+  Observe(&registry, "t", 0.25);
+  Append(&registry, "s", 9.0);
+  EXPECT_EQ(registry.GetCounter("c").value(), 3u);
+  EXPECT_EQ(registry.GetTimer("t").Snap().count, 1u);
+  EXPECT_EQ(registry.GetSeries("s").Values().size(), 1u);
+}
+
+TEST(ScopedSpanTest, BuildsHierarchicalPaths) {
+  MetricsRegistry registry;
+  {
+    const ScopedSpan outer(&registry, "solve");
+    EXPECT_EQ(outer.path(), "solve");
+    {
+      const ScopedSpan inner(&registry, "ivsp");
+      EXPECT_EQ(inner.path(), "solve/ivsp");
+    }
+    {
+      // A sibling after a closed child restarts from the parent path.
+      const ScopedSpan inner(&registry, "sorp");
+      EXPECT_EQ(inner.path(), "solve/sorp");
+    }
+  }
+  EXPECT_EQ(registry.GetTimer("solve").Snap().count, 1u);
+  EXPECT_EQ(registry.GetTimer("solve/ivsp").Snap().count, 1u);
+  EXPECT_EQ(registry.GetTimer("solve/sorp").Snap().count, 1u);
+  // The thread-local path unwound fully: a fresh span is a root again.
+  const ScopedSpan root(&registry, "again");
+  EXPECT_EQ(root.path(), "again");
+}
+
+TEST(MetricsRegistryTest, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("ivsp.files").Add(6);
+  registry.GetTimer("solve").Observe(0.5);
+  registry.GetTimer("solve").Observe(1.5);
+  registry.GetSeries("excess").Append(10.0);
+  registry.GetSeries("excess").Append(0.0);
+
+  const auto parsed = util::Json::Parse(registry.ToJson().Dump(2));
+  ASSERT_TRUE(parsed.ok());
+  const util::Json& doc = *parsed;
+  EXPECT_DOUBLE_EQ(doc["counters"]["ivsp.files"].as_number(), 6.0);
+  EXPECT_DOUBLE_EQ(doc["timers"]["solve"]["count"].as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(doc["timers"]["solve"]["total_seconds"].as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(doc["timers"]["solve"]["min_seconds"].as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(doc["timers"]["solve"]["max_seconds"].as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(doc["timers"]["solve"]["mean_seconds"].as_number(), 1.0);
+  ASSERT_EQ(doc["series"]["excess"].as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(doc["series"]["excess"].as_array()[0].as_number(), 10.0);
+}
+
+TEST(MetricsRegistryTest, CountersAreThreadSafe) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("hits");
+  Timer& t = registry.GetTimer("work");
+  util::ThreadPool pool(4);
+  pool.ParallelFor(1000, [&](std::size_t) {
+    c.Add();
+    t.Observe(1.0);
+  });
+  EXPECT_EQ(c.value(), 1000u);
+  EXPECT_EQ(t.Snap().count, 1000u);
+}
+
+TEST(PoolTelemetryTest, ExportsFoldedCounters) {
+  MetricsRegistry registry;
+  util::ThreadPool pool(2);
+  pool.ParallelFor(100, [](std::size_t) {});
+  ExportPoolTelemetry(&registry, pool);
+  EXPECT_EQ(registry.GetCounter("pool.threads").value(), 2u);
+  EXPECT_EQ(registry.GetCounter("pool.parallel_for.calls").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("pool.parallel_for.indices").value(), 100u);
+  EXPECT_GT(registry.GetCounter("pool.tasks_submitted").value(), 0u);
+  EXPECT_EQ(registry.GetCounter("pool.tasks_submitted").value(),
+            registry.GetCounter("pool.tasks_executed").value());
+  // A null registry is a no-op, not a crash.
+  ExportPoolTelemetry(nullptr, pool);
+}
+
+// ---- integration with the two-phase scheduler ----------------------------
+
+/// Tight-capacity world (same shape as the SORP tests): two 1 GB titles
+/// requested twice each at one 1.5 GB storage, so phase 2 always engages.
+struct InstrumentedEnv {
+  InstrumentedEnv()
+      : topo(testing::SmallTopology(2, /*nrate_per_gb=*/100.0,
+                                    /*srate=*/0.01, /*capacity_gb=*/1.5)),
+        catalog(TwoVideoCatalog()) {
+    requests = {
+        {0, 0, util::Hours(1.0), 2},
+        {1, 1, util::Hours(1.2), 2},
+        {2, 0, util::Hours(3.0), 2},
+        {3, 1, util::Hours(3.2), 2},
+    };
+  }
+
+  static media::Catalog TwoVideoCatalog() {
+    media::Catalog catalog;
+    for (int i = 0; i < 2; ++i) {
+      media::Video v;
+      v.title = "v" + std::to_string(i);
+      v.size = util::GB(1.0);
+      v.playback = util::Hours(1.0);
+      v.bandwidth = v.size / v.playback;
+      catalog.Add(v);
+    }
+    return catalog;
+  }
+
+  [[nodiscard]] util::Json SolveWithMetrics(std::size_t threads) const {
+    MetricsRegistry registry;
+    core::SchedulerOptions options;
+    options.metrics = &registry;
+    options.parallel.threads = threads;
+    const core::VorScheduler scheduler(topo, catalog, options);
+    const auto result = scheduler.Solve(requests);
+    EXPECT_TRUE(result.ok());
+    return registry.ToJson();
+  }
+
+  net::Topology topo;
+  media::Catalog catalog;
+  std::vector<workload::Request> requests;
+};
+
+TEST(SchedulerMetricsTest, SolveExportsPhaseSpansAndDecisionMix) {
+  const InstrumentedEnv env;
+  const util::Json doc = env.SolveWithMetrics(/*threads=*/1);
+
+  const util::JsonObject& timers = doc["timers"].as_object();
+  EXPECT_TRUE(timers.count("solve"));
+  EXPECT_TRUE(timers.count("solve/ivsp"));
+  EXPECT_TRUE(timers.count("solve/sorp"));
+  EXPECT_TRUE(timers.count("solve/sorp/round"));
+  EXPECT_TRUE(timers.count("ivsp.file_greedy"));
+
+  const util::JsonObject& counters = doc["counters"].as_object();
+  const auto counter = [&](const std::string& name) {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second.as_number();
+  };
+  EXPECT_DOUBLE_EQ(counter("solve.requests"), 4.0);
+  EXPECT_DOUBLE_EQ(counter("ivsp.requests"), 4.0);
+  // Every request resolves to exactly one greedy decision.
+  EXPECT_DOUBLE_EQ(counter("ivsp.decision.direct") +
+                       counter("ivsp.decision.extend") +
+                       counter("ivsp.decision.new_cache"),
+                   counter("ivsp.requests"));
+  EXPECT_GT(counter("ivsp.candidates_evaluated"), 0.0);
+  // The crafted world overflows, so SORP must have worked.
+  EXPECT_GT(counter("sorp.initial_overflow_windows"), 0.0);
+  EXPECT_GT(counter("sorp.rounds"), 0.0);
+  EXPECT_GT(counter("sorp.victims_rescheduled"), 0.0);
+  EXPECT_GT(counter("sorp.reschedule.candidates_priced"), 0.0);
+
+  // The excess trajectory starts positive and ends resolved.
+  const util::JsonArray& excess =
+      doc["series"].as_object().at("sorp.excess_trajectory").as_array();
+  ASSERT_GE(excess.size(), 2u);
+  EXPECT_GT(excess.front().as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(excess.back().as_number(), 0.0);
+}
+
+TEST(SchedulerMetricsTest, CountersAndSeriesAreThreadCountInvariant) {
+  // Wall-clock timers vary run to run, but every counter and series the
+  // solver emits must be byte-identical at any thread count, mirroring
+  // the determinism guarantee on the schedule itself.  Pool telemetry is
+  // excluded: it describes the machine, not the solve.
+  const InstrumentedEnv env;
+  const util::Json serial = env.SolveWithMetrics(1);
+  const util::Json parallel = env.SolveWithMetrics(2);
+
+  util::JsonObject serial_counters = serial["counters"].as_object();
+  util::JsonObject parallel_counters = parallel["counters"].as_object();
+  for (auto* counters : {&serial_counters, &parallel_counters}) {
+    for (auto it = counters->begin(); it != counters->end();) {
+      it = it->first.rfind("pool.", 0) == 0 ? counters->erase(it)
+                                            : std::next(it);
+    }
+  }
+  EXPECT_EQ(util::Json(serial_counters).Dump(),
+            util::Json(parallel_counters).Dump());
+  EXPECT_EQ(serial["series"].Dump(), parallel["series"].Dump());
+}
+
+TEST(SchedulerMetricsTest, NoRegistryStillSolves) {
+  const InstrumentedEnv env;
+  const core::VorScheduler scheduler(env.topo, env.catalog);
+  const auto result = scheduler.Solve(env.requests);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->sorp.victims_rescheduled, 0u);
+}
+
+}  // namespace
+}  // namespace vor::obs

@@ -200,6 +200,94 @@ TEST(SorpAblationTest, FirstContributorNeverBeatsHeatOnTightScenario) {
             first_stats.cost_after.value() + 1e-6);
 }
 
+/// One-file schedule with a single long-lived residency at `node`,
+/// suitable for driving CollectSorpCandidates with hand-crafted windows.
+Schedule OneResidencySchedule(net::NodeId node, util::Seconds t_start,
+                              util::Seconds t_last) {
+  Schedule s;
+  FileSchedule file;
+  file.video = 0;
+  Residency c;
+  c.video = 0;
+  c.location = node;
+  c.source = 0;
+  c.t_start = t_start;
+  c.t_last = t_last;
+  file.residencies.push_back(c);
+  s.files.push_back(std::move(file));
+  return s;
+}
+
+TEST(SorpCandidateTest, EqualStartDifferentEndWindowsBothEvaluated) {
+  // Regression: the old dedupe key `(node << 32) ^ window.start` ignored
+  // the window end, so two overflow windows on one node sharing a start
+  // time collapsed to a single candidate and the longer window was never
+  // offered to the shootout.
+  OverflowEnv env;
+  const Schedule s =
+      OneResidencySchedule(2, util::Hours(0.0), util::Hours(10.0));
+  OverflowWindow a;
+  a.node = 2;
+  a.window = {util::Hours(1.0), util::Hours(2.0)};
+  a.contributors = {ResidencyRef{0, 0}};
+  OverflowWindow b = a;
+  b.window = {util::Hours(1.0), util::Hours(4.0)};
+
+  const std::vector<SorpCandidate> candidates =
+      CollectSorpCandidates(s, {a, b}, env.cm);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_DOUBLE_EQ(candidates[0].window.end.value(), util::Hours(2.0).value());
+  EXPECT_DOUBLE_EQ(candidates[1].window.end.value(), util::Hours(4.0).value());
+  EXPECT_GT(candidates[0].ds, 0.0);
+  EXPECT_GT(candidates[1].ds, 0.0);
+  // The longer window improves strictly more time-space.
+  EXPECT_GT(candidates[1].ds, candidates[0].ds);
+}
+
+TEST(SorpCandidateTest, NodeBitsDoNotAliasLargeStartTimes) {
+  // Regression: with the packed key, (node 3, start x) and (node 2,
+  // start x + 2^32) XOR to the same value, so the second window was
+  // silently skipped once start times crossed 2^32 seconds.
+  OverflowEnv env;
+  constexpr double kTwoPow32 = 4294967296.0;
+  const Schedule s = OneResidencySchedule(
+      2, util::Seconds{0.0}, util::Seconds{kTwoPow32 + 5000.0});
+  OverflowWindow a;
+  a.node = 3;
+  a.window = {util::Seconds{100.0}, util::Seconds{3700.0}};
+  a.contributors = {ResidencyRef{0, 0}};
+  OverflowWindow b;
+  b.node = 2;
+  b.window = {util::Seconds{kTwoPow32 + 100.0},
+              util::Seconds{kTwoPow32 + 3700.0}};
+  b.contributors = {ResidencyRef{0, 0}};
+
+  const std::vector<SorpCandidate> candidates =
+      CollectSorpCandidates(s, {a, b}, env.cm);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].node, 3u);
+  EXPECT_EQ(candidates[1].node, 2u);
+}
+
+TEST(SorpCandidateTest, DuplicateContributorsOfOneFileDedupe) {
+  // Two residencies of the same file inside one window are one victim:
+  // rescheduling rebuilds the whole FileSchedule, so a second dry run of
+  // the same (file, node, window) tuple would be pure waste.
+  OverflowEnv env;
+  Schedule s = OneResidencySchedule(2, util::Hours(0.0), util::Hours(10.0));
+  Residency second = s.files[0].residencies[0];
+  second.t_start = util::Hours(0.5);
+  s.files[0].residencies.push_back(second);
+  OverflowWindow w;
+  w.node = 2;
+  w.window = {util::Hours(1.0), util::Hours(2.0)};
+  w.contributors = {ResidencyRef{0, 0}, ResidencyRef{0, 1}};
+
+  const std::vector<SorpCandidate> candidates =
+      CollectSorpCandidates(s, {w}, env.cm);
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
 TEST(SorpAblationTest, NonRejectiveMayLeaveResidualOverflow) {
   // The crafted environment has two titles competing for one tiny IS; a
   // non-rejective reschedule happily re-caches where space is already

@@ -72,6 +72,54 @@ if(NOT trace_out MATCHES "total cost")
   message(FATAL_ERROR "solve --trace output unexpected")
 endif()
 
+# Malformed numeric flags must fail with a usage error, not crash with
+# an unhandled std::stod exception.
+execute_process(
+  COMMAND ${VORCTL} solve ${scenario} --threads abc
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a number")
+  message(FATAL_ERROR "malformed --threads: rc=${rc} err=${err}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} gen-scenario --seed 12xyz
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a number")
+  message(FATAL_ERROR "malformed --seed: rc=${rc} err=${err}")
+endif()
+
+# --metrics-out must emit a JSON document carrying the phase spans and
+# solver counters.
+set(metrics ${WORKDIR}/vorctl_metrics.json)
+execute_process(
+  COMMAND ${VORCTL} solve ${scenario} --metrics-out ${metrics}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "solve --metrics-out failed: ${rc}")
+endif()
+if(NOT EXISTS ${metrics})
+  message(FATAL_ERROR "metrics export missing")
+endif()
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  file(READ ${metrics} metrics_text)
+  string(JSON metrics_version ERROR_VARIABLE json_err
+         GET "${metrics_text}" version)
+  if(NOT metrics_version STREQUAL "vor-metrics/1")
+    message(FATAL_ERROR "bad metrics version: ${metrics_version} ${json_err}")
+  endif()
+  foreach(timer "solve" "solve/ivsp" "solve/sorp")
+    string(JSON timer_count ERROR_VARIABLE json_err
+           GET "${metrics_text}" timers "${timer}" count)
+    if(json_err OR timer_count LESS 1)
+      message(FATAL_ERROR "timer '${timer}' missing: ${json_err}")
+    endif()
+  endforeach()
+  string(JSON n ERROR_VARIABLE json_err
+         GET "${metrics_text}" counters "ivsp.requests")
+  if(json_err OR n LESS 1)
+    message(FATAL_ERROR "counter ivsp.requests missing: ${json_err}")
+  endif()
+endif()
+
 # Corrupt the schedule (splice a bogus node into every route) and
 # make sure validate now fails.
 file(READ ${schedule} text)

@@ -34,6 +34,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,7 @@
 #include "core/scheduler.hpp"
 #include "ext/bandwidth.hpp"
 #include "io/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "sim/playback_sim.hpp"
 #include "sim/validator.hpp"
 #include "util/table.hpp"
@@ -54,6 +56,11 @@ namespace {
 
 using namespace vor;
 
+/// Bad command-line input; caught in main() and reported as exit code 1.
+struct UsageError {
+  std::string message;
+};
+
 /// "--key value" and bare "--flag" arguments after the subcommand.
 struct Args {
   std::vector<std::string> positional;
@@ -61,7 +68,16 @@ struct Args {
 
   [[nodiscard]] double Number(const std::string& key, double fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
+    if (it == options.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(it->second, &consumed);
+      if (consumed != it->second.size()) throw std::invalid_argument(key);
+      return v;
+    } catch (const std::exception&) {
+      throw UsageError{"--" + key + " expects a number, got '" + it->second +
+                       "'"};
+    }
   }
   [[nodiscard]] std::string Str(const std::string& key,
                                 const std::string& fallback) const {
@@ -194,6 +210,12 @@ int CmdSolve(const Args& args) {
   if (threads < 0) return Fail("--threads must be >= 0");
   options.parallel.threads = static_cast<std::size_t>(threads);
 
+  // --metrics-out FILE: attach a registry and export phase timings and
+  // solver counters as JSON after the solve.
+  const std::string metrics_out = args.Str("metrics-out", "");
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty()) options.metrics = &registry;
+
   core::Schedule schedule;
   double phase1_cost = 0.0;
   double final_cost = 0.0;
@@ -248,6 +270,16 @@ int CmdSolve(const Args& args) {
       return Fail(s.error().message);
     }
     std::cout << "wrote " << out << '\n';
+  }
+
+  if (!metrics_out.empty()) {
+    util::Json doc = registry.ToJson();
+    doc.as_object()["version"] = "vor-metrics/1";
+    if (const util::Status s = io::WriteFile(metrics_out, doc.Dump(2));
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "wrote " << metrics_out << '\n';
   }
   return 0;
 }
@@ -353,6 +385,7 @@ void PrintUsage() {
       "               [--evening] [--out FILE] [--trace-out FILE.csv]\n"
       "  solve <scenario.json> [--heat m1|m2|m3|m4] [--out schedule.json]\n"
       "        [--trace FILE.csv] [--bandwidth] [--threads N]\n"
+      "        [--metrics-out FILE.json]\n"
       "  validate <scenario.json> <schedule.json>\n"
       "  simulate <scenario.json> <schedule.json>\n"
       "  report <scenario.json> <schedule.json>\n"
@@ -368,12 +401,16 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args = ParseArgs(argc, argv, 2);
-  if (command == "gen-scenario") return CmdGenScenario(args);
-  if (command == "solve") return CmdSolve(args);
-  if (command == "validate") return CmdValidate(args);
-  if (command == "simulate") return CmdSimulate(args);
-  if (command == "report") return CmdReport(args);
-  if (command == "diff") return CmdDiff(args);
+  try {
+    if (command == "gen-scenario") return CmdGenScenario(args);
+    if (command == "solve") return CmdSolve(args);
+    if (command == "validate") return CmdValidate(args);
+    if (command == "simulate") return CmdSimulate(args);
+    if (command == "report") return CmdReport(args);
+    if (command == "diff") return CmdDiff(args);
+  } catch (const UsageError& e) {
+    return Fail(e.message);
+  }
   if (command == "help" || command == "--help") {
     PrintUsage();
     return 0;
