@@ -5,7 +5,11 @@
 # IVSP, shootout, incremental, determinism) — the full suite under TSan
 # is an order of magnitude slower for no extra thread coverage.
 #
-# Usage: scripts/check.sh [asan-ubsan|tsan|all]   (default: all)
+# `bench-smoke` instead builds the plain tree and runs the bench_perf
+# self-checking smoke (the SORP stress scenario): metrics schema, memo
+# hit-rate, and single-usage-build invariants, in ~10s.
+#
+# Usage: scripts/check.sh [asan-ubsan|tsan|bench-smoke|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,17 +37,27 @@ run_preset() {
   ctest --preset "${preset}" -j "${jobs}" "$@"
 }
 
+bench_smoke() {
+  echo "==> configure build (default preset)"
+  cmake -S . -B build -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "==> build bench_perf"
+  cmake --build build -j "${jobs}" --target bench_perf
+  echo "==> bench_perf --smoke"
+  ./build/bench/bench_perf --smoke
+}
+
 case "${which}" in
-  asan-ubsan) run_preset asan-ubsan ;;
-  tsan)       run_preset tsan ;;
+  asan-ubsan)  run_preset asan-ubsan ;;
+  tsan)        run_preset tsan ;;
+  bench-smoke) bench_smoke ;;
   all)
     run_preset asan-ubsan
     run_preset tsan
     ;;
   *)
-    echo "usage: scripts/check.sh [asan-ubsan|tsan|all]" >&2
+    echo "usage: scripts/check.sh [asan-ubsan|tsan|bench-smoke|all]" >&2
     exit 2
     ;;
 esac
 
-echo "==> all sanitizer gates green"
+echo "==> all gates green"

@@ -93,6 +93,7 @@ util::Result<SolveOutput> IncrementalSolve(
   sorp_options.heat = scheduler.options().heat;
   sorp_options.ivsp = scheduler.options().ivsp;
   sorp_options.max_iterations = scheduler.options().max_sorp_iterations;
+  sorp_options.incremental = scheduler.options().sorp_incremental;
   sorp_options.pool = pool.get();
   sorp_options.metrics = metrics;
   out.sorp = SorpSolve(out.schedule, *merged_requests, cm, sorp_options);

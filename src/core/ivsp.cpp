@@ -55,7 +55,9 @@ class GreedyRun {
         options_(options),
         constraints_(constraints),
         playback_(cm.catalog().video(video).playback),
-        vw_(cm.topology().warehouse()) {}
+        vw_(cm.topology().warehouse()),
+        stream_bytes_(cm.StreamBytes(video)),
+        cached_nodes_(cm.topology().node_count(), 0) {}
 
   FileSchedule Run(const std::vector<std::size_t>& indices) {
     for (const std::size_t idx : indices) {
@@ -93,10 +95,10 @@ class GreedyRun {
       probe.t_last = t_last;
       const util::LinearPiece piece = cm_.OccupancyPiece(probe, /*tag=*/0);
       const double capacity = cm_.topology().node(node).capacity.value();
-      const auto it = constraints_->other_usage->find(node);
-      const bool fits = it == constraints_->other_usage->end()
+      const util::PiecewiseLinear* timeline = constraints_->other_usage->Find(node);
+      const bool fits = timeline == nullptr
                             ? piece.height <= capacity
-                            : it->second.FitsUnder(piece, capacity);
+                            : timeline->FitsUnder(piece, capacity);
       if (!fits) ++stats_.rejected_capacity;
       return fits;
     }
@@ -115,8 +117,7 @@ class GreedyRun {
     ++stats_.candidates;
     const auto& path = cm_.router().CheapestPath(vw_, req.neighborhood);
     if (!RouteAllowed(path.nodes, req.start_time)) return;
-    const util::Money cost = cm_.RouteRate(vw_, req.neighborhood) *
-                             cm_.StreamBytes(video_);
+    const util::Money cost = cm_.RouteRate(vw_, req.neighborhood) * stream_bytes_;
     if (cost < best.cost) {
       best = Candidate{CandidateKind::kDirect, cost, 0, net::kInvalidNode, {}};
     }
@@ -141,8 +142,8 @@ class GreedyRun {
           cm_.ResidencyCostAt(cache.location, video_, cache.t_start, new_last) -
           cm_.ResidencyCostAt(cache.location, video_, cache.t_start,
                               cache.t_last);
-      const util::Money network = cm_.RouteRate(cache.location, req.neighborhood) *
-                                  cm_.StreamBytes(video_);
+      const util::Money network =
+          cm_.RouteRate(cache.location, req.neighborhood) * stream_bytes_;
       const util::Money cost = storage_delta + network;
       if (cost < best.cost) {
         best.kind = CandidateKind::kExtend;
@@ -165,7 +166,7 @@ class GreedyRun {
       const util::Money storage =
           cm_.ResidencyCostAt(node, video_, anchor.time, req.start_time);
       const util::Money network =
-          cm_.RouteRate(node, req.neighborhood) * cm_.StreamBytes(video_);
+          cm_.RouteRate(node, req.neighborhood) * stream_bytes_;
       const util::Money cost = storage + network;
       if (cost < best.cost) {
         best.kind = CandidateKind::kNewCache;
@@ -177,8 +178,7 @@ class GreedyRun {
   }
 
   [[nodiscard]] bool IsCached(net::NodeId node) const {
-    return std::any_of(caches_.begin(), caches_.end(),
-                       [node](const Residency& c) { return c.location == node; });
+    return cached_nodes_[node] != 0;
   }
 
   void RecordDelivery(net::NodeId origin, const workload::Request& req,
@@ -222,8 +222,7 @@ class GreedyRun {
     if (!best.Feasible()) {
       ++stats_.forced_direct;
       best = Candidate{CandidateKind::kDirect,
-                       cm_.RouteRate(vw_, req.neighborhood) *
-                           cm_.StreamBytes(video_),
+                       cm_.RouteRate(vw_, req.neighborhood) * stream_bytes_,
                        0, net::kInvalidNode, {}};
     }
 
@@ -251,6 +250,7 @@ class GreedyRun {
         cache.t_last = req.start_time;
         cache.services.push_back(request_index);
         caches_.push_back(std::move(cache));
+        cached_nodes_[best.cache_node] = 1;
         RecordDelivery(best.cache_node, req, request_index);
         break;
       }
@@ -264,6 +264,10 @@ class GreedyRun {
   const ConstraintSet* constraints_;
   util::Seconds playback_;
   net::NodeId vw_;
+  /// cm_.StreamBytes(video_), hoisted: identical for every candidate.
+  util::Bytes stream_bytes_;
+  /// Nodes with an open cache (O(1) IsCached; mirrors caches_ inserts).
+  std::vector<char> cached_nodes_;
 
   std::vector<Delivery> deliveries_;
   std::vector<Residency> caches_;

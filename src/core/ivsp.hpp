@@ -20,11 +20,11 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/schedule.hpp"
+#include "storage/usage_timeline.hpp"
 #include "util/interval.hpp"
 #include "util/piecewise.hpp"
 #include "util/thread_pool.hpp"
@@ -96,9 +96,9 @@ struct ConstraintSet {
 
   /// Space already reserved at each IS by all *other* files.  Candidate
   /// residencies must keep total usage within the node's capacity.
-  /// May be nullptr (no capacity enforcement).
-  const std::unordered_map<net::NodeId, util::PiecewiseLinear>* other_usage =
-      nullptr;
+  /// May be nullptr (no capacity enforcement).  The view records which
+  /// nodes were consulted, enabling SORP's cross-round memoization.
+  const storage::UsageView* other_usage = nullptr;
 
   /// Optional route-feasibility hook (used by the bandwidth extension):
   /// called with (route, start_time, video); returning false rejects the

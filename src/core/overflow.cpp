@@ -38,8 +38,19 @@ std::vector<OverflowWindow> DetectOverflows(const core::Schedule& schedule,
 
 double TotalExcess(const storage::UsageMap& usage,
                    const net::Topology& topology) {
+  // Sum in node order, not map iteration order: two UsageMaps holding the
+  // same timelines but built differently (fresh rebuild vs. delta
+  // maintenance) hash-order their buckets differently, and floating-point
+  // addition is not associative.  The SORP progress guard compares these
+  // sums across engines, so the summation order must be canonical.
+  std::vector<const storage::UsageMap::value_type*> entries;
+  entries.reserve(usage.size());
+  for (const auto& entry : usage) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
   double total = 0.0;
-  for (const auto& [node, timeline] : usage) {
+  for (const auto* entry : entries) {
+    const auto& [node, timeline] = *entry;
     const double capacity = topology.node(node).capacity.value();
     for (const util::ExcessRegion& region : timeline.RegionsAbove(capacity)) {
       // Integral of (usage - capacity) over the region.

@@ -27,7 +27,7 @@ RescheduleResult RescheduleVictim(
     const std::vector<workload::Request>& requests,
     const CostModel& cost_model, const IvspOptions& options,
     std::vector<std::pair<net::NodeId, util::Interval>> forbidden,
-    const storage::UsageMap& other_usage,
+    const storage::UsageView& other_usage,
     std::function<bool(const std::vector<net::NodeId>&, util::Seconds,
                        media::VideoId)>
         route_ok) {

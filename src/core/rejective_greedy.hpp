@@ -42,13 +42,20 @@ struct RescheduleResult {
 ///   * `forbidden` — (node, interval) pairs the file must not be resident
 ///     in (the overflow being resolved);
 ///   * `other_usage` — reserved space of all other files; candidates must
-///     fit within each IS's remaining capacity.
+///     fit within each IS's remaining capacity.  A default-constructed
+///     view disables capacity enforcement beyond the static height check.
+///     The view also records which nodes the run consulted (the basis of
+///     SORP's memo-invalidation rule).
+///
+/// The run reads only schedule.files[file_index] from `schedule` — every
+/// other file's influence arrives exclusively through `other_usage`.  SORP
+/// relies on this to replay memoized results safely.
 [[nodiscard]] RescheduleResult RescheduleVictim(
     const Schedule& schedule, std::size_t file_index,
     const std::vector<workload::Request>& requests,
     const CostModel& cost_model, const IvspOptions& options,
     std::vector<std::pair<net::NodeId, util::Interval>> forbidden,
-    const storage::UsageMap& other_usage,
+    const storage::UsageView& other_usage,
     std::function<bool(const std::vector<net::NodeId>&, util::Seconds,
                        media::VideoId)>
         route_ok = nullptr);

@@ -50,6 +50,7 @@ util::Result<SolveOutput> VorScheduler::Solve(
   sorp_options.heat = options_.heat;
   sorp_options.ivsp = options_.ivsp;
   sorp_options.max_iterations = options_.max_sorp_iterations;
+  sorp_options.incremental = options_.sorp_incremental;
   sorp_options.pool = pool.get();
   sorp_options.metrics = metrics;
   out.sorp = SorpSolve(out.schedule, requests, cost_model_, sorp_options);

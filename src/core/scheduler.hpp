@@ -31,6 +31,10 @@ struct SchedulerOptions {
   PricingOptions pricing;
   IvspOptions ivsp;
   std::size_t max_sorp_iterations = 10000;
+  /// SORP engine selector (see SorpOptions::incremental): true (default)
+  /// runs the delta-maintained + memoized loop; false the rebuild-from-
+  /// scratch reference engine.  Schedule bytes are identical either way.
+  bool sorp_incremental = true;
   /// Worker threads shared by both phases: phase 1's per-file greedies
   /// and each SORP round's tentative victim evaluations fan out over one
   /// pool (1 = serial, 0 = hardware concurrency, N = pool of N).  The

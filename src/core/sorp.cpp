@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <tuple>
+#include <utility>
 
 #include "core/overflow.hpp"
 #include "core/rejective_greedy.hpp"
@@ -21,6 +24,30 @@ struct Evaluation {
   FileSchedule schedule;
   GreedyStats greedy;
   double seconds = 0.0;
+  /// Nodes whose usage the dry run consulted (sorted, deduped); the basis
+  /// of the memo-invalidation rule below.
+  std::vector<net::NodeId> consulted;
+};
+
+/// Memoization key: the full identity of a dry run against a frozen
+/// backdrop — victim file and the forbidden (node, window).  Window bounds
+/// compare exactly (same bits), which is the right notion for replay.
+using MemoKey = std::tuple<std::size_t, net::NodeId, double, double>;
+
+[[nodiscard]] MemoKey KeyOf(const SorpCandidate& c) {
+  return MemoKey{c.file_index, c.node, c.window.start.value(),
+                 c.window.end.value()};
+}
+
+/// A cached dry run plus the generation of every node it consulted at the
+/// time it ran.  Replay is sound iff (a) the victim file's own schedule is
+/// unchanged — enforced by erasing the victim's entries on commit — and
+/// (b) no consulted node's timeline changed — checked against the
+/// tracker's generation counters.  Everything else a dry run reads
+/// (requests, cost model, options) is frozen for the whole solve.
+struct MemoEntry {
+  Evaluation eval;
+  std::vector<std::pair<net::NodeId, std::uint64_t>> consulted_gens;
 };
 
 }  // namespace
@@ -64,22 +91,42 @@ SorpStats SorpSolve(Schedule& schedule,
   SorpStats stats;
   stats.cost_before = cost_model.TotalCost(schedule);
 
-  storage::UsageMap usage = storage::BuildUsage(schedule, cost_model);
+  // The extension hooks exclude/re-include a file's streams in external
+  // trackers around each dry run; that protocol is inherently serial, and
+  // because the external state drifts between rounds, replaying a cached
+  // result would skip the hook's side effects — so memoization is off too.
+  const bool hooks_serial = static_cast<bool>(options.on_file_excluded) ||
+                            static_cast<bool>(options.on_file_included) ||
+                            static_cast<bool>(options.route_ok);
+  const bool incremental = options.incremental;
+  const bool memoize = incremental && !hooks_serial;
+
+  // Aggregate usage: either delta-maintained (built once, diffed on every
+  // commit) or rebuilt from scratch each time (reference engine).  Both
+  // yield identical per-node piece sequences — the tracker maintains the
+  // canonical ascending-tag order a fresh build produces.
+  std::optional<storage::UsageTracker> tracker;
+  storage::UsageMap rebuilt;
+  if (incremental) {
+    tracker.emplace(schedule, cost_model);
+  } else {
+    rebuilt = storage::BuildUsage(schedule, cost_model);
+  }
+  ++stats.usage_rebuilds;
+  const auto current_usage = [&]() -> const storage::UsageMap& {
+    return incremental ? tracker->usage() : rebuilt;
+  };
+
   std::vector<OverflowWindow> overflows =
-      DetectOverflowsIn(usage, cost_model.topology());
+      DetectOverflowsIn(current_usage(), cost_model.topology());
   stats.initial_overflow_windows = overflows.size();
-  stats.initial_excess = TotalExcess(usage, cost_model.topology());
+  stats.initial_excess = TotalExcess(current_usage(), cost_model.topology());
   double excess = stats.initial_excess;
   obs::Add(metrics, "sorp.initial_overflow_windows", overflows.size());
   if (metrics != nullptr && !overflows.empty()) {
     obs::Append(metrics, "sorp.excess_trajectory", excess);
   }
 
-  // The extension hooks exclude/re-include a file's streams in external
-  // trackers around each dry run; that protocol is inherently serial.
-  const bool hooks_serial = static_cast<bool>(options.on_file_excluded) ||
-                            static_cast<bool>(options.on_file_included) ||
-                            static_cast<bool>(options.route_ok);
   util::ThreadPool* pool = options.pool;
   std::unique_ptr<util::ThreadPool> owned_pool;
   if (pool == nullptr && !hooks_serial && options.parallel.Resolve() > 1) {
@@ -93,11 +140,22 @@ SorpStats SorpSolve(Schedule& schedule,
   // Evaluation and are folded into the registry serially.
   const auto evaluate = [&](const SorpCandidate& c) -> Evaluation {
     const obs::Stopwatch watch;
-    const storage::UsageMap other =
-        options.capacity_aware_reschedule
-            ? storage::BuildUsageExcludingFile(schedule, cost_model,
-                                               c.file_index)
-            : storage::UsageMap{};
+    // The backdrop the victim must fit into: all other files' usage.  The
+    // subtractive view copies only the nodes hosting the victim; the
+    // reference engine rebuilds the whole map from scratch.  A default
+    // view (capacity-unaware ablation) enforces the static height check
+    // only, exactly like the empty UsageMap it replaces.
+    storage::UsageMap scratch;
+    storage::UsageView other;
+    if (options.capacity_aware_reschedule) {
+      if (incremental) {
+        other = tracker->ExcludingFile(c.file_index);
+      } else {
+        scratch = storage::BuildUsageExcludingFile(schedule, cost_model,
+                                                   c.file_index);
+        other = storage::UsageView(&scratch);
+      }
+    }
     RescheduleResult attempt = RescheduleVictim(
         schedule, c.file_index, requests, cost_model, options.ivsp,
         {{c.node, c.window}}, other, options.route_ok);
@@ -107,8 +165,11 @@ SorpStats SorpSolve(Schedule& schedule,
     out.schedule = std::move(attempt.schedule);
     out.greedy = attempt.greedy;
     out.seconds = watch.Seconds();
+    out.consulted = other.ConsultedNodes();
     return out;
   };
+
+  std::map<MemoKey, MemoEntry> memo;
 
   while (!overflows.empty() &&
          stats.victims_rescheduled < options.max_iterations) {
@@ -123,19 +184,48 @@ SorpStats SorpSolve(Schedule& schedule,
       candidates.resize(1);
     }
 
+    // Memo probe — serial, before any fan-out, so the hit/miss split is a
+    // pure function of the deterministic commit history and therefore
+    // identical at any thread count.  A hit replays the cached evaluation
+    // (schedule bytes, heat, and greedy tallies are exactly what a re-run
+    // would produce); only the misses go to the pool.
     std::vector<Evaluation> evals(candidates.size());
+    std::vector<std::size_t> to_run;
+    to_run.reserve(candidates.size());
+    std::size_t round_hits = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      bool hit = false;
+      if (memoize) {
+        const auto it = memo.find(KeyOf(candidates[i]));
+        if (it != memo.end()) {
+          hit = true;
+          for (const auto& [node, gen] : it->second.consulted_gens) {
+            if (tracker->NodeGeneration(node) != gen) {
+              hit = false;
+              break;
+            }
+          }
+        }
+        if (hit) {
+          evals[i] = it->second.eval;
+          evals[i].seconds = 0.0;
+          ++round_hits;
+        }
+      }
+      if (!hit) to_run.push_back(i);
+    }
+
     const bool parallel = pool != nullptr && !hooks_serial &&
-                          candidates.size() > 1 &&
-                          !pool->InWorkerThread();
+                          to_run.size() > 1 && !pool->InWorkerThread();
     if (parallel) {
       // Fan the dry runs out; each shard reads the frozen schedule and
       // writes only its own slot.  The reduction below is order-based,
       // so thread scheduling cannot change the chosen victim.
-      pool->ParallelFor(candidates.size(), [&](std::size_t i) {
-        evals[i] = evaluate(candidates[i]);
+      pool->ParallelFor(to_run.size(), [&](std::size_t k) {
+        evals[to_run[k]] = evaluate(candidates[to_run[k]]);
       });
     } else {
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (const std::size_t i : to_run) {
         if (options.on_file_excluded) {
           options.on_file_excluded(candidates[i].file_index);
         }
@@ -147,16 +237,39 @@ SorpStats SorpSolve(Schedule& schedule,
         }
       }
     }
+
+    // Record fresh results with the generations their consulted nodes had
+    // at run time (the tracker is untouched during the fan-out, so these
+    // are exactly the generations the dry runs saw).
+    if (memoize) {
+      for (const std::size_t i : to_run) {
+        MemoEntry entry;
+        entry.eval = evals[i];
+        entry.consulted_gens.reserve(evals[i].consulted.size());
+        for (const net::NodeId node : evals[i].consulted) {
+          entry.consulted_gens.emplace_back(node, tracker->NodeGeneration(node));
+        }
+        memo.insert_or_assign(KeyOf(candidates[i]), std::move(entry));
+      }
+    }
+
     stats.evaluations += candidates.size();
+    stats.memo_hits += round_hits;
+    if (memoize) stats.memo_misses += to_run.size();
     if (metrics != nullptr) {
       obs::Add(metrics, "sorp.rounds");
       obs::Add(metrics, "sorp.candidates_evaluated", candidates.size());
+      if (memoize) {
+        obs::Add(metrics, "sorp.memo.hits", round_hits);
+        obs::Add(metrics, "sorp.memo.misses", to_run.size());
+      }
       GreedyStats round_greedy;
       obs::Timer& eval_timer = metrics->GetTimer("sorp.evaluation");
-      for (const Evaluation& e : evals) {
-        round_greedy += e.greedy;
-        eval_timer.Observe(e.seconds);
-      }
+      // Greedy tallies fold over ALL slots (cached copies carry the same
+      // tallies a re-run would produce — engine-invariant counters); the
+      // timer only observes real dry runs.
+      for (const Evaluation& e : evals) round_greedy += e.greedy;
+      for (const std::size_t i : to_run) eval_timer.Observe(evals[i].seconds);
       obs::Add(metrics, "sorp.reschedule.candidates_priced",
                round_greedy.candidates);
       obs::Add(metrics, "sorp.reject.forbidden_window",
@@ -187,17 +300,44 @@ SorpStats SorpSolve(Schedule& schedule,
     }
     ++stats.victims_rescheduled;
 
-    usage = storage::BuildUsage(schedule, cost_model);
-    overflows = DetectOverflowsIn(usage, cost_model.topology());
-    const double new_excess = TotalExcess(usage, cost_model.topology());
+    if (memoize) {
+      // The victim's own schedule changed, which node generations cannot
+      // see (its cached runs read schedule.files[victim] directly, and
+      // old_cost shifts even when no consulted node does) — drop every
+      // entry keyed on it.
+      for (auto it = memo.begin(); it != memo.end();) {
+        if (std::get<0>(it->first) == victim) {
+          it = memo.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    if (incremental) {
+      // O(victim residencies) diff: swap the victim's old pieces for its
+      // new ones and bump the touched nodes' generations.
+      tracker->ApplyCommit(victim, schedule.files[victim]);
+    } else {
+      rebuilt = storage::BuildUsage(schedule, cost_model);
+      ++stats.usage_rebuilds;
+      // The reference engine also rebuilt the backdrop once per dry run.
+      if (options.capacity_aware_reschedule) {
+        stats.usage_rebuilds += to_run.size();
+      }
+    }
+    overflows = DetectOverflowsIn(current_usage(), cost_model.topology());
+    const double new_excess =
+        TotalExcess(current_usage(), cost_model.topology());
     obs::Append(metrics, "sorp.excess_trajectory", new_excess);
     if (new_excess >= excess) break;  // defensive: no progress
     excess = new_excess;
   }
 
-  stats.final_excess = TotalExcess(usage, cost_model.topology());
+  stats.final_excess = TotalExcess(current_usage(), cost_model.topology());
   stats.cost_after = cost_model.TotalCost(schedule);
   obs::Add(metrics, "sorp.victims_rescheduled", stats.victims_rescheduled);
+  obs::Add(metrics, "sorp.usage_rebuilds", stats.usage_rebuilds);
   if (owned_pool != nullptr) obs::ExportPoolTelemetry(metrics, *owned_pool);
   if (metrics != nullptr && !stats.Resolved()) {
     obs::Add(metrics, "sorp.unresolved_runs");

@@ -47,6 +47,20 @@ struct SorpOptions {
   /// when the total excess fails to decrease (defensive, should not fire).
   std::size_t max_iterations = 10000;
 
+  /// Engine selector.  true (default): delta-maintained usage timelines
+  /// (storage::UsageTracker — the aggregate is built once and each commit
+  /// applies an O(victim residencies) diff) plus cross-round memoization
+  /// of dry-run evaluations (a cached result is replayed iff its file is
+  /// not the last victim, its overflow window is unchanged, and no node
+  /// the run consulted has been touched by a commit since).  false:
+  /// rebuild-from-scratch reference engine (BuildUsage per commit,
+  /// BuildUsageExcludingFile per dry run, no memo).  Both engines produce
+  /// byte-identical schedules at any thread count; the reference is
+  /// retained for golden tests and A/B timing.  Memoization is disabled
+  /// automatically when any extension hook is set (hooks mutate external
+  /// tracker state between rounds, which the memo cannot see).
+  bool incremental = true;
+
   // ---- parallelism ----------------------------------------------------
   /// Each round's tentative victim evaluations (one rejective-greedy dry
   /// run per overflow contributor, all against the same frozen integrated
@@ -113,8 +127,18 @@ struct SorpStats {
   std::size_t initial_overflow_windows = 0;
   /// Victims rescheduled (committed, not tentative evaluations).
   std::size_t victims_rescheduled = 0;
-  /// Tentative rejective-greedy evaluations performed.
+  /// Tentative rejective-greedy evaluations considered (memo hits and
+  /// real dry runs alike — the candidate count, identical across engines).
   std::size_t evaluations = 0;
+  /// Cross-round memoization outcome split: evaluations served from cache
+  /// vs. actually re-run.  hits + misses == evaluations when memoization
+  /// is active; both zero on the reference engine and under hooks.
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  /// Full-aggregate usage builds performed (UsageTracker construction or
+  /// BuildUsage/BuildUsageExcludingFile calls).  O(1) on the incremental
+  /// engine vs. O(rounds × candidates) on the reference engine.
+  std::size_t usage_rebuilds = 0;
   util::Money cost_before{0.0};
   util::Money cost_after{0.0};
   /// Byte-seconds above capacity before/after.

@@ -45,14 +45,20 @@ double LinearPiece::IntegralOver(Interval window) const {
 void PiecewiseLinear::Add(const LinearPiece& piece) {
   assert(piece.Valid());
   pieces_.push_back(piece);
+  InvalidateCache();
+}
+
+void PiecewiseLinear::InsertSortedByTag(const LinearPiece& piece) {
+  assert(piece.Valid());
+  const auto it = std::lower_bound(
+      pieces_.begin(), pieces_.end(), piece.tag,
+      [](const LinearPiece& p, std::uint64_t tag) { return p.tag < tag; });
+  pieces_.insert(it, piece);
+  InvalidateCache();
 }
 
 std::size_t PiecewiseLinear::RemoveByTag(std::uint64_t tag) {
-  const auto it = std::remove_if(pieces_.begin(), pieces_.end(),
-                                 [tag](const LinearPiece& p) { return p.tag == tag; });
-  const auto removed = static_cast<std::size_t>(std::distance(it, pieces_.end()));
-  pieces_.erase(it, pieces_.end());
-  return removed;
+  return RemoveTagsIf([tag](std::uint64_t t) { return t == tag; });
 }
 
 double PiecewiseLinear::ValueAt(Seconds t) const {
@@ -61,22 +67,27 @@ double PiecewiseLinear::ValueAt(Seconds t) const {
   return total;
 }
 
-std::vector<double> PiecewiseLinear::Breakpoints() const {
-  std::vector<double> bps;
-  bps.reserve(pieces_.size() * 3);
-  for (const LinearPiece& p : pieces_) {
-    bps.push_back(p.t0.value());
-    bps.push_back(p.t1.value());
-    bps.push_back(p.t2.value());
-  }
-  std::sort(bps.begin(), bps.end());
-  bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
-  return bps;
-}
+const PiecewiseLinear::Analysis& PiecewiseLinear::EnsureAnalysis() const {
+  if (cache_valid_.load(std::memory_order_acquire)) return cache_;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_valid_.load(std::memory_order_relaxed)) return cache_;
 
-std::vector<PiecewiseLinear::SweepPoint> PiecewiseLinear::Sweep() const {
-  // Event-decompose every piece: a value jump at t0, a slope change at t1,
-  // and the reverse slope change at t2 (rectangles jump back down at
+  Analysis fresh;
+
+  // Breakpoints: the sorted unique t0/t1/t2 values of every piece.
+  fresh.breakpoints.reserve(pieces_.size() * 3);
+  for (const LinearPiece& p : pieces_) {
+    fresh.breakpoints.push_back(p.t0.value());
+    fresh.breakpoints.push_back(p.t1.value());
+    fresh.breakpoints.push_back(p.t2.value());
+  }
+  std::sort(fresh.breakpoints.begin(), fresh.breakpoints.end());
+  fresh.breakpoints.erase(
+      std::unique(fresh.breakpoints.begin(), fresh.breakpoints.end()),
+      fresh.breakpoints.end());
+
+  // Sweep: event-decompose every piece — a value jump at t0, a slope change
+  // at t1, and the reverse slope change at t2 (rectangles jump back down at
   // t1 == t2 instead).  One O(n log n) sort then yields the aggregate's
   // right-limit value and slope at every breakpoint in a single pass.
   struct Event {
@@ -100,8 +111,7 @@ std::vector<PiecewiseLinear::SweepPoint> PiecewiseLinear::Sweep() const {
   std::sort(events.begin(), events.end(),
             [](const Event& a, const Event& b) { return a.t < b.t; });
 
-  std::vector<SweepPoint> points;
-  points.reserve(events.size());
+  fresh.sweep.reserve(events.size());
   double value = 0.0;
   double slope = 0.0;
   double prev_t = 0.0;
@@ -116,31 +126,52 @@ std::vector<PiecewiseLinear::SweepPoint> PiecewiseLinear::Sweep() const {
     }
     // Sweep drift can leave a tiny negative residue after all pieces end.
     if (value < 0.0 && value > -1e-6) value = 0.0;
-    points.push_back(SweepPoint{t, value, slope});
+    fresh.sweep.push_back(SweepPoint{t, value, slope});
+    fresh.max_value = std::max(fresh.max_value, value);
     prev_t = t;
     started = true;
   }
-  return points;
+
+  cache_ = std::move(fresh);
+  cache_valid_.store(true, std::memory_order_release);
+  return cache_;
 }
 
 double PiecewiseLinear::Max() const {
   // Aggregate slope between jumps is never positive (pieces only plateau
   // or drain), so the maximum is attained at the right limit of a
-  // breakpoint.
-  double best = 0.0;
-  for (const SweepPoint& p : Sweep()) best = std::max(best, p.value);
-  return best;
+  // breakpoint and is tracked during the sweep build.
+  return EnsureAnalysis().max_value;
+}
+
+double PiecewiseLinear::ValueFromSweep(const Analysis& analysis,
+                                       double t) const {
+  // Last sweep point at or before t; the aggregate is linear from there.
+  // The sweep stores right limits, matching ValueAt's right-continuity.
+  const std::vector<SweepPoint>& sweep = analysis.sweep;
+  const auto it = std::upper_bound(
+      sweep.begin(), sweep.end(), t,
+      [](double v, const SweepPoint& p) { return v < p.t; });
+  if (it == sweep.begin()) return 0.0;
+  const SweepPoint& p = *std::prev(it);
+  return p.value + p.slope * (t - p.t);
 }
 
 double PiecewiseLinear::MaxOver(Interval window) const {
   if (window.empty()) return 0.0;
-  double best = std::max(ValueAt(window.start),
-                         ValueAt(Seconds{std::nextafter(
-                             window.end.value(), window.start.value())}));
-  for (const double t : Breakpoints()) {
-    if (t > window.start.value() && t < window.end.value()) {
-      best = std::max(best, ValueAt(Seconds{t}));
-    }
+  const Analysis& analysis = EnsureAnalysis();
+  double best = std::max(
+      ValueFromSweep(analysis, window.start.value()),
+      ValueFromSweep(analysis, std::nextafter(window.end.value(),
+                                              window.start.value())));
+  // Sweep points sit exactly at the breakpoints, so the interior probes
+  // read sweep values directly instead of re-searching per probe.
+  const std::vector<SweepPoint>& sweep = analysis.sweep;
+  for (auto it = std::upper_bound(
+           sweep.begin(), sweep.end(), window.start.value(),
+           [](double v, const SweepPoint& p) { return v < p.t; });
+       it != sweep.end() && it->t < window.end.value(); ++it) {
+    best = std::max(best, it->value);
   }
   return best;
 }
@@ -153,7 +184,7 @@ double PiecewiseLinear::IntegralOver(Interval window) const {
 
 std::vector<ExcessRegion> PiecewiseLinear::RegionsAbove(double threshold) const {
   std::vector<ExcessRegion> regions;
-  const std::vector<SweepPoint> sweep = Sweep();
+  const std::vector<SweepPoint>& sweep = EnsureAnalysis().sweep;
   if (sweep.empty()) return regions;
 
   bool open = false;
@@ -231,25 +262,70 @@ bool PiecewiseLinear::FitsUnder(const LinearPiece& candidate, double threshold) 
   const Interval support = candidate.Support();
   if (support.empty()) return true;
 
-  auto total_at = [&](double t) {
-    return ValueAt(Seconds{t}) + candidate.ValueAt(Seconds{t});
-  };
+  const Analysis& analysis = EnsureAnalysis();
+
+  // Fast accept: every probe below is bounded by the aggregate's global
+  // maximum plus the candidate's height (the candidate never exceeds its
+  // height, the aggregate never exceeds its sweep maximum, and floating-
+  // point rounding is monotone), so when even that bound fits there is
+  // nothing to check.
+  if (analysis.max_value + candidate.height <= threshold) return true;
 
   // Candidate+aggregate is linear between the union of all breakpoints, so
-  // checking breakpoints within the support (plus the support edges) is exact.
-  if (total_at(support.start.value()) > threshold) return false;
-  const double just_before_end =
-      std::nextafter(support.end.value(), support.start.value());
-  if (total_at(just_before_end) > threshold) return false;
-  for (const double t : Breakpoints()) {
-    if (t > support.start.value() && t < support.end.value()) {
-      if (total_at(t) > threshold) return false;
+  // checking breakpoints within the support — plus the support edges and
+  // the candidate's own plateau/drain boundary — is exact.  Sweep points
+  // sit exactly at the breakpoints, so one binary search anchors an
+  // in-order walk; edge probes interpolate from the walk's frontier
+  // instead of re-searching, with the exact arithmetic ValueFromSweep and
+  // LinearPiece::ValueAt would use.
+  const std::vector<SweepPoint>& sweep = analysis.sweep;
+  const double start_v = support.start.value();
+  const double end_v = support.end.value();
+  const double t1_v = candidate.t1.value();
+  const auto interp = [](const SweepPoint& p, double t) {
+    return p.value + p.slope * (t - p.t);
+  };
+
+  auto it = std::upper_bound(
+      sweep.begin(), sweep.end(), start_v,
+      [](double v, const SweepPoint& p) { return v < p.t; });
+
+  // Left edge of the support.
+  {
+    const double base =
+        it == sweep.begin() ? 0.0 : interp(*std::prev(it), start_v);
+    if (base + candidate.ValueAt(support.start) > threshold) return false;
+  }
+  // Interior sweep points under the plateau (candidate == height there).
+  for (; it != sweep.end() && it->t < t1_v && it->t < end_v; ++it) {
+    if (it->value + candidate.height > threshold) return false;
+  }
+  // The plateau/drain boundary, which need not be a sweep point.
+  if (t1_v > start_v && t1_v < end_v) {
+    const SweepPoint* p = nullptr;
+    if (it != sweep.end() && it->t == t1_v) {
+      p = &*it;
+    } else if (it != sweep.begin()) {
+      p = &*std::prev(it);
+    }
+    const double base = p == nullptr ? 0.0 : interp(*p, t1_v);
+    if (base + candidate.ValueAt(candidate.t1) > threshold) return false;
+  }
+  // Interior sweep points under the drain.
+  const double drain = candidate.t2.value() - t1_v;
+  if (drain > 0.0) {
+    for (; it != sweep.end() && it->t < end_v; ++it) {
+      const double cand = candidate.height * (1.0 - (it->t - t1_v) / drain);
+      if (it->value + cand > threshold) return false;
     }
   }
-  // Candidate's own internal breakpoints.
-  for (const double t : {candidate.t1.value()}) {
-    if (t > support.start.value() && t < support.end.value()) {
-      if (total_at(t) > threshold) return false;
+  // Right edge (left limit at the support's end).
+  {
+    const double just_before_end = std::nextafter(end_v, start_v);
+    const double base =
+        it == sweep.begin() ? 0.0 : interp(*std::prev(it), just_before_end);
+    if (base + candidate.ValueAt(Seconds{just_before_end}) > threshold) {
+      return false;
     }
   }
   return true;

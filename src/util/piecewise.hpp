@@ -14,9 +14,22 @@
 // no time discretization: point values, maxima, integrals, and the exact
 // regions where the aggregate exceeds a threshold (the paper's "storage
 // overflow" windows).
+//
+// Analysis cache: the sorted breakpoint list and the event sweep are
+// derived purely from the piece set, but the capacity probes of the
+// rejective greedy (FitsUnder/MaxOver) and the per-round overflow scans
+// (Max/RegionsAbove) used to recompute them on every call.  Both are now
+// computed once per mutation epoch and cached.  The cache fill is guarded
+// (double-checked atomic + mutex), so concurrent READERS of a shared
+// timeline — the SORP dry-run fan-out probing the shared aggregate — are
+// safe; mutations must still be externally serialized against reads, as
+// before.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "util/interval.hpp"
@@ -62,14 +75,58 @@ struct ExcessRegion {
 class PiecewiseLinear {
  public:
   PiecewiseLinear() = default;
+  // The analysis cache holds a mutex, so copies/moves transfer the piece
+  // set only and start with a cold cache.
+  PiecewiseLinear(const PiecewiseLinear& other) : pieces_(other.pieces_) {}
+  PiecewiseLinear(PiecewiseLinear&& other) noexcept
+      : pieces_(std::move(other.pieces_)) {}
+  PiecewiseLinear& operator=(const PiecewiseLinear& other) {
+    if (this != &other) {
+      pieces_ = other.pieces_;
+      InvalidateCache();
+    }
+    return *this;
+  }
+  PiecewiseLinear& operator=(PiecewiseLinear&& other) noexcept {
+    if (this != &other) {
+      pieces_ = std::move(other.pieces_);
+      InvalidateCache();
+    }
+    return *this;
+  }
 
   /// Adds a contribution.  Piece must satisfy Valid().
   void Add(const LinearPiece& piece);
 
+  /// Adds a contribution keeping `pieces()` sorted ascending by tag.  Used
+  /// by storage::UsageTracker to keep delta-maintained timelines in the
+  /// same canonical order a from-scratch build produces, so downstream
+  /// sweeps are bit-identical between the two paths.
+  void InsertSortedByTag(const LinearPiece& piece);
+
   /// Removes every piece carrying `tag`.  Returns number removed.
   std::size_t RemoveByTag(std::uint64_t tag);
 
-  void Clear() { pieces_.clear(); }
+  /// Removes every piece whose tag satisfies `pred` in one pass,
+  /// preserving the relative order of the survivors.
+  template <typename Pred>
+  std::size_t RemoveTagsIf(Pred pred) {
+    const auto it =
+        std::remove_if(pieces_.begin(), pieces_.end(),
+                       [&pred](const LinearPiece& p) { return pred(p.tag); });
+    const auto removed =
+        static_cast<std::size_t>(std::distance(it, pieces_.end()));
+    if (removed != 0) {
+      pieces_.erase(it, pieces_.end());
+      InvalidateCache();
+    }
+    return removed;
+  }
+
+  void Clear() {
+    pieces_.clear();
+    InvalidateCache();
+  }
 
   [[nodiscard]] const std::vector<LinearPiece>& pieces() const { return pieces_; }
   [[nodiscard]] bool empty() const { return pieces_.empty(); }
@@ -97,9 +154,6 @@ class PiecewiseLinear {
   [[nodiscard]] bool FitsUnder(const LinearPiece& candidate, double threshold) const;
 
  private:
-  /// Sorted unique breakpoints of all pieces (t0/t1/t2 values).
-  [[nodiscard]] std::vector<double> Breakpoints() const;
-
   /// Right-limit value and slope of the aggregate at every breakpoint,
   /// computed in one O(n log n) event sweep.
   struct SweepPoint {
@@ -107,9 +161,36 @@ class PiecewiseLinear {
     double value;  // right limit
     double slope;  // until the next breakpoint
   };
-  [[nodiscard]] std::vector<SweepPoint> Sweep() const;
+
+  /// Derived, cached analysis of the current piece set.
+  struct Analysis {
+    /// Sorted unique breakpoints of all pieces (t0/t1/t2 values).
+    std::vector<double> breakpoints;
+    std::vector<SweepPoint> sweep;
+    /// Global maximum of the aggregate (the sweep's largest value; the
+    /// aggregate never rises between breakpoints).  Lets FitsUnder accept
+    /// in O(1) whenever even the worst case cannot exceed the threshold.
+    double max_value = 0.0;
+  };
+
+  /// Returns the cached analysis, computing it under a lock when stale.
+  [[nodiscard]] const Analysis& EnsureAnalysis() const;
+
+  /// Aggregate value at `t` read off the cached event sweep in O(log n):
+  /// locate the last sweep point at or before `t` and extend along its
+  /// slope.  Max()/RegionsAbove() already evaluate this way; MaxOver and
+  /// FitsUnder use it too, so every query agrees on one evaluation of the
+  /// aggregate instead of re-summing all pieces per probe point.
+  [[nodiscard]] double ValueFromSweep(const Analysis& analysis,
+                                      double t) const;
+  void InvalidateCache() {
+    cache_valid_.store(false, std::memory_order_release);
+  }
 
   std::vector<LinearPiece> pieces_;
+  mutable std::mutex cache_mutex_;
+  mutable std::atomic<bool> cache_valid_{false};
+  mutable Analysis cache_;
 };
 
 }  // namespace vor::util

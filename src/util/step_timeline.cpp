@@ -9,13 +9,17 @@ void StepTimeline::Add(const StepPiece& piece) {
   assert(piece.height >= 0.0);
   if (piece.window.empty()) return;
   pieces_.push_back(piece);
+  InvalidateCache();
 }
 
 std::size_t StepTimeline::RemoveByTag(std::uint64_t tag) {
   const auto it = std::remove_if(pieces_.begin(), pieces_.end(),
                                  [tag](const StepPiece& p) { return p.tag == tag; });
   const auto removed = static_cast<std::size_t>(std::distance(it, pieces_.end()));
-  pieces_.erase(it, pieces_.end());
+  if (removed != 0) {
+    pieces_.erase(it, pieces_.end());
+    InvalidateCache();
+  }
   return removed;
 }
 
@@ -27,7 +31,10 @@ double StepTimeline::ValueAt(Seconds t) const {
   return total;
 }
 
-std::vector<double> StepTimeline::Breakpoints() const {
+const std::vector<double>& StepTimeline::Breakpoints() const {
+  if (cache_valid_.load(std::memory_order_acquire)) return breakpoints_cache_;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_valid_.load(std::memory_order_relaxed)) return breakpoints_cache_;
   std::vector<double> bps;
   bps.reserve(pieces_.size() * 2);
   for (const StepPiece& p : pieces_) {
@@ -36,7 +43,9 @@ std::vector<double> StepTimeline::Breakpoints() const {
   }
   std::sort(bps.begin(), bps.end());
   bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
-  return bps;
+  breakpoints_cache_ = std::move(bps);
+  cache_valid_.store(true, std::memory_order_release);
+  return breakpoints_cache_;
 }
 
 double StepTimeline::Max() const {
@@ -58,7 +67,7 @@ double StepTimeline::MaxOver(Interval window) const {
 
 std::vector<StepExcessRegion> StepTimeline::RegionsAbove(double threshold) const {
   std::vector<StepExcessRegion> regions;
-  const std::vector<double> bps = Breakpoints();
+  const std::vector<double>& bps = Breakpoints();
   bool open = false;
   StepExcessRegion current;
 

@@ -4,9 +4,16 @@
 // window [t, t+P].  Aggregate link load is therefore a step function.
 // This is the analogue of PiecewiseLinear for the bandwidth-constrained
 // extension (Sec. 6 "future work" of the paper, implemented in src/ext).
+//
+// Like PiecewiseLinear, the sorted breakpoint list is cached per mutation
+// epoch (double-checked atomic + mutex) so repeated capacity probes on a
+// shared timeline do not re-sort on every call; mutations must still be
+// externally serialized against reads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "util/interval.hpp"
@@ -30,9 +37,33 @@ struct StepExcessRegion {
 
 class StepTimeline {
  public:
+  StepTimeline() = default;
+  // The breakpoint cache holds a mutex, so copies/moves transfer the piece
+  // set only and start with a cold cache.
+  StepTimeline(const StepTimeline& other) : pieces_(other.pieces_) {}
+  StepTimeline(StepTimeline&& other) noexcept
+      : pieces_(std::move(other.pieces_)) {}
+  StepTimeline& operator=(const StepTimeline& other) {
+    if (this != &other) {
+      pieces_ = other.pieces_;
+      InvalidateCache();
+    }
+    return *this;
+  }
+  StepTimeline& operator=(StepTimeline&& other) noexcept {
+    if (this != &other) {
+      pieces_ = std::move(other.pieces_);
+      InvalidateCache();
+    }
+    return *this;
+  }
+
   void Add(const StepPiece& piece);
   std::size_t RemoveByTag(std::uint64_t tag);
-  void Clear() { pieces_.clear(); }
+  void Clear() {
+    pieces_.clear();
+    InvalidateCache();
+  }
 
   [[nodiscard]] const std::vector<StepPiece>& pieces() const { return pieces_; }
 
@@ -53,9 +84,16 @@ class StepTimeline {
   [[nodiscard]] bool FitsUnder(const StepPiece& piece, double threshold) const;
 
  private:
-  [[nodiscard]] std::vector<double> Breakpoints() const;
+  /// Returns the cached sorted unique breakpoints, recomputing when stale.
+  [[nodiscard]] const std::vector<double>& Breakpoints() const;
+  void InvalidateCache() {
+    cache_valid_.store(false, std::memory_order_release);
+  }
 
   std::vector<StepPiece> pieces_;
+  mutable std::mutex cache_mutex_;
+  mutable std::atomic<bool> cache_valid_{false};
+  mutable std::vector<double> breakpoints_cache_;
 };
 
 }  // namespace vor::util

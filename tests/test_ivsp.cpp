@@ -153,8 +153,9 @@ TEST(IvspTest, CapacityConstraintRejectsOversizedCache) {
       {1, 0, util::Hours(1.5), 2},
   };
   ConstraintSet constraints;
-  storage::UsageMap empty_usage;
-  constraints.other_usage = &empty_usage;
+  const storage::UsageMap empty_usage;
+  const storage::UsageView empty_view(&empty_usage);
+  constraints.other_usage = &empty_view;
   const FileSchedule f =
       ScheduleFileGreedy(0, requests, {0, 1}, env.cm, IvspOptions{}, &constraints);
   // gamma = 0.5h / 1h = 0.5 -> piece height 0.5 GB == capacity, fits; but

@@ -45,7 +45,7 @@ TEST(RejectiveTest, RescheduleAvoidsForbiddenWindow) {
   ASSERT_EQ(s.files[0].residencies.size(), 1u);
   const Residency original = s.files[0].residencies[0];
 
-  const storage::UsageMap empty;
+  const storage::UsageView empty;
   const util::Interval window{original.t_start,
                               original.t_last + util::Hours(1)};
   const RescheduleResult result = RescheduleVictim(
@@ -75,8 +75,9 @@ TEST(RejectiveTest, RescheduleRespectsOtherFilesCapacity) {
   storage::UsageMap other;
   other[3].Add(util::LinearPiece{util::Hours(0), util::Hours(10),
                                  util::Hours(11), 1.0e9, 99});
+  const storage::UsageView other_view(&other);
   const RescheduleResult result =
-      RescheduleVictim(s, 0, requests, env.cm, IvspOptions{}, {}, other);
+      RescheduleVictim(s, 0, requests, env.cm, IvspOptions{}, {}, other_view);
   // Remaining headroom at node 3 is 0.2e9 < any real residency height, so
   // the victim may not cache there.
   for (const Residency& c : result.schedule.residencies) {
@@ -97,7 +98,7 @@ TEST(RejectiveTest, FullyForbiddenFallsBackToDirect) {
     forbidden.emplace_back(n,
                            util::Interval{util::Hours(0), util::Hours(100)});
   }
-  const storage::UsageMap empty;
+  const storage::UsageView empty;
   const RescheduleResult result = RescheduleVictim(
       s, 0, requests, env.cm, IvspOptions{}, std::move(forbidden), empty);
   EXPECT_TRUE(result.schedule.residencies.empty());
@@ -118,7 +119,7 @@ TEST(RejectiveTest, RouteHookVetoesCandidates) {
   Env env;
   const auto requests = CloseRequests();
   Schedule s = IvspSolve(requests, env.cm, IvspOptions{});
-  const storage::UsageMap empty;
+  const storage::UsageView empty;
   // Veto every multi-hop route: only local (single-node) deliveries pass,
   // which is impossible for the first request -> fallback direct.
   std::size_t vetoes = 0;

@@ -1,0 +1,180 @@
+// Golden byte-identity of the incremental SORP engine: the delta-
+// maintained + memoized loop (SorpOptions::incremental = true, the
+// default) must produce exactly the same schedule bytes as the retained
+// rebuild-from-scratch reference engine, for every heat metric, both
+// victim policies, and any thread count.  Also pins the memo/rebuild
+// accounting: the incremental engine builds the aggregate once and reuses
+// cached dry runs, the reference engine rebuilds per dry run and per
+// commit.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/heat.hpp"
+#include "core/ivsp.hpp"
+#include "core/sorp.hpp"
+#include "io/serialize.hpp"
+#include "net/routing.hpp"
+#include "workload/scenario.hpp"
+
+namespace vor::core {
+namespace {
+
+struct EngineRun {
+  std::string bytes;
+  SorpStats stats;
+};
+
+/// The paper's Table-4 tight operating point: small enough to solve in
+/// milliseconds, tight enough that SORP runs a real multi-round shootout.
+struct TightEnv {
+  TightEnv() {
+    workload::ScenarioParams params;
+    params.is_capacity = util::GB(5);
+    params.nrate_per_gb = 1000;
+    params.srate_per_gb_hour = 3;
+    scenario = workload::MakeScenario(params);
+    router.emplace(scenario.topology);
+    cm.emplace(scenario.topology, *router, scenario.catalog);
+    phase1 = IvspSolve(scenario.requests, *cm, IvspOptions{});
+  }
+  workload::Scenario scenario;
+  std::optional<net::Router> router;
+  std::optional<CostModel> cm;
+  Schedule phase1;
+};
+
+EngineRun RunEngine(const TightEnv& env, HeatMetric heat, VictimPolicy policy,
+                    bool incremental, std::size_t threads) {
+  Schedule schedule = env.phase1;
+  SorpOptions options;
+  options.heat = heat;
+  options.victim_policy = policy;
+  options.incremental = incremental;
+  options.parallel.threads = threads;
+  EngineRun run;
+  run.stats = SorpSolve(schedule, env.scenario.requests, *env.cm, options);
+  run.bytes = io::ToJson(schedule).Dump(2);
+  return run;
+}
+
+TEST(SorpIncrementalGoldenTest, AllMetricsPoliciesAndThreadCountsMatch) {
+  const TightEnv env;
+  const std::vector<HeatMetric> metrics{
+      HeatMetric::kImprovedLength, HeatMetric::kLengthPerCost,
+      HeatMetric::kTimeSpace, HeatMetric::kTimeSpacePerCost};
+  const std::vector<VictimPolicy> policies{VictimPolicy::kMaxHeat,
+                                           VictimPolicy::kFirstContributor};
+  for (const HeatMetric heat : metrics) {
+    for (const VictimPolicy policy : policies) {
+      const EngineRun reference =
+          RunEngine(env, heat, policy, /*incremental=*/false, /*threads=*/1);
+      ASSERT_TRUE(reference.stats.HadOverflow())
+          << "scenario must engage SORP";
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        const EngineRun incremental =
+            RunEngine(env, heat, policy, /*incremental=*/true, threads);
+        EXPECT_EQ(incremental.bytes, reference.bytes)
+            << "engines diverged: heat=" << ToString(heat)
+            << " policy=" << static_cast<int>(policy)
+            << " threads=" << threads;
+        EXPECT_EQ(incremental.stats.victims_rescheduled,
+                  reference.stats.victims_rescheduled);
+        EXPECT_EQ(incremental.stats.evaluations, reference.stats.evaluations);
+        EXPECT_DOUBLE_EQ(incremental.stats.final_excess,
+                         reference.stats.final_excess);
+        EXPECT_DOUBLE_EQ(incremental.stats.cost_after.value(),
+                         reference.stats.cost_after.value());
+
+        // The reference engine at the same thread count must agree too
+        // (both engines are thread-count invariant on their own).
+        const EngineRun reference_mt =
+            RunEngine(env, heat, policy, /*incremental=*/false, threads);
+        EXPECT_EQ(reference_mt.bytes, reference.bytes)
+            << "reference engine diverged at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(SorpIncrementalTest, MemoHitsAndRebuildAccounting) {
+  const TightEnv env;
+  const EngineRun incremental = RunEngine(
+      env, HeatMetric::kTimeSpacePerCost, VictimPolicy::kMaxHeat, true, 1);
+  const EngineRun reference = RunEngine(
+      env, HeatMetric::kTimeSpacePerCost, VictimPolicy::kMaxHeat, false, 1);
+  ASSERT_TRUE(incremental.stats.HadOverflow());
+
+  // Cross-round memoization must fire on a multi-round resolution, and
+  // every candidate is either a hit or a real dry run.
+  EXPECT_GT(incremental.stats.memo_hits, 0u);
+  EXPECT_EQ(incremental.stats.memo_hits + incremental.stats.memo_misses,
+            incremental.stats.evaluations);
+  // The aggregate is built exactly once; commits are diffs, not rebuilds.
+  EXPECT_EQ(incremental.stats.usage_rebuilds, 1u);
+
+  // The reference engine rebuilds per capacity-aware dry run and per
+  // commit (plus the initial build) and never consults the memo.
+  EXPECT_EQ(reference.stats.memo_hits, 0u);
+  EXPECT_EQ(reference.stats.memo_misses, 0u);
+  EXPECT_EQ(reference.stats.usage_rebuilds,
+            1 + reference.stats.evaluations +
+                reference.stats.victims_rescheduled);
+}
+
+TEST(SorpIncrementalTest, FirstContributorPolicyCannotHitMemo) {
+  // Every evaluated candidate is immediately committed (and its memo
+  // entries dropped), so the ablation policy can never replay a cached
+  // run — which keeps its `evaluations == victims_rescheduled` contract.
+  const TightEnv env;
+  const EngineRun run = RunEngine(env, HeatMetric::kTimeSpacePerCost,
+                                  VictimPolicy::kFirstContributor, true, 1);
+  ASSERT_TRUE(run.stats.HadOverflow());
+  EXPECT_EQ(run.stats.memo_hits, 0u);
+  EXPECT_EQ(run.stats.evaluations, run.stats.victims_rescheduled);
+}
+
+TEST(SorpIncrementalTest, HooksDisableMemoization) {
+  // Extension hooks mutate external tracker state between rounds, which a
+  // cached replay would skip — the memo must stand down entirely.
+  const TightEnv env;
+  Schedule schedule = env.phase1;
+  SorpOptions options;
+  std::size_t excluded_calls = 0;
+  options.on_file_excluded = [&excluded_calls](std::size_t) {
+    ++excluded_calls;
+  };
+  const SorpStats stats =
+      SorpSolve(schedule, env.scenario.requests, *env.cm, options);
+  ASSERT_TRUE(stats.HadOverflow());
+  EXPECT_GT(stats.evaluations, 0u);
+  EXPECT_EQ(stats.memo_hits, 0u);
+  EXPECT_EQ(stats.memo_misses, 0u);
+  // Hooks fire around every dry run AND every commit — nothing skipped.
+  EXPECT_EQ(excluded_calls, stats.evaluations + stats.victims_rescheduled);
+}
+
+TEST(SorpIncrementalTest, CapacityUnawareAblationStillMatchesReference) {
+  // With capacity_aware_reschedule off, dry runs consult no node usage at
+  // all; cached entries are then valid until their file becomes the
+  // victim.  The engines must still agree byte-for-byte.
+  const TightEnv env;
+  auto run = [&](bool incremental) {
+    Schedule schedule = env.phase1;
+    SorpOptions options;
+    options.capacity_aware_reschedule = false;
+    options.incremental = incremental;
+    EngineRun out;
+    out.stats = SorpSolve(schedule, env.scenario.requests, *env.cm, options);
+    out.bytes = io::ToJson(schedule).Dump(2);
+    return out;
+  };
+  const EngineRun inc = run(true);
+  const EngineRun ref = run(false);
+  EXPECT_EQ(inc.bytes, ref.bytes);
+  EXPECT_EQ(inc.stats.victims_rescheduled, ref.stats.victims_rescheduled);
+}
+
+}  // namespace
+}  // namespace vor::core
