@@ -28,13 +28,16 @@
 #include "net/routing.hpp"
 #include "obs/metrics.hpp"
 #include "storage/usage_timeline.hpp"
+#include "svc/reservation_service.hpp"
 #include "util/json.hpp"
 #include "util/piecewise.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 #include "util/zipf.hpp"
 #include "workload/generator.hpp"
 #include "workload/scenario.hpp"
+#include "workload/trace.hpp"
 
 namespace {
 
@@ -390,6 +393,73 @@ int RunSmoke() {
   return 0;
 }
 
+// ---- service soak --------------------------------------------------------
+//
+// A Table-4 tight-capacity cycle replayed through the online
+// ReservationService: the trace is cut into kSoakCycles virtual-time
+// windows, each submitted by kSoakProducers concurrent threads before the
+// cycle closes and replans incrementally.  Records cycle-close latency
+// percentiles, so successive PRs catch regressions in the drain + solve +
+// validate path, not just the batch solver.
+constexpr std::size_t kSoakCycles = 8;
+constexpr std::size_t kSoakProducers = 4;
+
+util::Json RunSvcSoakSection() {
+  workload::ScenarioParams tight;
+  tight.is_capacity = util::GB(5);
+  tight.nrate_per_gb = 1000;
+  tight.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(tight);
+  std::vector<workload::Request> requests = scenario.requests;
+  workload::SortForReplay(requests);
+
+  svc::ReservationService service(scenario.topology, scenario.catalog, {});
+  const std::size_t per_cycle =
+      (requests.size() + kSoakCycles - 1) / kSoakCycles;
+  for (std::size_t c = 0; c < kSoakCycles; ++c) {
+    const std::size_t begin = c * per_cycle;
+    const std::size_t end = std::min(requests.size(), begin + per_cycle);
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kSoakProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = begin + p; i < end; i += kSoakProducers) {
+          benchmark::DoNotOptimize(
+              service.Submit(requests[i], requests[i].start_time));
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    auto stats = service.CloseCycle();
+    if (!stats.ok()) {
+      util::JsonObject err;
+      err["error"] = stats.error().message;
+      return util::Json(std::move(err));
+    }
+  }
+
+  std::vector<double> close_seconds;
+  std::vector<double> solve_seconds;
+  std::size_t deferred_total = 0;
+  for (const svc::CycleStats& s : service.History()) {
+    close_seconds.push_back(s.close_seconds);
+    solve_seconds.push_back(s.solve_seconds);
+    deferred_total += s.deferred_out;
+  }
+  util::JsonObject doc;
+  doc["scenario"] = "table4 tight (5GB, nrate 1000)";
+  doc["cycles"] = kSoakCycles;
+  doc["producers"] = kSoakProducers;
+  doc["requests"] = requests.size();
+  doc["committed"] = service.CommittedRequests().size();
+  doc["deferred_total"] = deferred_total;
+  doc["close_p50_seconds"] = util::Percentile(close_seconds, 50);
+  doc["close_p95_seconds"] = util::Percentile(close_seconds, 95);
+  doc["close_max_seconds"] = util::Percentile(close_seconds, 100);
+  doc["solve_p50_seconds"] = util::Percentile(solve_seconds, 50);
+  doc["solve_p95_seconds"] = util::Percentile(solve_seconds, 95);
+  return util::Json(std::move(doc));
+}
+
 /// Wall-times the scheduler end-to-end (tight capacity, SORP engaged) at
 /// a given thread count, repeated to amortize noise.
 double TimeSolves(const workload::Scenario& scenario, std::size_t threads,
@@ -441,6 +511,12 @@ int RunBaseline(const std::string& out_path, std::size_t threads) {
       [&] { benchmark::DoNotOptimize(core::RunShootout(subset, &pool)); });
 
   const bool single_core = std::thread::hardware_concurrency() <= 1;
+  if (single_core) {
+    std::cerr << "bench_perf: WARNING: hardware_concurrency() reports "
+              << std::thread::hardware_concurrency()
+              << " thread(s); parallel sections measure pool overhead, not "
+                 "scaling\n";
+  }
   const auto section = [single_core](double serial, double parallel,
                                      std::size_t n, util::JsonObject extra) {
     extra["serial_seconds"] = serial;
@@ -466,6 +542,7 @@ int RunBaseline(const std::string& out_path, std::size_t threads) {
                           {"scenario", "table5 grid, stride 16"}});
   doc["phases"] = registry.ToJson();
   doc["sorp_stress"] = RunSorpStressSection();
+  doc["svc_soak"] = RunSvcSoakSection();
   const std::string text = util::Json(std::move(doc)).Dump(2) + "\n";
   if (const util::Status s = io::WriteFile(out_path, text); !s.ok()) {
     std::cerr << "bench_perf: " << s.error().message << '\n';

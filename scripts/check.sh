@@ -9,7 +9,11 @@
 # self-checking smoke (the SORP stress scenario): metrics schema, memo
 # hit-rate, and single-usage-build invariants, in ~10s.
 #
-# Usage: scripts/check.sh [asan-ubsan|tsan|bench-smoke|all]   (default: all)
+# `soak` builds vorctl under the tsan preset and replays a short trace
+# through `vorctl serve` with concurrent producers plus the background
+# cycle clock; any race report fails the gate (TSan exits non-zero).
+#
+# Usage: scripts/check.sh [asan-ubsan|tsan|bench-smoke|soak|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,16 +50,41 @@ bench_smoke() {
   ./build/bench/bench_perf --smoke
 }
 
+soak() {
+  echo "==> configure tsan"
+  cmake --preset tsan >/dev/null
+  echo "==> build vorctl (tsan)"
+  cmake --build --preset tsan -j "${jobs}" --target vorctl
+  local workdir
+  workdir=$(mktemp -d)
+  trap 'rm -rf "${workdir}"' RETURN
+  local vorctl=./build-tsan/tools/vorctl
+  echo "==> generate soak scenario + trace"
+  "${vorctl}" gen-scenario --storages 6 --users 4 --catalog 40 \
+    --capacity-gb 5 --seed 11 \
+    --out "${workdir}/scenario.json" --trace-out "${workdir}/trace.csv"
+  echo "==> vorctl serve under tsan (4 producers + background clock)"
+  # TSAN_OPTIONS keeps the default non-zero exit on any report; halt on
+  # the first one so the failure is easy to read.
+  TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+    "${vorctl}" serve "${workdir}/scenario.json" \
+    --trace "${workdir}/trace.csv" --cycle 21600 --producers 4 \
+    --clock-ms 5 --snapshot "${workdir}/snapshot.json"
+  echo "==> soak clean (no tsan reports)"
+}
+
 case "${which}" in
   asan-ubsan)  run_preset asan-ubsan ;;
   tsan)        run_preset tsan ;;
   bench-smoke) bench_smoke ;;
+  soak)        soak ;;
   all)
     run_preset asan-ubsan
     run_preset tsan
+    soak
     ;;
   *)
-    echo "usage: scripts/check.sh [asan-ubsan|tsan|bench-smoke|all]" >&2
+    echo "usage: scripts/check.sh [asan-ubsan|tsan|bench-smoke|soak|all]" >&2
     exit 2
     ;;
 esac

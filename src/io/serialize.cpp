@@ -182,6 +182,9 @@ util::Result<std::vector<workload::Request>> RequestsFromJson(const Json& j) {
   }
   std::vector<workload::Request> out;
   for (const Json& req : j["requests"].as_array()) {
+    if (!req.is_object()) {
+      return util::InvalidArgument("request entries must be objects");
+    }
     workload::Request r;
     r.user = static_cast<workload::UserId>(req.GetNumber("user", 0.0));
     r.video = static_cast<media::VideoId>(req.GetNumber("video", 0.0));
@@ -255,6 +258,9 @@ util::Result<core::Schedule> ScheduleFromJson(const Json& j) {
         return util::InvalidArgument("delivery without a route");
       }
       for (const Json& n : delivery["route"].as_array()) {
+        if (!n.is_number()) {
+          return util::InvalidArgument("route entries must be node ids");
+        }
         d.route.push_back(static_cast<net::NodeId>(n.as_number()));
       }
       d.start = util::Seconds{delivery.GetNumber("start_sec", 0.0)};
@@ -273,6 +279,10 @@ util::Result<core::Schedule> ScheduleFromJson(const Json& j) {
       c.t_last = util::Seconds{residency.GetNumber("t_last_sec", 0.0)};
       if (residency["services"].is_array()) {
         for (const Json& s : residency["services"].as_array()) {
+          if (!s.is_number()) {
+            return util::InvalidArgument(
+                "residency services must be request indices");
+          }
           c.services.push_back(static_cast<std::size_t>(s.as_number()));
         }
       }

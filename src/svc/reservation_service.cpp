@@ -1,0 +1,474 @@
+#include "svc/reservation_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/bounds.hpp"
+#include "obs/metrics.hpp"
+#include "sim/validator.hpp"
+#include "storage/usage_timeline.hpp"
+#include "workload/trace.hpp"
+
+namespace vor::svc {
+
+namespace {
+
+/// Why an admitted candidate was pushed back, for the svc.admit.*
+/// counter split.
+enum class DeferCause : std::uint8_t {
+  kFairness,
+  kCapacityEstimate,
+  kBudgetEstimate,
+  kInfeasible,
+};
+
+const char* CounterName(DeferCause cause) {
+  switch (cause) {
+    case DeferCause::kFairness: return "svc.admit.deferred_fairness";
+    case DeferCause::kCapacityEstimate: return "svc.admit.deferred_capacity";
+    case DeferCause::kBudgetEstimate: return "svc.admit.deferred_budget";
+    case DeferCause::kInfeasible: return "svc.admit.deferred_infeasible";
+  }
+  return "svc.admit.deferred_other";
+}
+
+}  // namespace
+
+bool DrainOrderLess(const StampedRequest& a, const StampedRequest& b) {
+  if (a.arrival.value() != b.arrival.value()) {
+    return a.arrival.value() < b.arrival.value();
+  }
+  if (workload::ReplayOrderLess(a.request, b.request)) return true;
+  if (workload::ReplayOrderLess(b.request, a.request)) return false;
+  return a.deferrals < b.deferrals;
+}
+
+ReservationService::ReservationService(const net::Topology& topology,
+                                       const media::Catalog& catalog,
+                                       ServiceConfig config)
+    : topology_(&topology),
+      catalog_(&catalog),
+      config_(std::move(config)),
+      // config_ precedes scheduler_ in declaration order, so reading it
+      // here is safe; the service's metrics sink wins over any stale
+      // pointer in the nested scheduler options.
+      scheduler_(topology, catalog, [this] {
+        core::SchedulerOptions options = config_.scheduler;
+        options.metrics = config_.metrics;
+        return options;
+      }()) {
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ReservationService::~ReservationService() { Stop(); }
+
+util::Status ReservationService::ValidateRequest(
+    const workload::Request& request) const {
+  if (!catalog_->Contains(request.video)) {
+    return util::NotFound("unknown video id " + std::to_string(request.video));
+  }
+  if (!topology_->IsStorage(request.neighborhood)) {
+    return util::InvalidArgument("neighborhood is not an intermediate storage");
+  }
+  if (request.start_time.value() < 0.0) {
+    return util::InvalidArgument("negative start time");
+  }
+  return util::Status::Ok();
+}
+
+SubmitOutcome ReservationService::Submit(const workload::Request& request,
+                                         util::Seconds arrival) {
+  if (!ValidateRequest(request).ok() || arrival.value() < 0.0) {
+    obs::Add(config_.metrics, "svc.submit.rejected_invalid");
+    return SubmitOutcome::kRejectedInvalid;
+  }
+  const StampedRequest stamped{request, arrival, 0};
+  Shard& shard = *shards_[request.user % shards_.size()];
+  {
+    std::lock_guard lock(shard.mutex);
+    if (shard.queue.size() < config_.shard_capacity) {
+      shard.queue.push_back(stamped);
+      obs::Add(config_.metrics, "svc.submit.accepted");
+      return SubmitOutcome::kAccepted;
+    }
+  }
+  {
+    std::lock_guard lock(spill_mutex_);
+    if (spill_.size() < config_.deferred_capacity) {
+      spill_.push_back(stamped);
+      obs::Add(config_.metrics, "svc.submit.deferred");
+      return SubmitOutcome::kDeferred;
+    }
+  }
+  obs::Add(config_.metrics, "svc.submit.rejected_backpressure");
+  return SubmitOutcome::kRejectedBackpressure;
+}
+
+std::vector<StampedRequest> ReservationService::DrainIntake() {
+  std::vector<StampedRequest> drained;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    drained.insert(drained.end(), shard->queue.begin(), shard->queue.end());
+    shard->queue.clear();
+  }
+  {
+    std::lock_guard lock(spill_mutex_);
+    drained.insert(drained.end(), spill_.begin(), spill_.end());
+    spill_.clear();
+  }
+  return drained;
+}
+
+util::Result<CycleStats> ReservationService::CloseCycle() {
+  const obs::Stopwatch close_watch;
+  std::lock_guard cycle_lock(cycle_mutex_);
+
+  CycleStats stats;
+  stats.cycle = cycle_index_;
+  stats.deferred_in = deferred_.size();
+
+  // Drain, merge with the carried deferred set, and order canonically:
+  // from here on nothing depends on which producer thread enqueued what.
+  std::vector<StampedRequest> batch = DrainIntake();
+  stats.drained = batch.size();
+  obs::Append(config_.metrics, "svc.cycle.queue_depth",
+              static_cast<double>(batch.size()));
+  batch.insert(batch.end(), deferred_.begin(), deferred_.end());
+  deferred_.clear();
+  std::stable_sort(batch.begin(), batch.end(), DrainOrderLess);
+
+  std::vector<StampedRequest> admitted;
+  std::vector<std::pair<StampedRequest, DeferCause>> pushed_back;
+  admitted.reserve(batch.size());
+
+  // Fairness cap: each user gets at most user_cycle_cap slots per cycle,
+  // earliest arrivals first.
+  {
+    std::unordered_map<workload::UserId, std::size_t> per_user;
+    for (StampedRequest& s : batch) {
+      if (config_.admission_control &&
+          ++per_user[s.request.user] > config_.user_cycle_cap) {
+        pushed_back.emplace_back(std::move(s), DeferCause::kFairness);
+      } else {
+        admitted.push_back(std::move(s));
+      }
+    }
+  }
+
+  if (config_.admission_control && !admitted.empty()) {
+    // Capacity estimate: bound the caching pressure a cycle may add to
+    // each IS.  Headroom comes from the committed schedule's peak usage
+    // (UsageTracker — same aggregate SORP maintains); each (video, IS)
+    // pair contributes one copy's worth of bytes.  The floor of one full
+    // capacity keeps saturated nodes serviceable (direct deliveries use
+    // no storage) while still shedding pathological pile-ups up front.
+    const storage::UsageTracker tracker(previous_.schedule,
+                                        scheduler_.cost_model());
+    std::unordered_map<net::NodeId, double> budget;
+    for (net::NodeId n = 0; n < topology_->node_count(); ++n) {
+      if (!topology_->IsStorage(n)) continue;
+      const double capacity = topology_->node(n).capacity.value();
+      const double headroom = std::max(
+          0.0, capacity - storage::PeakUsage(tracker.usage(), n));
+      budget[n] = headroom * config_.admission_overcommit + capacity;
+    }
+    std::unordered_set<std::uint64_t> seen_copy;  // (video, node) pairs
+    std::vector<StampedRequest> kept;
+    kept.reserve(admitted.size());
+    for (StampedRequest& s : admitted) {
+      const net::NodeId node = s.request.neighborhood;
+      const std::uint64_t copy_key =
+          (static_cast<std::uint64_t>(s.request.video) << 24) | node;
+      double footprint = 0.0;
+      if (seen_copy.insert(copy_key).second) {
+        footprint = catalog_->video(s.request.video).size.value();
+      }
+      double& remaining = budget[node];
+      if (footprint > remaining) {
+        seen_copy.erase(copy_key);
+        pushed_back.emplace_back(std::move(s), DeferCause::kCapacityEstimate);
+      } else {
+        remaining -= footprint;
+        kept.push_back(std::move(s));
+      }
+    }
+    admitted = std::move(kept);
+  }
+
+  if (config_.admission_control && config_.cycle_cost_budget > 0.0 &&
+      !admitted.empty()) {
+    // Cost budget: the unavoidable-network lower bound (core/bounds) of
+    // committed + admitted must fit the horizon budget.  The bound is
+    // monotone in the admitted prefix, so binary-search the cut.
+    const auto bound_of = [&](std::size_t prefix) {
+      std::vector<workload::Request> merged = committed_;
+      for (std::size_t i = 0; i < prefix; ++i) {
+        merged.push_back(admitted[i].request);
+      }
+      return core::UnavoidableNetworkLowerBound(merged,
+                                                scheduler_.cost_model())
+          .total();
+    };
+    if (bound_of(admitted.size()) > config_.cycle_cost_budget) {
+      std::size_t lo = 0;
+      std::size_t hi = admitted.size();  // first prefix over budget
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        if (bound_of(mid) <= config_.cycle_cost_budget) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      for (std::size_t i = admitted.size(); i > lo; --i) {
+        pushed_back.emplace_back(std::move(admitted[i - 1]),
+                                 DeferCause::kBudgetEstimate);
+      }
+      admitted.resize(lo);
+    }
+  }
+
+  // Solve-validate-halve: commit only a schedule in which SORP resolved
+  // every overflow and the independent validator agrees.  On failure the
+  // newest arrivals are deferred and the cycle re-solved; the loop
+  // terminates because the admitted set strictly shrinks (and the empty
+  // set keeps the previous committed schedule, which was itself
+  // validated when committed).
+  const obs::Stopwatch solve_watch;
+  core::SolveOutput next;
+  std::vector<workload::Request> merged;
+  bool committed_new = false;
+  while (!admitted.empty()) {
+    if (stats.solve_attempts >= config_.max_admission_retries) {
+      for (StampedRequest& s : admitted) {
+        pushed_back.emplace_back(std::move(s), DeferCause::kInfeasible);
+      }
+      admitted.clear();
+      break;
+    }
+    ++stats.solve_attempts;
+    std::vector<workload::Request> plain;
+    plain.reserve(admitted.size());
+    for (const StampedRequest& s : admitted) plain.push_back(s.request);
+    std::vector<workload::Request> attempt_merged;
+    auto out = core::IncrementalSolve(scheduler_, previous_, committed_,
+                                      plain, &attempt_merged);
+    if (!out.ok()) {
+      // Solver errors are environment-level (validated requests should
+      // never trigger them); re-defer the batch so nothing is lost and
+      // surface the error.
+      for (StampedRequest& s : admitted) {
+        deferred_.push_back(std::move(s));
+      }
+      for (auto& [s, cause] : pushed_back) {
+        (void)cause;
+        deferred_.push_back(std::move(s));
+      }
+      std::stable_sort(deferred_.begin(), deferred_.end(), DrainOrderLess);
+      obs::Add(config_.metrics, "svc.cycle.solve_errors");
+      return out.error();
+    }
+    bool feasible = out->sorp.Resolved();
+    if (feasible && config_.admission_control) {
+      feasible = sim::ValidateSchedule(out->schedule, attempt_merged,
+                                       scheduler_.cost_model())
+                     .ok();
+    }
+    if (feasible || !config_.admission_control) {
+      next = std::move(*out);
+      merged = std::move(attempt_merged);
+      committed_new = true;
+      break;
+    }
+    // Defer the newer half (drain order puts the oldest first).
+    const std::size_t keep = admitted.size() / 2;
+    for (std::size_t i = admitted.size(); i > keep; --i) {
+      pushed_back.emplace_back(std::move(admitted[i - 1]),
+                               DeferCause::kInfeasible);
+    }
+    admitted.resize(keep);
+  }
+  stats.solve_seconds = solve_watch.Seconds();
+
+  if (committed_new) {
+    stats.admitted = admitted.size();
+    committed_ = std::move(merged);
+    previous_ = std::move(next);
+    obs::Add(config_.metrics, "svc.admit.committed", stats.admitted);
+  }
+
+  // Push-back bookkeeping: bump deferral counts, expire the hopeless,
+  // respect the deferred-set bound.
+  for (auto& [s, cause] : pushed_back) {
+    obs::Add(config_.metrics, CounterName(cause));
+    if (s.deferrals >= config_.max_deferrals ||
+        deferred_.size() >= config_.deferred_capacity) {
+      ++stats.rejected_expired;
+      obs::Add(config_.metrics, "svc.admit.rejected_expired");
+      continue;
+    }
+    ++s.deferrals;
+    deferred_.push_back(std::move(s));
+  }
+  std::stable_sort(deferred_.begin(), deferred_.end(), DrainOrderLess);
+  stats.deferred_out = deferred_.size();
+
+  ++cycle_index_;
+  stats.final_cost = previous_.final_cost.value();
+  stats.committed_total = committed_.size();
+  stats.close_seconds = close_watch.Seconds();
+  obs::Add(config_.metrics, "svc.cycle.closed");
+  obs::Observe(config_.metrics, "svc.cycle.close_seconds",
+               stats.close_seconds);
+  obs::Observe(config_.metrics, "svc.cycle.solve_seconds",
+               stats.solve_seconds);
+  history_.push_back(stats);
+  return stats;
+}
+
+void ReservationService::Start() {
+  std::lock_guard lock(clock_mutex_);
+  if (clock_thread_.joinable()) return;
+  clock_stop_ = false;
+  clock_thread_ = std::thread([this] {
+    std::unique_lock lock(clock_mutex_);
+    const auto period = std::chrono::duration<double>(
+        std::max(1e-3, config_.cycle_period_seconds));
+    while (!clock_cv_.wait_for(lock, period, [this] { return clock_stop_; })) {
+      lock.unlock();
+      (void)CloseCycle();
+      obs::Add(config_.metrics, "svc.cycle.clock_ticks");
+      lock.lock();
+    }
+  });
+}
+
+void ReservationService::Stop() {
+  std::thread joinee;
+  {
+    std::lock_guard lock(clock_mutex_);
+    clock_stop_ = true;
+    joinee = std::move(clock_thread_);
+  }
+  clock_cv_.notify_all();
+  if (joinee.joinable()) joinee.join();
+}
+
+core::Schedule ReservationService::CommittedSchedule() const {
+  std::lock_guard lock(cycle_mutex_);
+  return previous_.schedule;
+}
+
+std::vector<workload::Request> ReservationService::CommittedRequests() const {
+  std::lock_guard lock(cycle_mutex_);
+  return committed_;
+}
+
+std::uint64_t ReservationService::cycle_index() const {
+  std::lock_guard lock(cycle_mutex_);
+  return cycle_index_;
+}
+
+std::size_t ReservationService::PendingCount() const {
+  std::size_t n = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    n += shard->queue.size();
+  }
+  std::lock_guard lock(spill_mutex_);
+  return n + spill_.size();
+}
+
+std::size_t ReservationService::DeferredCount() const {
+  std::lock_guard lock(cycle_mutex_);
+  return deferred_.size();
+}
+
+std::vector<CycleStats> ReservationService::History() const {
+  std::lock_guard lock(cycle_mutex_);
+  return history_;
+}
+
+ServiceSnapshot ReservationService::Snapshot() const {
+  std::lock_guard cycle_lock(cycle_mutex_);
+  ServiceSnapshot snapshot;
+  snapshot.cycle_index = cycle_index_;
+  snapshot.committed = committed_;
+  snapshot.schedule = previous_.schedule;
+  snapshot.deferred = deferred_;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    snapshot.pending.insert(snapshot.pending.end(), shard->queue.begin(),
+                            shard->queue.end());
+  }
+  {
+    std::lock_guard lock(spill_mutex_);
+    snapshot.pending.insert(snapshot.pending.end(), spill_.begin(),
+                            spill_.end());
+  }
+  std::stable_sort(snapshot.pending.begin(), snapshot.pending.end(),
+                   DrainOrderLess);
+  return snapshot;
+}
+
+util::Status ReservationService::Restore(const ServiceSnapshot& snapshot) {
+  for (const workload::Request& r : snapshot.committed) {
+    if (const util::Status s = ValidateRequest(r); !s.ok()) return s.error();
+  }
+  for (const StampedRequest& s : snapshot.deferred) {
+    if (const util::Status st = ValidateRequest(s.request); !st.ok()) {
+      return st.error();
+    }
+  }
+  for (const StampedRequest& s : snapshot.pending) {
+    if (const util::Status st = ValidateRequest(s.request); !st.ok()) {
+      return st.error();
+    }
+  }
+  // The committed schedule must itself be a legal plan for the committed
+  // requests — a snapshot from a different scenario (or a corrupted one)
+  // fails here instead of poisoning future cycles.
+  const sim::ValidationReport report = sim::ValidateSchedule(
+      snapshot.schedule, snapshot.committed, scheduler_.cost_model());
+  if (!report.ok()) {
+    return util::InvalidArgument(
+        "snapshot schedule fails validation: " +
+        sim::ToString(report.violations.front().kind) + ": " +
+        report.violations.front().detail);
+  }
+
+  std::lock_guard cycle_lock(cycle_mutex_);
+  cycle_index_ = snapshot.cycle_index;
+  committed_ = snapshot.committed;
+  previous_ = core::SolveOutput{};
+  previous_.schedule = snapshot.schedule;
+  previous_.final_cost = scheduler_.cost_model().TotalCost(snapshot.schedule);
+  deferred_ = snapshot.deferred;
+  std::stable_sort(deferred_.begin(), deferred_.end(), DrainOrderLess);
+  history_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->queue.clear();
+  }
+  {
+    std::lock_guard lock(spill_mutex_);
+    spill_.clear();
+  }
+  // Pending intake re-enters through the shards so the next close drains
+  // it exactly like live traffic.
+  for (const StampedRequest& s : snapshot.pending) {
+    Shard& shard = *shards_[s.request.user % shards_.size()];
+    std::lock_guard lock(shard.mutex);
+    shard.queue.push_back(s);
+  }
+  obs::Add(config_.metrics, "svc.restores");
+  return util::Status::Ok();
+}
+
+}  // namespace vor::svc

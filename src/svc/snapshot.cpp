@@ -1,0 +1,108 @@
+#include "svc/snapshot.hpp"
+
+#include <string>
+
+#include "io/serialize.hpp"
+
+namespace vor::svc {
+
+namespace {
+
+constexpr const char* kFormatVersion = "vor-svc/1";
+
+util::Json StampedToJson(const StampedRequest& s) {
+  util::JsonObject obj;
+  obj["user"] = s.request.user;
+  obj["video"] = s.request.video;
+  obj["start_sec"] = s.request.start_time.value();
+  obj["neighborhood"] = s.request.neighborhood;
+  obj["arrival_sec"] = s.arrival.value();
+  obj["deferrals"] = static_cast<std::size_t>(s.deferrals);
+  return obj;
+}
+
+util::Result<std::vector<StampedRequest>> StampedFromJson(
+    const util::Json& j, const std::string& what) {
+  if (!j.is_array()) {
+    return util::InvalidArgument("service snapshot needs a '" + what +
+                                 "' array");
+  }
+  std::vector<StampedRequest> out;
+  out.reserve(j.as_array().size());
+  for (const util::Json& item : j.as_array()) {
+    if (!item.is_object()) {
+      return util::InvalidArgument("'" + what + "' entries must be objects");
+    }
+    StampedRequest s;
+    s.request.user =
+        static_cast<workload::UserId>(item.GetNumber("user", 0.0));
+    s.request.video =
+        static_cast<media::VideoId>(item.GetNumber("video", 0.0));
+    s.request.start_time = util::Seconds{item.GetNumber("start_sec", 0.0)};
+    s.request.neighborhood =
+        static_cast<net::NodeId>(item.GetNumber("neighborhood", -1.0));
+    s.arrival = util::Seconds{item.GetNumber("arrival_sec", 0.0)};
+    s.deferrals =
+        static_cast<std::uint32_t>(item.GetNumber("deferrals", 0.0));
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Json SnapshotToJson(const ServiceSnapshot& snapshot) {
+  util::JsonObject doc;
+  doc["format"] = kFormatVersion;
+  doc["kind"] = "service";
+  doc["cycle_index"] = static_cast<std::size_t>(snapshot.cycle_index);
+  doc["committed"] = io::ToJson(snapshot.committed);
+  doc["schedule"] = io::ToJson(snapshot.schedule);
+  util::JsonArray deferred;
+  for (const StampedRequest& s : snapshot.deferred) {
+    deferred.push_back(StampedToJson(s));
+  }
+  doc["deferred"] = std::move(deferred);
+  util::JsonArray pending;
+  for (const StampedRequest& s : snapshot.pending) {
+    pending.push_back(StampedToJson(s));
+  }
+  doc["pending"] = std::move(pending);
+  return doc;
+}
+
+util::Result<ServiceSnapshot> SnapshotFromJson(const util::Json& j) {
+  if (!j.is_object()) {
+    return util::InvalidArgument("service snapshot must be a JSON object");
+  }
+  if (j.GetString("format", "") != kFormatVersion) {
+    return util::InvalidArgument("unknown or missing format (want " +
+                                 std::string(kFormatVersion) + ")");
+  }
+  if (j.GetString("kind", "") != "service") {
+    return util::InvalidArgument("expected kind 'service', got '" +
+                                 j.GetString("kind", "") + "'");
+  }
+  const util::Json& index = j["cycle_index"];
+  if (!index.is_number() || index.as_number() < 0.0) {
+    return util::InvalidArgument("snapshot needs a non-negative cycle_index");
+  }
+
+  ServiceSnapshot snapshot;
+  snapshot.cycle_index = static_cast<std::uint64_t>(index.as_number());
+  auto committed = io::RequestsFromJson(j["committed"]);
+  if (!committed.ok()) return committed.error();
+  snapshot.committed = std::move(*committed);
+  auto schedule = io::ScheduleFromJson(j["schedule"]);
+  if (!schedule.ok()) return schedule.error();
+  snapshot.schedule = std::move(*schedule);
+  auto deferred = StampedFromJson(j["deferred"], "deferred");
+  if (!deferred.ok()) return deferred.error();
+  snapshot.deferred = std::move(*deferred);
+  auto pending = StampedFromJson(j["pending"], "pending");
+  if (!pending.ok()) return pending.error();
+  snapshot.pending = std::move(*pending);
+  return snapshot;
+}
+
+}  // namespace vor::svc

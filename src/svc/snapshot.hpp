@@ -1,0 +1,37 @@
+// Versioned JSON persistence for ReservationService state.
+//
+// Document format "vor-svc/1":
+//
+//   {
+//     "format": "vor-svc/1",
+//     "kind": "service",
+//     "cycle_index": N,
+//     "committed": <"vor/1" requests document>,
+//     "schedule":  <"vor/1" schedule document>,
+//     "deferred":  [{user, video, start_sec, neighborhood,
+//                    arrival_sec, deferrals}, ...],
+//     "pending":   [same shape ...]
+//   }
+//
+// The nested committed/schedule payloads reuse the io/serialize "vor/1"
+// documents verbatim, so existing tooling (vorctl validate/report/diff)
+// can inspect a snapshot's schedule directly.  Round trip is exact: a
+// service restored from SnapshotFromJson(SnapshotToJson(s)) continues
+// the horizon with byte-identical committed schedules.
+#pragma once
+
+#include "svc/reservation_service.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace vor::svc {
+
+[[nodiscard]] util::Json SnapshotToJson(const ServiceSnapshot& snapshot);
+
+/// Structural parse + type validation; environment-level validation
+/// (video/neighborhood ids, schedule legality) happens in
+/// ReservationService::Restore.
+[[nodiscard]] util::Result<ServiceSnapshot> SnapshotFromJson(
+    const util::Json& j);
+
+}  // namespace vor::svc

@@ -1,5 +1,6 @@
 #include "workload/trace.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <sstream>
 
@@ -127,6 +128,19 @@ util::Result<std::vector<Request>> RequestsFromCsv(const std::string& text) {
     return util::InvalidArgument("empty trace: header row missing");
   }
   return requests;
+}
+
+bool ReplayOrderLess(const Request& a, const Request& b) {
+  if (a.start_time.value() != b.start_time.value()) {
+    return a.start_time.value() < b.start_time.value();
+  }
+  if (a.user != b.user) return a.user < b.user;
+  if (a.video != b.video) return a.video < b.video;
+  return a.neighborhood < b.neighborhood;
+}
+
+void SortForReplay(std::vector<Request>& requests) {
+  std::stable_sort(requests.begin(), requests.end(), ReplayOrderLess);
 }
 
 util::Status ValidateTrace(const std::vector<Request>& requests,

@@ -37,4 +37,17 @@ namespace vor::workload {
     const std::vector<Request>& requests, const net::Topology& topology,
     const media::Catalog& catalog);
 
+/// Canonical replay order: (start time, user, video, neighborhood),
+/// ascending.  A reservation log's row order is an accident of how the
+/// operator's collectors interleaved, so every replay path — trace
+/// replay, multi-producer service intake drains — sorts with this total
+/// order before scheduling; the output is then independent of producer
+/// count and thread interleaving.
+[[nodiscard]] bool ReplayOrderLess(const Request& a, const Request& b);
+
+/// Stable-sorts `requests` into canonical replay order.  Stable so exact
+/// duplicate rows keep their input order (they are interchangeable, but
+/// stability makes the pre/post mapping predictable in tests).
+void SortForReplay(std::vector<Request>& requests);
+
 }  // namespace vor::workload

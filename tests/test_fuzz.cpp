@@ -5,6 +5,7 @@
 #include <string>
 
 #include "io/serialize.hpp"
+#include "svc/snapshot.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -80,6 +81,128 @@ TEST(DomainFuzz, ScheduleFromHostileJsonIsRejectedOrHarmless) {
     // and costing of such a schedule is exercised elsewhere.
     (void)schedule;
   }
+}
+
+TEST(DomainFuzz, ScheduleWrongTypedElementsReturnErrors) {
+  // Wrong-typed elements inside route / services arrays used to reach
+  // as_number() and throw; they must come back as error Results.
+  const char* hostile[] = {
+      // string inside a route array
+      R"({"format":"vor/1","kind":"schedule","files":[{"video":0,
+          "deliveries":[{"route":["zero",1],"t_sec":0}],"residencies":[]}]})",
+      // object inside a route array
+      R"({"format":"vor/1","kind":"schedule","files":[{"video":0,
+          "deliveries":[{"route":[{}],"t_sec":0}],"residencies":[]}]})",
+      // null inside a residency services array
+      R"({"format":"vor/1","kind":"schedule","files":[{"video":0,
+          "deliveries":[],"residencies":[{"node":1,"t_start_sec":0,
+          "t_last_sec":1,"services":[null]}]}]})",
+      // bool where a request object should be
+      R"({"format":"vor/1","kind":"requests","requests":[true]})",
+  };
+  for (const char* doc : hostile) {
+    const auto json = util::Json::Parse(doc);
+    ASSERT_TRUE(json.ok()) << doc;
+    if (json->GetString("kind", "") == "requests") {
+      EXPECT_FALSE(io::RequestsFromJson(*json).ok()) << doc;
+    } else {
+      EXPECT_FALSE(io::ScheduleFromJson(*json).ok()) << doc;
+    }
+  }
+}
+
+TEST(DomainFuzz, ScenarioFromHostileJsonIsRejectedOrHarmless) {
+  const char* hostile[] = {
+      // not even an object
+      R"([1,2,3])",
+      // right format tag, everything else missing
+      R"({"format":"vor/1","kind":"scenario"})",
+      // params of the wrong type
+      R"({"format":"vor/1","kind":"scenario","params":"tiny",
+          "topology":{},"catalog":{},"requests":{}})",
+      // topology section truncated to a scalar
+      R"({"format":"vor/1","kind":"scenario","params":{},
+          "topology":42,"catalog":{"format":"vor/1","kind":"catalog",
+          "videos":[]},"requests":[]})",
+      // requests section holds a string
+      R"({"format":"vor/1","kind":"scenario","params":{},
+          "topology":{"format":"vor/1","kind":"topology","nodes":[],
+          "links":[]},"catalog":{"format":"vor/1","kind":"catalog",
+          "videos":[]},"requests":"nope"})",
+  };
+  for (const char* doc : hostile) {
+    const auto json = util::Json::Parse(doc);
+    ASSERT_TRUE(json.ok()) << doc;
+    EXPECT_FALSE(io::ScenarioFromJson(*json).ok()) << doc;
+  }
+}
+
+TEST(DomainFuzz, TruncatedDocumentsNeverCrash) {
+  // Every prefix of a valid schedule document either fails to parse or
+  // fails domain validation — never crashes, never yields garbage.
+  const std::string full =
+      R"({"format":"vor/1","kind":"schedule","files":[{"video":3,)"
+      R"("deliveries":[{"route":[0,1],"t_sec":7.5}],)"
+      R"("residencies":[{"node":1,"t_start_sec":1,"t_last_sec":2,)"
+      R"("services":[0]}]}]})";
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto json = util::Json::Parse(full.substr(0, len));
+    if (!json.ok()) continue;
+    (void)io::ScheduleFromJson(*json);
+  }
+  const auto intact = util::Json::Parse(full);
+  ASSERT_TRUE(intact.ok());
+  EXPECT_TRUE(io::ScheduleFromJson(*intact).ok());
+}
+
+TEST(DomainFuzz, ServiceSnapshotFromHostileJsonIsRejected) {
+  const char* hostile[] = {
+      R"("not an object")",
+      // missing format
+      R"({"kind":"service"})",
+      // wrong kind
+      R"({"format":"vor-svc/1","kind":"schedule"})",
+      // cycle_index of the wrong type
+      R"({"format":"vor-svc/1","kind":"service","cycle_index":"one",
+          "committed":{"format":"vor/1","kind":"requests","requests":[]},
+          "schedule":{"format":"vor/1","kind":"schedule","files":[]},
+          "deferred":[],"pending":[]})",
+      // negative cycle_index
+      R"({"format":"vor-svc/1","kind":"service","cycle_index":-3,
+          "committed":{"format":"vor/1","kind":"requests","requests":[]},
+          "schedule":{"format":"vor/1","kind":"schedule","files":[]},
+          "deferred":[],"pending":[]})",
+      // deferred is not an array
+      R"({"format":"vor-svc/1","kind":"service","cycle_index":0,
+          "committed":{"format":"vor/1","kind":"requests","requests":[]},
+          "schedule":{"format":"vor/1","kind":"schedule","files":[]},
+          "deferred":{},"pending":[]})",
+      // pending entry of the wrong type
+      R"({"format":"vor-svc/1","kind":"service","cycle_index":0,
+          "committed":{"format":"vor/1","kind":"requests","requests":[]},
+          "schedule":{"format":"vor/1","kind":"schedule","files":[]},
+          "deferred":[],"pending":[7]})",
+      // nested schedule section is hostile
+      R"({"format":"vor-svc/1","kind":"service","cycle_index":0,
+          "committed":{"format":"vor/1","kind":"requests","requests":[]},
+          "schedule":{"format":"vor/1","kind":"schedule",
+          "files":[{"video":0,"deliveries":[{"route":["x"],"t_sec":0}],
+          "residencies":[]}]},"deferred":[],"pending":[]})",
+  };
+  for (const char* doc : hostile) {
+    const auto json = util::Json::Parse(doc);
+    ASSERT_TRUE(json.ok()) << doc;
+    EXPECT_FALSE(svc::SnapshotFromJson(*json).ok()) << doc;
+  }
+
+  // The minimal well-formed document is accepted.
+  const auto ok = util::Json::Parse(
+      R"({"format":"vor-svc/1","kind":"service","cycle_index":2,
+          "committed":{"format":"vor/1","kind":"requests","requests":[]},
+          "schedule":{"format":"vor/1","kind":"schedule","files":[]},
+          "deferred":[],"pending":[]})");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(svc::SnapshotFromJson(*ok).ok());
 }
 
 }  // namespace

@@ -1,0 +1,425 @@
+// ReservationService: concurrent intake determinism, admission control's
+// never-commit-an-overflow guarantee, snapshot/restore resume, and the
+// backpressure / fairness / clock plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "sim/validator.hpp"
+#include "svc/reservation_service.hpp"
+#include "svc/snapshot.hpp"
+#include "test_helpers.hpp"
+#include "util/json.hpp"
+#include "workload/scenario.hpp"
+#include "workload/trace.hpp"
+
+namespace vor {
+namespace {
+
+workload::Scenario SmallScenario(double capacity_gb = 50.0) {
+  workload::ScenarioParams params;
+  params.storage_count = 6;
+  params.users_per_neighborhood = 5;
+  params.catalog_size = 60;
+  params.is_capacity = util::GB(capacity_gb);
+  params.seed = 42;
+  return workload::MakeScenario(params);
+}
+
+/// Replays `requests` through a service: `cycles` contiguous windows in
+/// canonical replay order, each submitted by `producers` concurrent
+/// threads (round-robin slices), then closed.  Asserts the committed
+/// schedule validates after every close and returns its final JSON dump.
+std::string ReplayThroughService(const workload::Scenario& scenario,
+                                 std::size_t producers, std::size_t cycles,
+                                 svc::ServiceConfig config) {
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+  std::vector<workload::Request> requests = scenario.requests;
+  workload::SortForReplay(requests);
+  const std::size_t per_cycle = (requests.size() + cycles - 1) / cycles;
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const std::size_t begin = c * per_cycle;
+    const std::size_t end = std::min(requests.size(), begin + per_cycle);
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        for (std::size_t i = begin + p; i < end; i += producers) {
+          const auto outcome =
+              service.Submit(requests[i], requests[i].start_time);
+          EXPECT_NE(outcome, svc::SubmitOutcome::kRejectedInvalid);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const auto stats = service.CloseCycle();
+    EXPECT_TRUE(stats.ok()) << stats.error().message;
+    // The standing guarantee: whatever was committed validates, capacity
+    // check included.
+    const auto report = sim::ValidateSchedule(service.CommittedSchedule(),
+                                              service.CommittedRequests(), cm);
+    EXPECT_TRUE(report.ok()) << sim::ToString(report.violations[0].kind);
+  }
+  return io::ToJson(service.CommittedSchedule()).Dump();
+}
+
+TEST(ServiceDeterminism, ByteIdenticalAcrossProducerCounts) {
+  const workload::Scenario scenario = SmallScenario();
+  svc::ServiceConfig config;
+  config.shards = 4;
+  const std::string one = ReplayThroughService(scenario, 1, 3, config);
+  const std::string two = ReplayThroughService(scenario, 2, 3, config);
+  const std::string eight = ReplayThroughService(scenario, 8, 3, config);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(ServiceDeterminism, ByteIdenticalWhenAdmissionDefers) {
+  // Tight capacity + a crippled SORP round budget forces the halving
+  // loop to defer; the deferred/committed split must still be identical
+  // at any producer count.
+  const workload::Scenario scenario = SmallScenario(2.0);
+  svc::ServiceConfig config;
+  config.shards = 4;
+  config.scheduler.max_sorp_iterations = 1;
+  const std::string one = ReplayThroughService(scenario, 1, 2, config);
+  const std::string two = ReplayThroughService(scenario, 2, 2, config);
+  const std::string eight = ReplayThroughService(scenario, 8, 2, config);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+/// Two-IS chain, 1 GB storage, two 0.8 GB titles, expensive network and
+/// nearly free storage: the greedy caches both titles at IS1 whenever
+/// each has repeat requests, and the two copies overlap past capacity.
+net::Topology OverflowTopology() {
+  return testing::SmallTopology(2, 1000.0, 0.01, 1.0);
+}
+
+media::Catalog TwoHotVideos() {
+  media::Catalog catalog;
+  for (const char* title : {"hot-a", "hot-b"}) {
+    media::Video v;
+    v.title = title;
+    v.size = util::GB(0.8);
+    v.playback = util::Hours(1.5);
+    v.bandwidth = v.size / v.playback;
+    catalog.Add(v);
+  }
+  return catalog;
+}
+
+/// 8 interleaved requests (4 per title) at IS1.  Each title's requests
+/// span a full playback window, so its cached copy occupies the whole
+/// 0.8 GB (Gamma = 1) and the two copies peak at 1.6 GB on a 1 GB node.
+std::vector<workload::Request> OverflowRequests() {
+  std::vector<workload::Request> out;
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    out.push_back(workload::Request{u, static_cast<media::VideoId>(u % 2),
+                                    util::Hours(1.0 + 0.25 * u), 1});
+  }
+  return out;
+}
+
+TEST(ServiceAdmission, NeverCommitsOverflowEvenWithSorpDisabled) {
+  // With max_sorp_iterations = 0 the solver cannot fix overflows itself,
+  // so only admission control stands between phase 1 and the committed
+  // schedule.
+  const net::Topology topo = OverflowTopology();
+  const media::Catalog catalog = TwoHotVideos();
+
+  svc::ServiceConfig config;
+  config.scheduler.max_sorp_iterations = 0;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  svc::ReservationService service(topo, catalog, config);
+
+  for (const workload::Request& r : OverflowRequests()) {
+    ASSERT_EQ(service.Submit(r, util::Seconds{static_cast<double>(r.user)}),
+              svc::SubmitOutcome::kAccepted);
+  }
+  const auto stats = service.CloseCycle();
+  ASSERT_TRUE(stats.ok());
+
+  const net::Router router(topo);
+  const core::CostModel cm(topo, router, catalog);
+  const auto report = sim::ValidateSchedule(service.CommittedSchedule(),
+                                            service.CommittedRequests(), cm);
+  EXPECT_TRUE(report.ok()) << report.violations.size() << " violations";
+  // The full batch is infeasible under a 0-round SORP, so something had
+  // to give: either a strict subset committed or everything deferred.
+  EXPECT_LT(stats->admitted, 8u);
+  EXPECT_GT(stats->deferred_out + stats->rejected_expired, 0u);
+  EXPECT_GT(stats->solve_attempts, 1u);
+
+  // Later cycles keep draining the deferred set without ever committing
+  // an overflow.
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE(service.CloseCycle().ok());
+    const auto again = sim::ValidateSchedule(
+        service.CommittedSchedule(), service.CommittedRequests(), cm);
+    EXPECT_TRUE(again.ok());
+  }
+}
+
+TEST(ServiceAdmission, LooseCapacityCommitsEverything) {
+  const workload::Scenario scenario = SmallScenario();
+  svc::ServiceConfig config;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+  for (const workload::Request& r : scenario.requests) {
+    ASSERT_EQ(service.Submit(r, r.start_time), svc::SubmitOutcome::kAccepted);
+  }
+  const auto stats = service.CloseCycle();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->admitted, scenario.requests.size());
+  EXPECT_EQ(stats->deferred_out, 0u);
+  EXPECT_EQ(stats->solve_attempts, 1u);
+  EXPECT_EQ(service.CommittedRequests().size(), scenario.requests.size());
+}
+
+TEST(ServiceSnapshot, RestoreResumesWithIdenticalSchedule) {
+  const workload::Scenario scenario = SmallScenario();
+  std::vector<workload::Request> requests = scenario.requests;
+  workload::SortForReplay(requests);
+  const std::size_t half = requests.size() / 2;
+
+  svc::ServiceConfig config;
+  svc::ReservationService original(scenario.topology, scenario.catalog,
+                                   config);
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_EQ(original.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+  }
+  ASSERT_TRUE(original.CloseCycle().ok());
+  // Leave some open intake in the snapshot too.
+  for (std::size_t i = half; i < half + 3 && i < requests.size(); ++i) {
+    ASSERT_EQ(original.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+  }
+
+  // Snapshot -> JSON -> "restart" -> restore.
+  const util::Json doc = svc::SnapshotToJson(original.Snapshot());
+  const auto reparsed = util::Json::Parse(doc.Dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  const auto snapshot = svc::SnapshotFromJson(*reparsed);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().message;
+  svc::ReservationService restored(scenario.topology, scenario.catalog,
+                                   config);
+  ASSERT_TRUE(restored.Restore(*snapshot).ok());
+  EXPECT_EQ(restored.cycle_index(), original.cycle_index());
+  EXPECT_EQ(io::ToJson(restored.CommittedSchedule()).Dump(),
+            io::ToJson(original.CommittedSchedule()).Dump());
+  EXPECT_EQ(restored.PendingCount(), original.PendingCount());
+
+  // Both continue the horizon identically.
+  for (std::size_t i = half + 3; i < requests.size(); ++i) {
+    ASSERT_EQ(original.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+    ASSERT_EQ(restored.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+  }
+  ASSERT_TRUE(original.CloseCycle().ok());
+  ASSERT_TRUE(restored.CloseCycle().ok());
+  EXPECT_EQ(io::ToJson(restored.CommittedSchedule()).Dump(),
+            io::ToJson(original.CommittedSchedule()).Dump());
+  EXPECT_EQ(restored.CommittedRequests().size(),
+            original.CommittedRequests().size());
+}
+
+TEST(ServiceSnapshot, RejectsForeignOrCorruptSnapshots) {
+  const workload::Scenario scenario = SmallScenario();
+  svc::ServiceConfig config;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+
+  const auto bad_format = util::Json::Parse(R"({"format":"vor-svc/9"})");
+  ASSERT_TRUE(bad_format.ok());
+  EXPECT_FALSE(svc::SnapshotFromJson(*bad_format).ok());
+
+  // A snapshot whose committed requests reference an unknown video must
+  // be refused by Restore.
+  svc::ServiceSnapshot foreign;
+  foreign.committed.push_back(workload::Request{0, 9999, util::Hours(1.0), 1});
+  EXPECT_FALSE(service.Restore(foreign).ok());
+
+  // A schedule that does not serve its committed requests is rejected
+  // by the validator integrity check.
+  svc::ServiceSnapshot unserved;
+  unserved.committed.push_back(workload::Request{0, 0, util::Hours(1.0), 1});
+  EXPECT_FALSE(service.Restore(unserved).ok());
+}
+
+TEST(ServiceIntake, BackpressureAndInvalidOutcomes) {
+  const workload::Scenario scenario = SmallScenario();
+  svc::ServiceConfig config;
+  config.shards = 1;
+  config.shard_capacity = 2;
+  config.deferred_capacity = 2;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+
+  const workload::Request bad_video{0, 99999, util::Hours(1.0), 1};
+  EXPECT_EQ(service.Submit(bad_video, util::Seconds{0.0}),
+            svc::SubmitOutcome::kRejectedInvalid);
+  const workload::Request bad_node{
+      0, 0, util::Hours(1.0),
+      static_cast<net::NodeId>(scenario.topology.node_count() + 7)};
+  EXPECT_EQ(service.Submit(bad_node, util::Seconds{0.0}),
+            svc::SubmitOutcome::kRejectedInvalid);
+
+  const workload::Request ok{0, 0, util::Hours(1.0), 1};
+  EXPECT_EQ(service.Submit(ok, util::Seconds{1.0}),
+            svc::SubmitOutcome::kAccepted);
+  EXPECT_EQ(service.Submit(ok, util::Seconds{2.0}),
+            svc::SubmitOutcome::kAccepted);
+  EXPECT_EQ(service.Submit(ok, util::Seconds{3.0}),
+            svc::SubmitOutcome::kDeferred);
+  EXPECT_EQ(service.Submit(ok, util::Seconds{4.0}),
+            svc::SubmitOutcome::kDeferred);
+  EXPECT_EQ(service.Submit(ok, util::Seconds{5.0}),
+            svc::SubmitOutcome::kRejectedBackpressure);
+  EXPECT_EQ(service.PendingCount(), 4u);
+
+  // A close empties both tiers.
+  ASSERT_TRUE(service.CloseCycle().ok());
+  EXPECT_EQ(service.PendingCount(), 0u);
+}
+
+TEST(ServiceIntake, FairnessCapDefersExcessPerUser) {
+  const workload::Scenario scenario = SmallScenario();
+  svc::ServiceConfig config;
+  config.user_cycle_cap = 2;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+  for (int i = 0; i < 5; ++i) {
+    const workload::Request r{7, static_cast<media::VideoId>(i),
+                              util::Hours(1.0 + i), 1};
+    ASSERT_EQ(service.Submit(r, util::Seconds{static_cast<double>(i)}),
+              svc::SubmitOutcome::kAccepted);
+  }
+  auto stats = service.CloseCycle();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->admitted, 2u);
+  EXPECT_EQ(stats->deferred_out, 3u);
+  // The backlog drains two per cycle.
+  stats = service.CloseCycle();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->admitted, 2u);
+  stats = service.CloseCycle();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->admitted, 1u);
+  EXPECT_EQ(service.CommittedRequests().size(), 5u);
+}
+
+TEST(ServiceIntake, ExpiredDeferralsAreDropped) {
+  const net::Topology topo = OverflowTopology();
+  const media::Catalog catalog = TwoHotVideos();
+
+  svc::ServiceConfig config;
+  config.scheduler.max_sorp_iterations = 0;
+  config.max_deferrals = 0;  // one strike
+  svc::ReservationService service(topo, catalog, config);
+  for (const workload::Request& r : OverflowRequests()) {
+    ASSERT_EQ(service.Submit(r, util::Seconds{static_cast<double>(r.user)}),
+              svc::SubmitOutcome::kAccepted);
+  }
+  const auto stats = service.CloseCycle();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->rejected_expired, 0u);
+  EXPECT_EQ(stats->deferred_out, 0u);
+}
+
+TEST(ServiceClock, BackgroundClockClosesCyclesUnderConcurrentSubmit) {
+  const workload::Scenario scenario = SmallScenario();
+  svc::ServiceConfig config;
+  config.cycle_period_seconds = 0.02;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+  service.Start();
+  service.Start();  // idempotent
+
+  std::atomic<std::size_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = p; i < scenario.requests.size(); i += 2) {
+        const workload::Request& r = scenario.requests[i];
+        if (service.Submit(r, r.start_time) == svc::SubmitOutcome::kAccepted) {
+          accepted.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  // Give the clock a chance to tick at least twice before stopping; the
+  // deadline keeps the test bounded on a loaded machine.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.cycle_index() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  service.Stop();
+  // Final explicit close sweeps whatever the clock had not drained yet.
+  ASSERT_TRUE(service.CloseCycle().ok());
+  EXPECT_GT(service.cycle_index(), 1u);
+  EXPECT_EQ(service.PendingCount(), 0u);
+  EXPECT_EQ(service.CommittedRequests().size() + service.DeferredCount(),
+            accepted.load());
+}
+
+TEST(ServiceOrdering, DrainOrderIsTotalAndArrivalFirst) {
+  const workload::Request a{1, 2, util::Hours(3.0), 1};
+  const workload::Request b{0, 9, util::Hours(5.0), 1};
+  // Arrival dominates even when the request fields sort the other way.
+  EXPECT_TRUE(svc::DrainOrderLess({b, util::Seconds{1.0}, 0},
+                                  {a, util::Seconds{2.0}, 0}));
+  // Same arrival: replay order (start, user, video) breaks the tie.
+  EXPECT_TRUE(svc::DrainOrderLess({a, util::Seconds{1.0}, 0},
+                                  {b, util::Seconds{1.0}, 0}));
+  // Full duplicates differing only in deferral count.
+  EXPECT_TRUE(svc::DrainOrderLess({a, util::Seconds{1.0}, 0},
+                                  {a, util::Seconds{1.0}, 1}));
+  EXPECT_FALSE(svc::DrainOrderLess({a, util::Seconds{1.0}, 0},
+                                   {a, util::Seconds{1.0}, 0}));
+}
+
+TEST(ServiceObs, CountersCoverTheSubmitAndCyclePath) {
+  const workload::Scenario scenario = SmallScenario();
+  obs::MetricsRegistry metrics;
+  svc::ServiceConfig config;
+  config.metrics = &metrics;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+  for (const workload::Request& r : scenario.requests) {
+    ASSERT_EQ(service.Submit(r, r.start_time), svc::SubmitOutcome::kAccepted);
+  }
+  ASSERT_TRUE(service.CloseCycle().ok());
+  const std::string json = metrics.ToJson().Dump();
+  for (const char* key :
+       {"svc.submit.accepted", "svc.admit.committed", "svc.cycle.closed",
+        "svc.cycle.close_seconds", "svc.cycle.solve_seconds",
+        "svc.cycle.queue_depth"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(metrics.GetCounter("svc.submit.accepted").value(),
+            scenario.requests.size());
+  EXPECT_EQ(metrics.GetCounter("svc.admit.committed").value(),
+            scenario.requests.size());
+}
+
+}  // namespace
+}  // namespace vor

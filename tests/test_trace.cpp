@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "workload/scenario.hpp"
 
 namespace vor::workload {
@@ -64,6 +67,37 @@ TEST(TraceTest, ErrorsCarryLineNumbers) {
     EXPECT_NE(result.error().message.find(c.needle), std::string::npos)
         << result.error().message;
   }
+}
+
+TEST(TraceTest, ReplayOrderPinsTiesCanonically) {
+  // The pinned replay order is (start_time, user, video, neighborhood);
+  // SortForReplay must land any shuffle of duplicates-and-ties on the
+  // exact same sequence, because multi-producer service drains rely on
+  // this ordering for byte-identical schedules.
+  const std::vector<Request> canonical = {
+      {0, 5, util::Seconds{10.0}, 1}, {1, 2, util::Seconds{10.0}, 1},
+      {1, 3, util::Seconds{10.0}, 1}, {1, 3, util::Seconds{10.0}, 2},
+      {0, 0, util::Seconds{20.0}, 4}, {2, 0, util::Seconds{20.0}, 3},
+  };
+  ASSERT_TRUE(std::is_sorted(canonical.begin(), canonical.end(),
+                             ReplayOrderLess));
+
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Request> shuffled = canonical;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    SortForReplay(shuffled);
+    for (std::size_t i = 0; i < canonical.size(); ++i) {
+      EXPECT_EQ(shuffled[i].user, canonical[i].user) << i;
+      EXPECT_EQ(shuffled[i].video, canonical[i].video) << i;
+      EXPECT_EQ(shuffled[i].neighborhood, canonical[i].neighborhood) << i;
+    }
+  }
+
+  // Irreflexive and asymmetric on equal keys (strict weak ordering).
+  EXPECT_FALSE(ReplayOrderLess(canonical[0], canonical[0]));
+  EXPECT_TRUE(ReplayOrderLess(canonical[1], canonical[2]));
+  EXPECT_FALSE(ReplayOrderLess(canonical[2], canonical[1]));
 }
 
 TEST(TraceTest, ValidateTraceChecksEnvironment) {

@@ -120,6 +120,57 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   endif()
 endif()
 
+# Online replay through the reservation service: two runs at different
+# producer counts must commit byte-identical schedules, and a third run
+# restored from the snapshot must resume to the same bytes.
+set(served1 ${WORKDIR}/vorctl_served_p1.json)
+set(served4 ${WORKDIR}/vorctl_served_p4.json)
+set(snapshot ${WORKDIR}/vorctl_snapshot.json)
+file(REMOVE ${snapshot})
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --trace ${trace} --cycle 21600
+          --producers 1 --out ${served1} --snapshot ${snapshot}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve --producers 1 failed (${rc}): ${out}")
+endif()
+if(NOT out MATCHES "cycle close p50")
+  message(FATAL_ERROR "serve output missing latency summary: ${out}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --trace ${trace} --cycle 21600
+          --producers 4 --out ${served4}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve --producers 4 failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${served1} ${served4}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve output depends on producer count")
+endif()
+set(resumed ${WORKDIR}/vorctl_served_resumed.json)
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --trace ${trace} --cycle 21600
+          --producers 4 --out ${resumed} --snapshot ${snapshot}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "restored")
+  message(FATAL_ERROR "serve restore failed (${rc}): ${out}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${served1} ${resumed}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "restored serve diverged from the original run")
+endif()
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --cycle 0
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 1 OR NOT err MATCHES "--cycle")
+  message(FATAL_ERROR "serve without --cycle: rc=${rc} err=${err}")
+endif()
+
 # Corrupt the schedule (splice a bogus node into every route) and
 # make sure validate now fails.
 file(READ ${schedule} text)

@@ -30,12 +30,28 @@
 //   vorctl diff <scenario.json> <before.json> <after.json>
 //       Shows what changed between two schedules of the same cycle:
 //       moved/extended copies, retargeted services, per-file cost deltas.
+//
+//   vorctl serve <scenario.json> --cycle SECS [--trace FILE.csv]
+//                [--producers N] [--shards N] [--threads N]
+//                [--snapshot FILE] [--clock-ms MS] [--out FILE]
+//                [--metrics-out FILE]
+//       Replays the request trace through the online ReservationService:
+//       requests are partitioned into virtual-time windows of --cycle
+//       seconds and each window is submitted by --producers concurrent
+//       threads before the cycle closes.  The committed schedule is
+//       byte-identical at any producer count.  --snapshot names a
+//       "vor-svc/1" state file: restored at startup when it exists (the
+//       replay resumes at the snapshot's cycle) and rewritten at exit.
+//       --clock-ms additionally runs the background wall-clock cycle
+//       timer during the replay (soak mode for race detectors; cycle
+//       boundaries then depend on timing).
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/network_only.hpp"
@@ -48,6 +64,9 @@
 #include "obs/metrics.hpp"
 #include "sim/playback_sim.hpp"
 #include "sim/validator.hpp"
+#include "svc/reservation_service.hpp"
+#include "svc/snapshot.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/scenario.hpp"
 #include "workload/trace.hpp"
@@ -377,6 +396,206 @@ int CmdSimulate(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  if (args.positional.empty()) return Fail("serve needs a scenario file");
+  auto scenario = LoadScenario(args.positional[0]);
+  if (!scenario.ok()) return Fail(scenario.error().message);
+
+  const std::string trace_path = args.Str("trace", "");
+  if (!trace_path.empty()) {
+    auto text = io::ReadFile(trace_path);
+    if (!text.ok()) return Fail(text.error().message);
+    auto trace = workload::RequestsFromCsv(*text);
+    if (!trace.ok()) return Fail(trace.error().message);
+    if (const util::Status s = workload::ValidateTrace(
+            *trace, scenario->topology, scenario->catalog);
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    scenario->requests = std::move(*trace);
+  }
+  if (scenario->requests.empty()) return Fail("serve: no requests to replay");
+
+  const double cycle = args.Number("cycle", 0.0);
+  if (cycle <= 0.0) return Fail("serve needs --cycle SECS (> 0)");
+  const double producers_arg = args.Number("producers", 1);
+  if (producers_arg < 1) return Fail("--producers must be >= 1");
+  const std::size_t producers = static_cast<std::size_t>(producers_arg);
+  const double clock_ms = args.Number("clock-ms", 0.0);
+  if (clock_ms < 0) return Fail("--clock-ms must be >= 0");
+
+  svc::ServiceConfig config;
+  config.shards = static_cast<std::size_t>(
+      args.Number("shards", static_cast<double>(config.shards)));
+  if (config.shards == 0) return Fail("--shards must be >= 1");
+  const double threads = args.Number("threads", 1);
+  if (threads < 0) return Fail("--threads must be >= 0");
+  config.scheduler.parallel.threads = static_cast<std::size_t>(threads);
+  if (clock_ms > 0) config.cycle_period_seconds = clock_ms / 1000.0;
+
+  const std::string metrics_out = args.Str("metrics-out", "");
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty()) config.metrics = &registry;
+
+  svc::ReservationService service(scenario->topology, scenario->catalog,
+                                  config);
+
+  // --snapshot FILE doubles as restore source and save target.
+  const std::string snapshot_path = args.Str("snapshot", "");
+  if (!snapshot_path.empty()) {
+    if (auto text = io::ReadFile(snapshot_path); text.ok()) {
+      auto json = util::Json::Parse(*text);
+      if (!json.ok()) return Fail("snapshot: " + json.error().message);
+      auto snapshot = svc::SnapshotFromJson(*json);
+      if (!snapshot.ok()) return Fail("snapshot: " + snapshot.error().message);
+      if (const util::Status s = service.Restore(*snapshot); !s.ok()) {
+        return Fail("snapshot: " + s.error().message);
+      }
+      std::cout << "restored " << snapshot_path << " at cycle "
+                << service.cycle_index() << " (" << snapshot->committed.size()
+                << " committed, " << snapshot->deferred.size()
+                << " deferred)\n";
+    } else {
+      std::cout << "no snapshot at " << snapshot_path
+                << ", starting fresh\n";
+    }
+  }
+
+  // Partition the trace into virtual-time windows of --cycle seconds.
+  // The grid is anchored at the earliest start time of the full trace, so
+  // a restored run resumes on exactly the window boundaries the original
+  // run used.
+  std::vector<workload::Request> requests = scenario->requests;
+  workload::SortForReplay(requests);
+  const double t0 = requests.front().start_time.value();
+  const double span = requests.back().start_time.value() - t0;
+  const std::size_t windows =
+      1 + static_cast<std::size_t>(span / cycle);
+
+  if (clock_ms > 0) service.Start();
+
+  util::Table table({"cycle", "drained", "admitted", "deferred", "expired",
+                     "tries", "solve s", "cost $"});
+  auto add_row = [&table](const svc::CycleStats& s) {
+    table.AddRow({std::to_string(s.cycle), std::to_string(s.drained),
+                  std::to_string(s.admitted), std::to_string(s.deferred_out),
+                  std::to_string(s.rejected_expired),
+                  std::to_string(s.solve_attempts),
+                  util::Table::Num(s.solve_seconds, 3),
+                  util::Table::Num(s.final_cost, 2)});
+  };
+
+  const std::size_t skip_windows =
+      static_cast<std::size_t>(service.cycle_index());
+  std::size_t next = 0;
+  std::size_t backpressured = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const double window_end = t0 + static_cast<double>(w + 1) * cycle;
+    std::size_t end = next;
+    while (end < requests.size() &&
+           (requests[end].start_time.value() < window_end ||
+            w + 1 == windows)) {
+      ++end;
+    }
+    if (w < skip_windows) {
+      // Already part of the restored horizon.
+      next = end;
+      continue;
+    }
+    const std::size_t begin = next;
+    std::vector<std::thread> pool;
+    std::vector<std::size_t> rejected(producers, 0);
+    for (std::size_t p = 0; p < producers; ++p) {
+      pool.emplace_back([&, p] {
+        for (std::size_t i = begin + p; i < end; i += producers) {
+          const auto outcome =
+              service.Submit(requests[i], requests[i].start_time);
+          if (outcome == svc::SubmitOutcome::kRejectedBackpressure ||
+              outcome == svc::SubmitOutcome::kRejectedInvalid) {
+            ++rejected[p];
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::size_t r : rejected) backpressured += r;
+    next = end;
+    auto stats = service.CloseCycle();
+    if (!stats.ok()) return Fail(stats.error().message);
+    add_row(*stats);
+  }
+
+  if (clock_ms > 0) service.Stop();
+
+  // Drain the deferred backlog; stop when it empties or stops shrinking.
+  std::size_t backlog = service.DeferredCount();
+  for (int extra = 0; backlog > 0 && extra < 16; ++extra) {
+    auto stats = service.CloseCycle();
+    if (!stats.ok()) return Fail(stats.error().message);
+    add_row(*stats);
+    const std::size_t now = service.DeferredCount();
+    if (now >= backlog) break;
+    backlog = now;
+  }
+  table.PrintPretty(std::cout);
+  if (backpressured > 0) {
+    std::cout << backpressured << " submit(s) rejected at intake\n";
+  }
+
+  // The service's own invariant, re-checked end to end.
+  const core::Schedule schedule = service.CommittedSchedule();
+  const std::vector<workload::Request> committed =
+      service.CommittedRequests();
+  const net::Router router(scenario->topology);
+  const core::CostModel cm(scenario->topology, router, scenario->catalog);
+  const auto report = sim::ValidateSchedule(schedule, committed, cm);
+  if (!report.ok()) {
+    for (const sim::Violation& v : report.violations) {
+      std::cout << sim::ToString(v.kind) << ": " << v.detail << '\n';
+    }
+    return Fail("committed schedule failed validation");
+  }
+
+  std::vector<double> close_times;
+  for (const svc::CycleStats& s : service.History()) {
+    close_times.push_back(s.close_seconds);
+  }
+  std::cout << "served " << committed.size() << "/" << requests.size()
+            << " request(s) over " << service.cycle_index()
+            << " cycle(s); backlog " << service.DeferredCount()
+            << "; total cost $" << cm.TotalCost(schedule).value() << '\n';
+  std::cout << "cycle close p50 " << util::Percentile(close_times, 50)
+            << " s, p95 " << util::Percentile(close_times, 95) << " s\n";
+
+  const std::string out = args.Str("out", "");
+  if (!out.empty()) {
+    if (const util::Status s =
+            io::WriteFile(out, io::ToJson(schedule).Dump(2));
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "wrote " << out << '\n';
+  }
+  if (!snapshot_path.empty()) {
+    const util::Json doc = svc::SnapshotToJson(service.Snapshot());
+    if (const util::Status s = io::WriteFile(snapshot_path, doc.Dump(2));
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "wrote " << snapshot_path << '\n';
+  }
+  if (!metrics_out.empty()) {
+    util::Json doc = registry.ToJson();
+    doc.as_object()["version"] = "vor-metrics/1";
+    if (const util::Status s = io::WriteFile(metrics_out, doc.Dump(2));
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "wrote " << metrics_out << '\n';
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::cout <<
       "usage: vorctl <command> [args]\n"
@@ -386,6 +605,9 @@ void PrintUsage() {
       "  solve <scenario.json> [--heat m1|m2|m3|m4] [--out schedule.json]\n"
       "        [--trace FILE.csv] [--bandwidth] [--threads N]\n"
       "        [--metrics-out FILE.json]\n"
+      "  serve <scenario.json> --cycle SECS [--trace FILE.csv]\n"
+      "        [--producers N] [--shards N] [--threads N] [--snapshot FILE]\n"
+      "        [--clock-ms MS] [--out FILE] [--metrics-out FILE.json]\n"
       "  validate <scenario.json> <schedule.json>\n"
       "  simulate <scenario.json> <schedule.json>\n"
       "  report <scenario.json> <schedule.json>\n"
@@ -404,6 +626,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "gen-scenario") return CmdGenScenario(args);
     if (command == "solve") return CmdSolve(args);
+    if (command == "serve") return CmdServe(args);
     if (command == "validate") return CmdValidate(args);
     if (command == "simulate") return CmdSimulate(args);
     if (command == "report") return CmdReport(args);
