@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Sanitizer gate: builds the asan-ubsan and tsan presets and runs ctest
-# under each.  The ASan/UBSan run covers the whole suite; the TSan run
-# covers the concurrency-bearing suites (thread pool, scheduler, SORP,
-# IVSP, shootout, incremental, determinism) — the full suite under TSan
-# is an order of magnitude slower for no extra thread coverage.
+# Verify gates for the repo.
+#
+# `lint` builds the repo-native static analyzer (tools/vorlint) and runs
+# it over src/ and tools/: determinism rules (DET-*), concurrency rules
+# (CONC-*), and header hygiene (HYG-1), with per-rule counts in a summary
+# table.  When clang-tidy is installed it also runs over the exported
+# compile_commands.json; otherwise it prints a skip note.
+#
+# The sanitizer gate builds the asan-ubsan and tsan presets and runs
+# ctest under each.  The ASan/UBSan run covers the whole suite; the TSan
+# run covers the concurrency-bearing suites (thread pool, scheduler,
+# SORP, IVSP, shootout, incremental, determinism) — the full suite under
+# TSan is an order of magnitude slower for no extra thread coverage.
 #
 # `bench-smoke` instead builds the plain tree and runs the bench_perf
 # self-checking smoke (the SORP stress scenario): metrics schema, memo
@@ -13,7 +21,10 @@
 # through `vorctl serve` with concurrent producers plus the background
 # cycle clock; any race report fails the gate (TSan exits non-zero).
 #
-# Usage: scripts/check.sh [asan-ubsan|tsan|bench-smoke|soak|all]   (default: all)
+# `all` runs lint first (cheapest gate, fails fastest), then the
+# sanitizer builds, then the soak.
+#
+# Usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|soak|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,12 +32,28 @@ jobs=${JOBS:-$(nproc)}
 which=${1:-all}
 
 # Build trees must never be committed; .gitignore covers build*/ but a
-# forced add would slip past it, so fail fast if any are tracked.
+# forced add would slip past it, so fail fast if any are tracked.  The
+# same goes for generated build metadata: a committed or symlinked
+# compile_commands.json and a stale in-source CMakeCache.txt both break
+# fresh configures in confusing ways.
 echo "==> check no build trees are git-tracked"
-if tracked=$(git ls-files 'build*/' 'build*' | head -20) && [[ -n "${tracked}" ]]; then
+if tracked=$(git ls-files 'build*/' 'build*' 'compile_commands.json' \
+    'CMakeCache.txt' 'CMakeFiles/' | head -20) && [[ -n "${tracked}" ]]; then
   echo "error: build artifacts are git-tracked:" >&2
   echo "${tracked}" >&2
-  echo "fix with: git rm -r --cached <dir>" >&2
+  echo "fix with: git rm -r --cached <path>" >&2
+  exit 1
+fi
+if [[ -e CMakeCache.txt || -d CMakeFiles ]]; then
+  echo "error: stale in-source configure at the repo root (CMakeCache.txt/" >&2
+  echo "CMakeFiles) shadows out-of-source builds" >&2
+  echo "fix with: rm -rf CMakeCache.txt CMakeFiles" >&2
+  exit 1
+fi
+if [[ -L compile_commands.json && ! -e compile_commands.json ]]; then
+  echo "error: compile_commands.json is a dangling symlink (its build tree" >&2
+  echo "is gone); remove or re-point it" >&2
+  echo "fix with: rm compile_commands.json" >&2
   exit 1
 fi
 
@@ -39,6 +66,22 @@ run_preset() {
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==> ctest ${preset}"
   ctest --preset "${preset}" -j "${jobs}" "$@"
+}
+
+lint() {
+  echo "==> configure build (default preset)"
+  cmake -S . -B build -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "==> build vorlint"
+  cmake --build build -j "${jobs}" --target vorlint
+  echo "==> vorlint src tools"
+  ./build/tools/vorlint/vorlint src tools
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy (compile_commands.json from build/)"
+    # shellcheck disable=SC2046
+    clang-tidy -p build --quiet $(git ls-files 'src/**/*.cpp' 'tools/*.cpp')
+  else
+    echo "==> clang-tidy not installed; skipping (vorlint gate still ran)"
+  fi
 }
 
 bench_smoke() {
@@ -74,17 +117,19 @@ soak() {
 }
 
 case "${which}" in
+  lint)        lint ;;
   asan-ubsan)  run_preset asan-ubsan ;;
   tsan)        run_preset tsan ;;
   bench-smoke) bench_smoke ;;
   soak)        soak ;;
   all)
+    lint
     run_preset asan-ubsan
     run_preset tsan
     soak
     ;;
   *)
-    echo "usage: scripts/check.sh [asan-ubsan|tsan|bench-smoke|soak|all]" >&2
+    echo "usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|soak|all]" >&2
     exit 2
     ;;
 esac

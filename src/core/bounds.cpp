@@ -1,6 +1,8 @@
 #include "core/bounds.hpp"
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 namespace vor::core {
 
@@ -16,10 +18,18 @@ LowerBoundBreakdown UnavoidableNetworkLowerBound(
     }
   }
 
+  // Accumulate in ascending video order, not hash order: the bound feeds
+  // admission-control budgets that must be byte-identical across runs,
+  // and floating-point addition is not associative.
+  std::vector<std::pair<media::VideoId, const workload::Request*>> ordered(
+      first.begin(), first.end());  // vorlint: ok(DET-1) sorted just below
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
   const net::NodeId vw = cost_model.topology().warehouse();
   LowerBoundBreakdown bound;
-  bound.videos = first.size();
-  for (const auto& [video, request] : first) {
+  bound.videos = ordered.size();
+  for (const auto& [video, request] : ordered) {
     // The end-to-end basis may discount multi-hop routes; RouteRate
     // honours whichever basis the cost model is configured with, keeping
     // the bound valid under both forms of Eq. (4).

@@ -7,7 +7,9 @@ namespace vor::core {
 std::vector<OverflowWindow> DetectOverflowsIn(const storage::UsageMap& usage,
                                               const net::Topology& topology) {
   std::vector<OverflowWindow> overflows;
-  for (const auto& [node, timeline] : usage) {
+  // Hash-order traversal is safe here: the windows are sorted by
+  // (node, start) below before anything reads them.
+  for (const auto& [node, timeline] : usage) {  // vorlint: ok(DET-1)
     const double capacity = topology.node(node).capacity.value();
     for (const util::ExcessRegion& region : timeline.RegionsAbove(capacity)) {
       OverflowWindow of;
@@ -45,7 +47,7 @@ double TotalExcess(const storage::UsageMap& usage,
   // sums across engines, so the summation order must be canonical.
   std::vector<const storage::UsageMap::value_type*> entries;
   entries.reserve(usage.size());
-  for (const auto& entry : usage) entries.push_back(&entry);
+  for (const auto& entry : usage) entries.push_back(&entry);  // vorlint: ok(DET-1) sorted just below
   std::sort(entries.begin(), entries.end(),
             [](const auto* a, const auto* b) { return a->first < b->first; });
   double total = 0.0;

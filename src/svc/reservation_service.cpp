@@ -341,10 +341,15 @@ void ReservationService::Start() {
     const auto period = std::chrono::duration<double>(
         std::max(1e-3, config_.cycle_period_seconds));
     while (!clock_cv_.wait_for(lock, period, [this] { return clock_stop_; })) {
-      lock.unlock();
+      // The clock mutex must be released across CloseCycle: the close
+      // path takes cycle_mutex_, and Stop() takes clock_mutex_ while a
+      // producer may hold cycle_mutex_ — holding both here would close
+      // that deadlock cycle.  wait_for needs the lock held again on
+      // re-entry, so this window cannot be an RAII scope.
+      lock.unlock();  // vorlint: ok(CONC-1)
       (void)CloseCycle();
       obs::Add(config_.metrics, "svc.cycle.clock_ticks");
-      lock.lock();
+      lock.lock();  // vorlint: ok(CONC-1)
     }
   });
 }

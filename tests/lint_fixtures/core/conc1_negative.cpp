@@ -1,0 +1,15 @@
+// Fixture: CONC-1 negative — RAII guards only.  Expected findings: none.
+#include <mutex>
+
+int counter = 0;
+std::mutex mu;
+
+void Bump() {
+  std::lock_guard<std::mutex> guard(mu);
+  ++counter;
+}
+
+void BumpUnique() {
+  std::unique_lock<std::mutex> lock(mu);
+  ++counter;
+}

@@ -1,0 +1,12 @@
+// Fixture: CONC-1 positive — hand-managed mutex; an exception between
+// lock() and unlock() leaks the lock.  Expected: CONC-1 x2.
+#include <mutex>
+
+int counter = 0;
+std::mutex mu;
+
+void Bump() {
+  mu.lock();
+  ++counter;
+  mu.unlock();
+}

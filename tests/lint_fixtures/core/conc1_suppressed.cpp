@@ -1,0 +1,15 @@
+// Fixture: CONC-1 suppressed — a justified manual unlock window (the
+// callee takes another mutex; holding both would deadlock).  Expected:
+// CONC-1 x2, both suppressed.
+#include <mutex>
+
+std::mutex mu;
+
+void Callee();
+
+void Window() {
+  std::unique_lock<std::mutex> lock(mu);
+  lock.unlock();  // vorlint: ok(CONC-1) callee takes its own mutex
+  Callee();
+  lock.lock();  // vorlint: ok(CONC-1)
+}

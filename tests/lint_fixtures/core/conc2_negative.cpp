@@ -1,0 +1,12 @@
+// Fixture: CONC-2 negative — the destructor joins.  Expected: none.
+#include <thread>
+
+class Clock {
+ public:
+  ~Clock() {
+    if (ticker_.joinable()) ticker_.join();
+  }
+
+ private:
+  std::thread ticker_;
+};

@@ -1,0 +1,14 @@
+// Fixture: CONC-2 positive — std::thread members with no reachable
+// reaping call anywhere in the file (or a sibling).  Destruction of a
+// running std::thread calls std::terminate.  Expected: CONC-2 x2.
+#include <thread>
+#include <vector>
+
+class Clock {
+ public:
+  void Start();
+
+ private:
+  std::thread ticker_;
+  std::vector<std::thread> workers_;
+};

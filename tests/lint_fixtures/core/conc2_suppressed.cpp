@@ -1,0 +1,12 @@
+// Fixture: CONC-2 suppressed — detached-by-design worker, justified.
+// Expected: CONC-2 x1, suppressed.
+#include <thread>
+
+class FireAndForget {
+ public:
+  void Start();
+
+ private:
+  // vorlint: ok(CONC-2) detached on Start; process-lifetime daemon
+  std::thread daemon_;
+};

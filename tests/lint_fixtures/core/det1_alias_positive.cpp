@@ -1,0 +1,12 @@
+// Fixture: DET-1 via a cross-file alias — the container type is spelled
+// through FixtureUsageMap (declared in det_alias.hpp), not unordered_map.
+// Expected findings: DET-1 x1.
+#include "det_alias.hpp"
+
+double SumAliased(const fixture::FixtureUsageMap& usage) {
+  double total = 0.0;
+  for (const auto& [node, bytes] : usage) {
+    total += bytes;
+  }
+  return total;
+}

@@ -1,0 +1,23 @@
+// Fixture: DET-1 negative — unordered containers used only for lookup;
+// iteration happens over ordered containers.  Expected findings: none.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+double Lookup() {
+  std::unordered_map<int, double> usage;
+  usage[3] = 1.0;
+  const auto it = usage.find(3);
+  double total = it == usage.end() ? 0.0 : it->second;
+
+  std::map<int, double> ordered;
+  ordered[1] = 2.0;
+  for (const auto& [node, bytes] : ordered) {
+    total += bytes;
+  }
+  std::vector<double> values{1.0, 2.0};
+  for (const double v : values) {
+    total += v;
+  }
+  return total;
+}

@@ -1,0 +1,16 @@
+// Fixture: DET-1 positive — hash-order iteration in a deterministic-path
+// scope.  Expected findings: DET-1 x2 (range-for, iterator loop).
+#include <unordered_map>
+
+double SumValues() {
+  std::unordered_map<int, double> usage;
+  usage[3] = 1.0;
+  double total = 0.0;
+  for (const auto& [node, bytes] : usage) {
+    total += bytes;
+  }
+  for (auto it = usage.begin(); it != usage.end(); ++it) {
+    total += it->second;
+  }
+  return total;
+}

@@ -1,0 +1,21 @@
+// Fixture: DET-1 suppressed — hash-order traversal whose result is
+// sorted before anything reads it.  Expected: DET-1 x2, both suppressed
+// (one trailing, one line-above style).
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> SortedKeys() {
+  std::unordered_map<int, double> usage;
+  usage[3] = 1.0;
+  std::vector<int> keys;
+  for (const auto& [node, bytes] : usage) {  // vorlint: ok(DET-1) sorted below
+    keys.push_back(node);
+  }
+  // vorlint: ok(DET-1) sorted below
+  for (auto it = usage.begin(); it != usage.end(); ++it) {
+    keys.push_back(it->first);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

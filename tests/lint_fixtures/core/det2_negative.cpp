@@ -1,0 +1,16 @@
+// Fixture: DET-2 negative — value-keyed ordered containers; pointers may
+// appear as mapped values, only the key's ordering matters.  Expected
+// findings: none.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node {};
+
+int CountValueKeyed(Node* a) {
+  std::map<int, Node*> by_id;
+  by_id[7] = a;
+  std::set<std::string> names;
+  names.insert("vw");
+  return static_cast<int>(by_id.size() + names.size());
+}

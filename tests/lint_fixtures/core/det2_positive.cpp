@@ -1,0 +1,14 @@
+// Fixture: DET-2 positive — ordered containers keyed on pointers order
+// by address, which differs run to run.  Expected: DET-2 x2.
+#include <map>
+#include <set>
+
+struct Node {};
+
+int CountPtrKeyed(Node* a) {
+  std::map<Node*, int> by_ptr;
+  by_ptr[a] = 1;
+  std::set<const Node*> seen;
+  seen.insert(a);
+  return static_cast<int>(by_ptr.size() + seen.size());
+}

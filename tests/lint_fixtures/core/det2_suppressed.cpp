@@ -1,0 +1,10 @@
+// Fixture: DET-2 suppressed — pointer key justified (identity set that
+// is never iterated or serialized).  Expected: DET-2 x1, suppressed.
+#include <set>
+
+struct Node {};
+
+bool Seen(Node* a) {
+  std::set<Node*> seen;  // vorlint: ok(DET-2) membership only, never iterated
+  return seen.count(a) > 0;
+}

@@ -1,0 +1,15 @@
+// Fixture: DET-3 negative — time comes from the request stream (plain
+// data), randomness from a seeded engine passed in by options; member
+// fields merely *named* time are not clock reads.  Expected: none.
+#include <cstdint>
+#include <random>
+
+struct Request {
+  double start_time = 0.0;
+  double time() const { return start_time; }
+};
+
+double Deterministic(const Request& r, std::mt19937& seeded) {
+  const double when = r.time();
+  return when + static_cast<double>(seeded());
+}

@@ -1,0 +1,16 @@
+// Fixture: DET-3 positive — wall clocks and entropy in a
+// deterministic-path scope.  Expected: DET-3 x4 (system_clock, time(),
+// rand(), random_device).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double Stamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t wall = std::time(nullptr);
+  const int noise = std::rand();
+  std::random_device entropy;
+  return static_cast<double>(wall) + noise + entropy() +
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}

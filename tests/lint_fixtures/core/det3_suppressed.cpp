@@ -1,0 +1,8 @@
+// Fixture: DET-3 suppressed — a log banner timestamp that never reaches
+// schedule bytes.  Expected: DET-3 x1, suppressed.
+#include <ctime>
+
+long BannerStamp() {
+  // vorlint: ok(DET-3) log banner only, never serialized
+  return static_cast<long>(std::time(nullptr));
+}

@@ -1,0 +1,11 @@
+// Fixture: declares an alias of an unordered container; DET-1 must
+// recognise the alias in other files of the same lint batch (the global
+// alias pass), the way storage::UsageMap is recognised across src/.
+// Expected findings: none in this file.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture {
+using FixtureUsageMap = std::unordered_map<int, double>;
+}  // namespace fixture

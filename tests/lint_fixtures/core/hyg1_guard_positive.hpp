@@ -1,0 +1,8 @@
+// Fixture: HYG-1 positive (consistency) — classic #ifndef include guard
+// where the repo convention is #pragma once.  Expected: HYG-1 x1.
+#ifndef VOR_TESTS_LINT_FIXTURES_CORE_HYG1_GUARD_POSITIVE_HPP_
+#define VOR_TESTS_LINT_FIXTURES_CORE_HYG1_GUARD_POSITIVE_HPP_
+
+inline int Answer() { return 42; }
+
+#endif  // VOR_TESTS_LINT_FIXTURES_CORE_HYG1_GUARD_POSITIVE_HPP_

@@ -1,0 +1,12 @@
+// Fixture: HYG-1 negative — #pragma once, no using-namespace; a
+// namespace alias and a using-declaration are both fine.  Expected: none.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+namespace strings = std;  // namespace alias, not using-namespace
+using std::string;
+
+inline string Greeting() { return "hi"; }
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: HYG-1 positive — header with no #pragma once (and no include
+// guard) plus a using-namespace at header scope.  Expected: HYG-1 x2.
+#include <string>
+
+using namespace std;
+
+inline string Greeting() { return "hi"; }

@@ -1,0 +1,10 @@
+// Fixture: HYG-1 suppressed — using-namespace confined to a
+// test-support header, justified.  Expected: HYG-1 x1, suppressed.
+#pragma once
+
+#include <chrono>
+
+// vorlint: ok(HYG-1) literal suffixes for test readability
+using namespace std::chrono_literals;
+
+inline auto Tick() { return 1ms; }

@@ -1,0 +1,15 @@
+// Fixture: DET-3 scope exemption — util/ is allowed to read host state
+// (thread-pool sizing, benchmark timing).  Expected findings: none, even
+// though the same tokens in core/ would be DET-3 violations.
+#include <chrono>
+#include <thread>
+
+unsigned DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+double WallSeconds() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

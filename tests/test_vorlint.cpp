@@ -1,0 +1,277 @@
+// Self-test for the vorlint static-analysis tool: lexes tricky source
+// shapes, classifies paths, and drives the rule engine over the fixture
+// corpus in tests/lint_fixtures/ (every rule: positive, negative, and
+// suppressed cases, linted as one batch exactly like the repo gate).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vorlint/lint.hpp"
+
+namespace fs = std::filesystem;
+using vorlint::ClassifyPath;
+using vorlint::FileInput;
+using vorlint::Finding;
+using vorlint::Lex;
+using vorlint::LintFiles;
+using vorlint::Report;
+using vorlint::Scope;
+
+namespace {
+
+std::vector<FileInput> LoadFixtures() {
+  std::vector<FileInput> files;
+  for (const auto& entry : fs::recursive_directory_iterator(
+           fs::path(VOR_LINT_FIXTURE_DIR))) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back({entry.path().generic_string(), buf.str()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileInput& a, const FileInput& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+const Report& FixtureReport() {
+  static const Report report = LintFiles(LoadFixtures());
+  return report;
+}
+
+/// Findings for one fixture basename, one rule, one suppression state.
+std::size_t Count(const std::string& basename, const std::string& rule,
+                  bool suppressed) {
+  std::size_t n = 0;
+  for (const Finding& f : FixtureReport().findings) {
+    if (f.rule == rule && f.suppressed == suppressed &&
+        fs::path(f.file).filename() == basename) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t AllFindingsIn(const std::string& basename) {
+  std::size_t n = 0;
+  for (const Finding& f : FixtureReport().findings) {
+    if (fs::path(f.file).filename() == basename) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(VorlintLexer, StripsCommentsStringsAndDirectives) {
+  const auto lexed = Lex(
+      "#include <unordered_map>\n"
+      "// unordered_map in a comment\n"
+      "/* for (auto x : m) */\n"
+      "const char* s = \"unordered_map.begin()\";\n"
+      "char c = ':';\n");
+  for (const auto& tok : lexed.tokens) {
+    EXPECT_NE(tok.text, "unordered_map") << "leaked from non-code context";
+    EXPECT_NE(tok.text, "include");
+  }
+}
+
+TEST(VorlintLexer, RawStringsAreOpaque) {
+  const auto lexed = Lex(
+      "auto j = R\"({\"lock\": \"m.lock()\"})\";\n"
+      "auto k = R\"delim(rand() time(0))delim\";\n"
+      "int after = 1;\n");
+  bool saw_after = false;
+  for (const auto& tok : lexed.tokens) {
+    EXPECT_NE(tok.text, "lock");
+    EXPECT_NE(tok.text, "rand");
+    if (tok.text == "after") saw_after = true;
+  }
+  EXPECT_TRUE(saw_after) << "lexing must resume after the raw string";
+}
+
+TEST(VorlintLexer, TracksLinesAndFusesScopeAndArrow) {
+  const auto lexed = Lex("a\nb::c\nd->e\n");
+  ASSERT_EQ(lexed.tokens.size(), 7u);
+  EXPECT_EQ(lexed.tokens[0].line, 1);
+  EXPECT_EQ(lexed.tokens[2].text, "::");
+  EXPECT_EQ(lexed.tokens[2].line, 2);
+  EXPECT_EQ(lexed.tokens[5].text, "->");
+  EXPECT_EQ(lexed.tokens[6].line, 3);
+}
+
+TEST(VorlintLexer, ParsesSuppressionLists) {
+  const auto lexed = Lex(
+      "int a;  // vorlint: ok(DET-1)\n"
+      "int b;\n"
+      "/* vorlint: ok(CONC-1, HYG-1) */ int c;\n");
+  ASSERT_EQ(lexed.suppressions.count(1), 1u);
+  EXPECT_TRUE(lexed.suppressions.at(1).count("DET-1"));
+  EXPECT_EQ(lexed.suppressions.count(2), 0u);
+  ASSERT_EQ(lexed.suppressions.count(3), 1u);
+  EXPECT_TRUE(lexed.suppressions.at(3).count("CONC-1"));
+  EXPECT_TRUE(lexed.suppressions.at(3).count("HYG-1"));
+}
+
+TEST(VorlintLexer, DetectsPragmaOnceAndIncludeGuards) {
+  EXPECT_TRUE(Lex("#pragma once\nint x;\n").has_pragma_once);
+  const auto guarded = Lex("#ifndef G_\n#define G_\n#endif\n");
+  EXPECT_FALSE(guarded.has_pragma_once);
+  EXPECT_TRUE(guarded.has_include_guard);
+  // #include first means the #ifndef/#define pair is not a guard.
+  const auto not_guarded = Lex("#include <x>\n#ifndef A\n#define A\n#endif\n");
+  EXPECT_FALSE(not_guarded.has_include_guard);
+}
+
+// ---------------------------------------------------------------------------
+// Scope classification
+
+TEST(VorlintScope, NearestDirectoryWins) {
+  EXPECT_EQ(ClassifyPath("src/core/sorp.cpp"), Scope::kDeterministic);
+  EXPECT_EQ(ClassifyPath("/abs/repo/src/io/serialize.cpp"),
+            Scope::kDeterministic);
+  EXPECT_EQ(ClassifyPath("src/svc/reservation_service.hpp"),
+            Scope::kDeterministic);
+  EXPECT_EQ(ClassifyPath("src/storage/usage_timeline.cpp"),
+            Scope::kDeterministic);
+  EXPECT_EQ(ClassifyPath("src/util/thread_pool.cpp"), Scope::kExempt);
+  EXPECT_EQ(ClassifyPath("bench/bench_perf.cpp"), Scope::kExempt);
+  EXPECT_EQ(ClassifyPath("tools/vorctl.cpp"), Scope::kExempt);
+  EXPECT_EQ(ClassifyPath("src/net/topology.cpp"), Scope::kGeneral);
+  EXPECT_EQ(ClassifyPath("src/obs/metrics.hpp"), Scope::kGeneral);
+  // Fixture trees mimic the layout they test: the nearest directory,
+  // not the outermost, decides.
+  EXPECT_EQ(ClassifyPath("tests/lint_fixtures/core/det1_positive.cpp"),
+            Scope::kDeterministic);
+  EXPECT_EQ(ClassifyPath("tests/lint_fixtures/util/det3_exempt.cpp"),
+            Scope::kExempt);
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog
+
+TEST(VorlintRules, CatalogHasEveryRuleWithHints) {
+  const auto& rules = vorlint::Rules();
+  ASSERT_EQ(rules.size(), 6u);
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule.id.empty());
+    EXPECT_FALSE(rule.summary.empty());
+    EXPECT_FALSE(rule.hint.empty()) << rule.id << " needs a fix-it hint";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures: every rule, positive / negative / suppressed
+
+TEST(VorlintFixtures, Det1) {
+  EXPECT_EQ(Count("det1_positive.cpp", "DET-1", false), 2u);
+  EXPECT_EQ(AllFindingsIn("det1_negative.cpp"), 0u);
+  EXPECT_EQ(Count("det1_suppressed.cpp", "DET-1", true), 2u);
+  EXPECT_EQ(Count("det1_suppressed.cpp", "DET-1", false), 0u);
+}
+
+TEST(VorlintFixtures, Det1CrossFileAlias) {
+  EXPECT_EQ(Count("det1_alias_positive.cpp", "DET-1", false), 1u);
+  EXPECT_EQ(AllFindingsIn("det_alias.hpp"), 0u);
+}
+
+TEST(VorlintFixtures, Det2) {
+  EXPECT_EQ(Count("det2_positive.cpp", "DET-2", false), 2u);
+  EXPECT_EQ(AllFindingsIn("det2_negative.cpp"), 0u);
+  EXPECT_EQ(Count("det2_suppressed.cpp", "DET-2", true), 1u);
+  EXPECT_EQ(Count("det2_suppressed.cpp", "DET-2", false), 0u);
+}
+
+TEST(VorlintFixtures, Det3) {
+  EXPECT_EQ(Count("det3_positive.cpp", "DET-3", false), 4u);
+  EXPECT_EQ(AllFindingsIn("det3_negative.cpp"), 0u);
+  EXPECT_EQ(Count("det3_suppressed.cpp", "DET-3", true), 1u);
+  EXPECT_EQ(Count("det3_suppressed.cpp", "DET-3", false), 0u);
+}
+
+TEST(VorlintFixtures, Det3ScopeExemption) {
+  // Same tokens as a DET-3 violation, but in util/ scope.
+  EXPECT_EQ(AllFindingsIn("det3_exempt.cpp"), 0u);
+}
+
+TEST(VorlintFixtures, Conc1) {
+  EXPECT_EQ(Count("conc1_positive.cpp", "CONC-1", false), 2u);
+  EXPECT_EQ(AllFindingsIn("conc1_negative.cpp"), 0u);
+  EXPECT_EQ(Count("conc1_suppressed.cpp", "CONC-1", true), 2u);
+  EXPECT_EQ(Count("conc1_suppressed.cpp", "CONC-1", false), 0u);
+}
+
+TEST(VorlintFixtures, Conc2) {
+  EXPECT_EQ(Count("conc2_positive.cpp", "CONC-2", false), 2u);
+  EXPECT_EQ(AllFindingsIn("conc2_negative.cpp"), 0u);
+  EXPECT_EQ(Count("conc2_suppressed.cpp", "CONC-2", true), 1u);
+  EXPECT_EQ(Count("conc2_suppressed.cpp", "CONC-2", false), 0u);
+}
+
+TEST(VorlintFixtures, Hyg1) {
+  EXPECT_EQ(Count("hyg1_positive.hpp", "HYG-1", false), 2u);
+  EXPECT_EQ(Count("hyg1_guard_positive.hpp", "HYG-1", false), 1u);
+  EXPECT_EQ(AllFindingsIn("hyg1_negative.hpp"), 0u);
+  EXPECT_EQ(Count("hyg1_suppressed.hpp", "HYG-1", true), 1u);
+  EXPECT_EQ(Count("hyg1_suppressed.hpp", "HYG-1", false), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing
+
+TEST(VorlintReport, PerRuleCountsMatchFindings) {
+  const Report& report = FixtureReport();
+  std::size_t active = 0;
+  std::size_t suppressed = 0;
+  for (const auto& [rule, counts] : report.per_rule) {
+    active += counts.first;
+    suppressed += counts.second;
+  }
+  EXPECT_EQ(active, report.active_count());
+  EXPECT_EQ(active + suppressed, report.findings.size());
+  EXPECT_GT(report.files_linted, 0u);
+}
+
+TEST(VorlintReport, FormatCarriesRuleIdAndHint) {
+  std::vector<FileInput> one;
+  one.push_back(
+      {"src/io/fake.cpp",
+       "#include <unordered_map>\n"
+       "int f() {\n"
+       "  std::unordered_map<int, int> m;\n"
+       "  int s = 0;\n"
+       "  for (const auto& [k, v] : m) s += v;\n"
+       "  return s;\n"
+       "}\n"});
+  const Report report = LintFiles(one);
+  ASSERT_EQ(report.active_count(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "DET-1");
+  EXPECT_EQ(report.findings[0].line, 5);
+  const std::string text = vorlint::FormatReport(report);
+  EXPECT_NE(text.find("[DET-1]"), std::string::npos);
+  EXPECT_NE(text.find("hint:"), std::string::npos);
+  EXPECT_NE(text.find("std::sort"), std::string::npos);
+}
+
+TEST(VorlintReport, FixtureBatchIsDeterministic) {
+  // Two runs over the same inputs produce identical findings in
+  // identical order — the linter obeys the invariant it enforces.
+  const Report a = LintFiles(LoadFixtures());
+  const Report b = LintFiles(LoadFixtures());
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].file, b.findings[i].file);
+    EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+    EXPECT_EQ(a.findings[i].rule, b.findings[i].rule);
+    EXPECT_EQ(a.findings[i].suppressed, b.findings[i].suppressed);
+  }
+}

@@ -1,0 +1,233 @@
+// Lexer for vorlint: turns C++ source into the token stream the rules
+// match against.  Comments, string/char literals, and preprocessor lines
+// are consumed here so they can never confuse a rule; suppression
+// comments and #pragma once / include-guard detection are side outputs.
+#include "vorlint/lint.hpp"
+
+#include <cctype>
+
+namespace vorlint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source with line accounting.
+struct Cursor {
+  std::string_view src;
+  std::size_t pos = 0;
+  int line = 1;
+
+  [[nodiscard]] bool done() const { return pos >= src.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  char take() {
+    const char c = src[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+};
+
+/// Parses `vorlint: ok(DET-1, CONC-1)` out of a comment's text and files
+/// the named rules under the comment's starting line.
+void RecordSuppression(LexedFile& out, std::string_view comment, int line) {
+  const std::size_t marker = comment.find("vorlint:");
+  if (marker == std::string_view::npos) return;
+  std::size_t i = comment.find("ok(", marker);
+  if (i == std::string_view::npos) return;
+  i += 3;
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string_view::npos) return;
+  std::string current;
+  const auto flush = [&] {
+    if (!current.empty()) out.suppressions[line].insert(current);
+    current.clear();
+  };
+  for (; i < close; ++i) {
+    const char c = comment[i];
+    if (c == ',') {
+      flush();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    }
+  }
+  flush();
+}
+
+/// Consumes a raw string literal starting at the opening quote of
+/// R"delim( ... )delim".
+void SkipRawString(Cursor& c) {
+  c.take();  // opening quote
+  std::string delim;
+  while (!c.done() && c.peek() != '(') delim.push_back(c.take());
+  if (!c.done()) c.take();  // '('
+  const std::string close = ")" + delim + "\"";
+  while (!c.done()) {
+    if (c.src.compare(c.pos, close.size(), close) == 0) {
+      for (std::size_t i = 0; i < close.size(); ++i) c.take();
+      return;
+    }
+    c.take();
+  }
+}
+
+/// Consumes a quoted literal (string or char) honouring backslash escapes.
+void SkipQuoted(Cursor& c, char quote) {
+  c.take();  // opening quote
+  while (!c.done()) {
+    const char ch = c.take();
+    if (ch == '\\' && !c.done()) {
+      c.take();
+    } else if (ch == quote || ch == '\n') {
+      return;  // newline: unterminated literal, recover at line end
+    }
+  }
+}
+
+/// Consumes a whole preprocessor line (with continuations), updating the
+/// pragma-once / include-guard state.  Directive text never becomes
+/// tokens: an `#include <unordered_map>` must not look like a type use.
+void SkipDirective(Cursor& c, LexedFile& out, int& guard_state) {
+  std::string text;
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\' && c.peek(1) == '\n') {
+      c.take();
+      c.take();
+      continue;
+    }
+    if (ch == '\n') break;
+    // A trailing // comment on the directive line may carry a
+    // suppression; stop collecting directive text there.
+    if (ch == '/' && c.peek(1) == '/') break;
+    text.push_back(c.take());
+  }
+  if (text.find("pragma") != std::string::npos &&
+      text.find("once") != std::string::npos) {
+    out.has_pragma_once = true;
+  }
+  // Classic guard: the first directive is #ifndef, the second #define.
+  if (guard_state == 0) {
+    guard_state = text.find("ifndef") != std::string::npos ? 1 : -1;
+  } else if (guard_state == 1) {
+    guard_state = text.find("define") != std::string::npos ? 2 : -1;
+    if (guard_state == 2) out.has_include_guard = true;
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(std::string_view source) {
+  LexedFile out;
+  Cursor c{source};
+  int guard_state = 0;  // 0 no directive yet, 1 saw #ifndef, 2 guarded, -1 no
+  bool line_has_token = false;  // true -> '#' is not a directive start
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == '\n') {
+      c.take();
+      line_has_token = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.take();
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '/') {
+      const int line = c.line;
+      std::string text;
+      while (!c.done() && c.peek() != '\n') text.push_back(c.take());
+      RecordSuppression(out, text, line);
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      const int line = c.line;
+      std::string text;
+      c.take();
+      c.take();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) {
+        text.push_back(c.take());
+      }
+      if (!c.done()) {
+        c.take();
+        c.take();
+      }
+      RecordSuppression(out, text, line);
+      continue;
+    }
+    if (ch == '#' && !line_has_token) {
+      c.take();
+      SkipDirective(c, out, guard_state);
+      continue;
+    }
+    line_has_token = true;
+    if (ch == '"') {
+      SkipQuoted(c, '"');
+      continue;
+    }
+    if (ch == '\'') {
+      SkipQuoted(c, '\'');
+      continue;
+    }
+    if (IsIdentStart(ch)) {
+      const int line = c.line;
+      std::string text;
+      while (!c.done() && IsIdentChar(c.peek())) text.push_back(c.take());
+      // String-literal prefixes: R"..." (optionally u8R / uR / UR / LR).
+      if (!text.empty() && text.back() == 'R' && c.peek() == '"' &&
+          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR")) {
+        SkipRawString(c);
+        continue;
+      }
+      // Other prefixes (u8"x", L'c', ...) just emit the identifier; the
+      // literal itself is consumed on the next loop iteration.
+      out.tokens.push_back({TokKind::kIdentifier, std::move(text), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      const int line = c.line;
+      std::string text;
+      while (!c.done() && (IsIdentChar(c.peek()) || c.peek() == '.' ||
+                           c.peek() == '\'' ||
+                           ((c.peek() == '+' || c.peek() == '-') &&
+                            !text.empty() &&
+                            (text.back() == 'e' || text.back() == 'E' ||
+                             text.back() == 'p' || text.back() == 'P')))) {
+        text.push_back(c.take());
+      }
+      out.tokens.push_back({TokKind::kNumber, std::move(text), line});
+      continue;
+    }
+    // Punctuation.  `::` and `->` are fused so rules can tell a scope
+    // qualifier from a range-for colon and a member access from a minus;
+    // every other operator stays single-char (so `>>` closes two
+    // template angles, which is exactly how the rules count them).
+    const int line = c.line;
+    if (ch == ':' && c.peek(1) == ':') {
+      c.take();
+      c.take();
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      continue;
+    }
+    if (ch == '-' && c.peek(1) == '>') {
+      c.take();
+      c.take();
+      out.tokens.push_back({TokKind::kPunct, "->", line});
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c.take()), line});
+  }
+  return out;
+}
+
+}  // namespace vorlint

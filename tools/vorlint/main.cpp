@@ -1,0 +1,112 @@
+// vorlint CLI: lints the files/directories given on the command line and
+// exits non-zero when any unsuppressed finding remains.
+//
+//   vorlint [--quiet] [--list-rules] <file|dir>...
+//
+// Directories are walked recursively for C++ sources/headers; build
+// trees (any directory starting with "build") and the lint fixture
+// corpus (deliberate violations) are skipped.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vorlint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+bool IsSkippedDir(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name.rfind("build", 0) == 0 || name == "lint_fixtures" ||
+         name == ".git";
+}
+
+int Usage() {
+  std::cerr << "usage: vorlint [--quiet] [--list-rules] <file|dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const vorlint::RuleInfo& rule : vorlint::Rules()) {
+        std::cout << rule.id << (rule.deterministic_only
+                                     ? "  [deterministic-path only]\n"
+                                     : "\n")
+                  << "  " << rule.summary << "\n  hint: " << rule.hint
+                  << "\n";
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) return Usage();
+
+  std::vector<fs::path> paths;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      fs::recursive_directory_iterator it(root, ec), end;
+      if (ec) {
+        std::cerr << "vorlint: cannot read " << root << ": " << ec.message()
+                  << "\n";
+        return 2;
+      }
+      for (; it != end; ++it) {
+        if (it->is_directory() && IsSkippedDir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          paths.push_back(it->path());
+        }
+      }
+    } else if (fs::exists(root, ec)) {
+      paths.push_back(root);
+    } else {
+      std::cerr << "vorlint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<vorlint::FileInput> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "vorlint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back({path.generic_string(), buf.str()});
+  }
+
+  const vorlint::Report report = vorlint::LintFiles(files);
+  if (!quiet || report.active_count() > 0) {
+    std::cout << vorlint::FormatReport(report);
+  }
+  return report.active_count() == 0 ? 0 : 1;
+}
