@@ -343,6 +343,63 @@ util::Json RunSorpStressSection() {
   return util::Json(std::move(doc));
 }
 
+/// Smoke-scale A/B of the pipelined cycle close: the same two-cycle
+/// replay with speculation off and on, with the speculation deliberately
+/// kicked when only half the window is in (so the close exercises the
+/// delta-repair / fallback machinery, not just the full-hit fast path).
+/// Returns whether the two committed schedules are byte-identical.
+bool SvcSpeculationIdentityCheck(std::string* detail) {
+  workload::ScenarioParams params;
+  params.storage_count = 8;
+  params.users_per_neighborhood = 64;
+  params.catalog_size = 200;
+  params.is_capacity = util::GB(20);
+  params.nrate_per_gb = 1000;
+  params.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+  std::vector<workload::Request> requests = scenario.requests;
+  workload::SortForReplay(requests);
+
+  std::size_t spec_closes_not_missed = 0;
+  const auto replay = [&](bool speculate) {
+    svc::ServiceConfig config;
+    config.speculate = speculate;
+    svc::ReservationService service(scenario.topology, scenario.catalog,
+                                    config);
+    constexpr std::size_t kCycles = 2;
+    const std::size_t per_cycle = (requests.size() + kCycles - 1) / kCycles;
+    for (std::size_t c = 0; c < kCycles; ++c) {
+      const std::size_t begin = c * per_cycle;
+      const std::size_t end = std::min(requests.size(), begin + per_cycle);
+      const std::size_t mid = begin + (end - begin) / 2;
+      for (std::size_t i = begin; i < mid; ++i) {
+        benchmark::DoNotOptimize(
+            service.Submit(requests[i], requests[i].start_time));
+      }
+      if (speculate) (void)service.Speculate();
+      for (std::size_t i = mid; i < end; ++i) {
+        benchmark::DoNotOptimize(
+            service.Submit(requests[i], requests[i].start_time));
+      }
+      if (speculate) service.WaitForSpeculation();
+      auto stats = service.CloseCycle();
+      if (!stats.ok()) return std::string();  // empty fails the check
+      if (speculate &&
+          stats->speculation != svc::SpeculationOutcome::kMiss) {
+        ++spec_closes_not_missed;
+      }
+    }
+    return io::ToJson(service.CommittedSchedule()).Dump(2);
+  };
+  const std::string plain = replay(false);
+  const std::string spec = replay(true);
+  if (detail != nullptr) {
+    *detail = "speculation engaged on " +
+              std::to_string(spec_closes_not_missed) + "/2 close(s)";
+  }
+  return !plain.empty() && plain == spec;
+}
+
 /// CI smoke: one incremental stress solve; fails on metrics-schema drift
 /// (a renamed/removed SORP counter) or a dead memo (zero hit-rate on a
 /// scenario built to produce hits).
@@ -380,6 +437,12 @@ int RunSmoke() {
             "metrics schema has " + key);
   }
 
+  std::string spec_detail;
+  const bool spec_identical = SvcSpeculationIdentityCheck(&spec_detail);
+  require(spec_identical,
+          "speculative and non-speculative schedules byte-identical (" +
+              spec_detail + ")");
+
   std::cout << "smoke: sorp " << run.seconds << "s, "
             << run.stats.victims_rescheduled << " rounds, "
             << run.stats.memo_hits << " memo hits / "
@@ -398,22 +461,36 @@ int RunSmoke() {
 // A Table-4 tight-capacity cycle replayed through the online
 // ReservationService: the trace is cut into kSoakCycles virtual-time
 // windows, each submitted by kSoakProducers concurrent threads before the
-// cycle closes and replans incrementally.  Records cycle-close latency
-// percentiles, so successive PRs catch regressions in the drain + solve +
-// validate path, not just the batch solver.
+// cycle closes and replans incrementally.  Run twice — speculation off and
+// on (the pipelined close: the background solve is kicked once the window
+// is submitted and the close harvests it) — recording close-latency
+// percentiles for both and asserting the committed schedules are
+// byte-identical, so successive PRs catch regressions in the drain +
+// solve + validate path AND any determinism drift in the pipeline.
 constexpr std::size_t kSoakCycles = 8;
 constexpr std::size_t kSoakProducers = 4;
 
-util::Json RunSvcSoakSection() {
-  workload::ScenarioParams tight;
-  tight.is_capacity = util::GB(5);
-  tight.nrate_per_gb = 1000;
-  tight.srate_per_gb_hour = 3;
-  const workload::Scenario scenario = workload::MakeScenario(tight);
-  std::vector<workload::Request> requests = scenario.requests;
-  workload::SortForReplay(requests);
+struct SoakRun {
+  std::vector<double> close_seconds;
+  std::vector<double> solve_seconds;
+  std::size_t deferred_total = 0;
+  std::size_t committed = 0;
+  std::size_t spec_hits = 0;
+  std::size_t spec_repairs = 0;
+  std::size_t spec_fallbacks = 0;
+  /// Serialized committed schedule — the byte-identity witness.
+  std::string schedule_json;
+  std::string error;
+};
 
-  svc::ReservationService service(scenario.topology, scenario.catalog, {});
+SoakRun RunSoak(const workload::Scenario& scenario,
+                const std::vector<workload::Request>& requests,
+                bool speculate) {
+  SoakRun run;
+  svc::ServiceConfig config;
+  config.speculate = speculate;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
   const std::size_t per_cycle =
       (requests.size() + kSoakCycles - 1) / kSoakCycles;
   for (std::size_t c = 0; c < kSoakCycles; ++c) {
@@ -429,34 +506,75 @@ util::Json RunSvcSoakSection() {
       });
     }
     for (std::thread& t : producers) t.join();
+    if (speculate) {
+      // Pipelined close: the window is fully submitted, so the
+      // background solve sees the final batch and the close reuses it
+      // outright — close latency measures the pipeline overhead, not
+      // the solve.
+      (void)service.Speculate();
+      service.WaitForSpeculation();
+    }
     auto stats = service.CloseCycle();
     if (!stats.ok()) {
-      util::JsonObject err;
-      err["error"] = stats.error().message;
-      return util::Json(std::move(err));
+      run.error = stats.error().message;
+      return run;
     }
   }
 
-  std::vector<double> close_seconds;
-  std::vector<double> solve_seconds;
-  std::size_t deferred_total = 0;
   for (const svc::CycleStats& s : service.History()) {
-    close_seconds.push_back(s.close_seconds);
-    solve_seconds.push_back(s.solve_seconds);
-    deferred_total += s.deferred_out;
+    run.close_seconds.push_back(s.close_seconds);
+    run.solve_seconds.push_back(s.solve_seconds);
+    run.deferred_total += s.deferred_out;
+    run.spec_hits += s.speculation == svc::SpeculationOutcome::kHit;
+    run.spec_repairs += s.speculation == svc::SpeculationOutcome::kRepair;
+    run.spec_fallbacks += s.speculation == svc::SpeculationOutcome::kFallback;
   }
+  run.committed = service.CommittedRequests().size();
+  run.schedule_json = io::ToJson(service.CommittedSchedule()).Dump(2);
+  return run;
+}
+
+util::Json SoakSide(const SoakRun& run) {
+  util::JsonObject side;
+  side["committed"] = run.committed;
+  side["deferred_total"] = run.deferred_total;
+  side["close_p50_seconds"] = util::Percentile(run.close_seconds, 50);
+  side["close_p95_seconds"] = util::Percentile(run.close_seconds, 95);
+  side["close_max_seconds"] = util::Percentile(run.close_seconds, 100);
+  side["solve_p50_seconds"] = util::Percentile(run.solve_seconds, 50);
+  side["solve_p95_seconds"] = util::Percentile(run.solve_seconds, 95);
+  side["spec_hits"] = run.spec_hits;
+  side["spec_repairs"] = run.spec_repairs;
+  side["spec_fallbacks"] = run.spec_fallbacks;
+  return util::Json(std::move(side));
+}
+
+util::Json RunSvcSoakSection() {
+  workload::ScenarioParams tight;
+  tight.is_capacity = util::GB(5);
+  tight.nrate_per_gb = 1000;
+  tight.srate_per_gb_hour = 3;
+  const workload::Scenario scenario = workload::MakeScenario(tight);
+  std::vector<workload::Request> requests = scenario.requests;
+  workload::SortForReplay(requests);
+
+  const SoakRun plain = RunSoak(scenario, requests, /*speculate=*/false);
+  const SoakRun spec = RunSoak(scenario, requests, /*speculate=*/true);
   util::JsonObject doc;
+  if (!plain.error.empty() || !spec.error.empty()) {
+    doc["error"] = plain.error.empty() ? spec.error : plain.error;
+    return util::Json(std::move(doc));
+  }
   doc["scenario"] = "table4 tight (5GB, nrate 1000)";
   doc["cycles"] = kSoakCycles;
   doc["producers"] = kSoakProducers;
   doc["requests"] = requests.size();
-  doc["committed"] = service.CommittedRequests().size();
-  doc["deferred_total"] = deferred_total;
-  doc["close_p50_seconds"] = util::Percentile(close_seconds, 50);
-  doc["close_p95_seconds"] = util::Percentile(close_seconds, 95);
-  doc["close_max_seconds"] = util::Percentile(close_seconds, 100);
-  doc["solve_p50_seconds"] = util::Percentile(solve_seconds, 50);
-  doc["solve_p95_seconds"] = util::Percentile(solve_seconds, 95);
+  doc["baseline"] = SoakSide(plain);
+  doc["speculative"] = SoakSide(spec);
+  doc["schedules_identical"] = plain.schedule_json == spec.schedule_json;
+  const double p95_plain = util::Percentile(plain.close_seconds, 95);
+  const double p95_spec = util::Percentile(spec.close_seconds, 95);
+  doc["close_p95_speedup"] = p95_spec > 0.0 ? p95_plain / p95_spec : 0.0;
   return util::Json(std::move(doc));
 }
 

@@ -19,7 +19,9 @@
 #
 # `soak` builds vorctl under the tsan preset and replays a short trace
 # through `vorctl serve` with concurrent producers plus the background
-# cycle clock; any race report fails the gate (TSan exits non-zero).
+# cycle clock — twice, plain and with `--speculate` (the pipelined close,
+# adding the background speculative solver to the interleaving); any race
+# report fails the gate (TSan exits non-zero).
 #
 # `all` runs lint first (cheapest gate, fails fastest), then the
 # sanitizer builds, then the soak.
@@ -113,6 +115,14 @@ soak() {
     "${vorctl}" serve "${workdir}/scenario.json" \
     --trace "${workdir}/trace.csv" --cycle 21600 --producers 4 \
     --clock-ms 5 --snapshot "${workdir}/snapshot.json"
+  echo "==> vorctl serve under tsan (speculative pipelined close)"
+  # Same replay with the pipelined close: the background speculative
+  # solver races intake producers and the half-period clock speculation,
+  # which is exactly the thread interleaving this gate exists to cover.
+  TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+    "${vorctl}" serve "${workdir}/scenario.json" \
+    --trace "${workdir}/trace.csv" --cycle 21600 --producers 4 \
+    --clock-ms 5 --speculate --snapshot "${workdir}/snapshot-spec.json"
   echo "==> soak clean (no tsan reports)"
 }
 

@@ -34,7 +34,154 @@ const char* CounterName(DeferCause cause) {
   return "svc.admit.deferred_other";
 }
 
+/// Exact duplicate test over everything the drain order sees — the unit
+/// of the speculative-vs-final batch comparison.
+bool SameStamped(const StampedRequest& a, const StampedRequest& b) {
+  return a.arrival.value() == b.arrival.value() &&
+         a.deferrals == b.deferrals && a.request.user == b.request.user &&
+         a.request.video == b.request.video &&
+         a.request.start_time.value() == b.request.start_time.value() &&
+         a.request.neighborhood == b.request.neighborhood;
+}
+
+std::size_t CommonPrefixLength(const std::vector<StampedRequest>& a,
+                               const std::vector<StampedRequest>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && SameStamped(a[i], b[i])) ++i;
+  return i;
+}
+
+/// The admitted / pushed-back split of one canonical batch.
+struct AdmissionSplit {
+  std::vector<StampedRequest> admitted;
+  std::vector<std::pair<StampedRequest, DeferCause>> pushed_back;
+};
+
+/// The estimate tier of admission control — fairness cap, per-IS
+/// caching-pressure estimate, optional cost budget — as a pure function
+/// of (config, committed state, canonical batch).  No counters and no
+/// service mutation, so a speculative pass and the real close run the
+/// exact same code and any bookkeeping happens once, at the close.
+AdmissionSplit RunAdmissionEstimates(
+    const ServiceConfig& config, const net::Topology& topology,
+    const media::Catalog& catalog, const core::VorScheduler& scheduler,
+    const core::SolveOutput& previous,
+    const std::vector<workload::Request>& committed,
+    std::vector<StampedRequest> batch) {
+  AdmissionSplit split;
+  split.admitted.reserve(batch.size());
+
+  // Fairness cap: each user gets at most user_cycle_cap slots per cycle,
+  // earliest arrivals first.
+  {
+    std::unordered_map<workload::UserId, std::size_t> per_user;
+    for (StampedRequest& s : batch) {
+      if (config.admission_control &&
+          ++per_user[s.request.user] > config.user_cycle_cap) {
+        split.pushed_back.emplace_back(std::move(s), DeferCause::kFairness);
+      } else {
+        split.admitted.push_back(std::move(s));
+      }
+    }
+  }
+
+  if (config.admission_control && !split.admitted.empty()) {
+    // Capacity estimate: bound the caching pressure a cycle may add to
+    // each IS.  Headroom comes from the committed schedule's peak usage
+    // (UsageTracker — same aggregate SORP maintains); each (video, IS)
+    // pair contributes one copy's worth of bytes.  The floor of one full
+    // capacity keeps saturated nodes serviceable (direct deliveries use
+    // no storage) while still shedding pathological pile-ups up front.
+    const storage::UsageTracker tracker(previous.schedule,
+                                        scheduler.cost_model());
+    std::unordered_map<net::NodeId, double> budget;
+    for (net::NodeId n = 0; n < topology.node_count(); ++n) {
+      if (!topology.IsStorage(n)) continue;
+      const double capacity = topology.node(n).capacity.value();
+      const double headroom =
+          std::max(0.0, capacity - storage::PeakUsage(tracker.usage(), n));
+      budget[n] = headroom * config.admission_overcommit + capacity;
+    }
+    std::unordered_set<std::uint64_t> seen_copy;  // (video, node) pairs
+    std::vector<StampedRequest> kept;
+    kept.reserve(split.admitted.size());
+    for (StampedRequest& s : split.admitted) {
+      const net::NodeId node = s.request.neighborhood;
+      const std::uint64_t copy_key = AdmissionCopyKey(s.request.video, node);
+      double footprint = 0.0;
+      if (seen_copy.insert(copy_key).second) {
+        footprint = catalog.video(s.request.video).size.value();
+      }
+      double& remaining = budget[node];
+      if (footprint > remaining) {
+        seen_copy.erase(copy_key);
+        split.pushed_back.emplace_back(std::move(s),
+                                       DeferCause::kCapacityEstimate);
+      } else {
+        remaining -= footprint;
+        kept.push_back(std::move(s));
+      }
+    }
+    split.admitted = std::move(kept);
+  }
+
+  if (config.admission_control && config.cycle_cost_budget > 0.0 &&
+      !split.admitted.empty()) {
+    // Cost budget: the unavoidable-network lower bound (core/bounds) of
+    // committed + admitted must fit the horizon budget.  The bound is
+    // monotone in the admitted prefix, so binary-search the cut.
+    const auto bound_of = [&](std::size_t prefix) {
+      std::vector<workload::Request> merged = committed;
+      for (std::size_t i = 0; i < prefix; ++i) {
+        merged.push_back(split.admitted[i].request);
+      }
+      return core::UnavoidableNetworkLowerBound(merged, scheduler.cost_model())
+          .total();
+    };
+    if (bound_of(split.admitted.size()) > config.cycle_cost_budget) {
+      std::size_t lo = 0;
+      std::size_t hi = split.admitted.size();  // first prefix over budget
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        if (bound_of(mid) <= config.cycle_cost_budget) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      for (std::size_t i = split.admitted.size(); i > lo; --i) {
+        split.pushed_back.emplace_back(std::move(split.admitted[i - 1]),
+                                       DeferCause::kBudgetEstimate);
+      }
+      split.admitted.resize(lo);
+    }
+  }
+  return split;
+}
+
 }  // namespace
+
+const char* ToString(SpeculationOutcome outcome) {
+  switch (outcome) {
+    case SpeculationOutcome::kOff: return "off";
+    case SpeculationOutcome::kMiss: return "miss";
+    case SpeculationOutcome::kHit: return "hit";
+    case SpeculationOutcome::kRepair: return "repair";
+    case SpeculationOutcome::kFallback: return "fallback";
+  }
+  return "unknown";
+}
+
+/// Payload of one background speculative solve; built entirely from
+/// copies taken under the cycle mutex at Speculate() time, so the worker
+/// never touches live service state.
+struct ReservationService::SpecResult {
+  util::Result<core::SolveOutput> out = util::Internal("not solved");
+  std::vector<workload::Request> merged;
+  core::IncrementalStats stats;
+  core::SpeculativeSolution solution;
+};
 
 bool DrainOrderLess(const StampedRequest& a, const StampedRequest& b) {
   if (a.arrival.value() != b.arrival.value()) {
@@ -89,14 +236,25 @@ SubmitOutcome ReservationService::Submit(const workload::Request& request,
     return SubmitOutcome::kRejectedInvalid;
   }
   const StampedRequest stamped{request, arrival, 0};
-  Shard& shard = *shards_[request.user % shards_.size()];
-  {
+  // Two-choice shard placement: the home shard first, then one
+  // deterministic alternate, so a skewed user distribution overflows
+  // into a sibling stripe instead of reporting spurious backpressure
+  // while other shards sit empty.  Placement never affects the committed
+  // schedule — the close drains every shard and sorts canonically.
+  const std::size_t home = request.user % shards_.size();
+  const std::size_t alternate = (home + 1) % shards_.size();
+  for (const std::size_t index : {home, alternate}) {
+    Shard& shard = *shards_[index];
     std::lock_guard lock(shard.mutex);
     if (shard.queue.size() < config_.shard_capacity) {
       shard.queue.push_back(stamped);
       obs::Add(config_.metrics, "svc.submit.accepted");
+      if (index != home) {
+        obs::Add(config_.metrics, "svc.submit.accepted_second_choice");
+      }
       return SubmitOutcome::kAccepted;
     }
+    if (index == alternate) break;  // both stripes full; spill next
   }
   {
     std::lock_guard lock(spill_mutex_);
@@ -125,6 +283,19 @@ std::vector<StampedRequest> ReservationService::DrainIntake() {
   return drained;
 }
 
+std::vector<StampedRequest> ReservationService::PeekIntake() const {
+  std::vector<StampedRequest> copied;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    copied.insert(copied.end(), shard->queue.begin(), shard->queue.end());
+  }
+  {
+    std::lock_guard lock(spill_mutex_);
+    copied.insert(copied.end(), spill_.begin(), spill_.end());
+  }
+  return copied;
+}
+
 util::Result<CycleStats> ReservationService::CloseCycle() {
   const obs::Stopwatch close_watch;
   std::lock_guard cycle_lock(cycle_mutex_);
@@ -143,94 +314,50 @@ util::Result<CycleStats> ReservationService::CloseCycle() {
   deferred_.clear();
   std::stable_sort(batch.begin(), batch.end(), DrainOrderLess);
 
-  std::vector<StampedRequest> admitted;
-  std::vector<std::pair<StampedRequest, DeferCause>> pushed_back;
-  admitted.reserve(batch.size());
+  AdmissionSplit split =
+      RunAdmissionEstimates(config_, *topology_, *catalog_, scheduler_,
+                            previous_, committed_, std::move(batch));
+  std::vector<StampedRequest>& admitted = split.admitted;
+  std::vector<std::pair<StampedRequest, DeferCause>>& pushed_back =
+      split.pushed_back;
 
-  // Fairness cap: each user gets at most user_cycle_cap slots per cycle,
-  // earliest arrivals first.
-  {
-    std::unordered_map<workload::UserId, std::size_t> per_user;
-    for (StampedRequest& s : batch) {
-      if (config_.admission_control &&
-          ++per_user[s.request.user] > config_.user_cycle_cap) {
-        pushed_back.emplace_back(std::move(s), DeferCause::kFairness);
-      } else {
-        admitted.push_back(std::move(s));
-      }
-    }
-  }
-
-  if (config_.admission_control && !admitted.empty()) {
-    // Capacity estimate: bound the caching pressure a cycle may add to
-    // each IS.  Headroom comes from the committed schedule's peak usage
-    // (UsageTracker — same aggregate SORP maintains); each (video, IS)
-    // pair contributes one copy's worth of bytes.  The floor of one full
-    // capacity keeps saturated nodes serviceable (direct deliveries use
-    // no storage) while still shedding pathological pile-ups up front.
-    const storage::UsageTracker tracker(previous_.schedule,
-                                        scheduler_.cost_model());
-    std::unordered_map<net::NodeId, double> budget;
-    for (net::NodeId n = 0; n < topology_->node_count(); ++n) {
-      if (!topology_->IsStorage(n)) continue;
-      const double capacity = topology_->node(n).capacity.value();
-      const double headroom = std::max(
-          0.0, capacity - storage::PeakUsage(tracker.usage(), n));
-      budget[n] = headroom * config_.admission_overcommit + capacity;
-    }
-    std::unordered_set<std::uint64_t> seen_copy;  // (video, node) pairs
-    std::vector<StampedRequest> kept;
-    kept.reserve(admitted.size());
-    for (StampedRequest& s : admitted) {
-      const net::NodeId node = s.request.neighborhood;
-      const std::uint64_t copy_key =
-          (static_cast<std::uint64_t>(s.request.video) << 24) | node;
-      double footprint = 0.0;
-      if (seen_copy.insert(copy_key).second) {
-        footprint = catalog_->video(s.request.video).size.value();
-      }
-      double& remaining = budget[node];
-      if (footprint > remaining) {
-        seen_copy.erase(copy_key);
-        pushed_back.emplace_back(std::move(s), DeferCause::kCapacityEstimate);
-      } else {
-        remaining -= footprint;
-        kept.push_back(std::move(s));
-      }
-    }
-    admitted = std::move(kept);
-  }
-
-  if (config_.admission_control && config_.cycle_cost_budget > 0.0 &&
-      !admitted.empty()) {
-    // Cost budget: the unavoidable-network lower bound (core/bounds) of
-    // committed + admitted must fit the horizon budget.  The bound is
-    // monotone in the admitted prefix, so binary-search the cut.
-    const auto bound_of = [&](std::size_t prefix) {
-      std::vector<workload::Request> merged = committed_;
-      for (std::size_t i = 0; i < prefix; ++i) {
-        merged.push_back(admitted[i].request);
-      }
-      return core::UnavoidableNetworkLowerBound(merged,
-                                                scheduler_.cost_model())
-          .total();
-    };
-    if (bound_of(admitted.size()) > config_.cycle_cost_budget) {
-      std::size_t lo = 0;
-      std::size_t hi = admitted.size();  // first prefix over budget
-      while (lo < hi) {
-        const std::size_t mid = (lo + hi + 1) / 2;
-        if (bound_of(mid) <= config_.cycle_cost_budget) {
-          lo = mid;
-        } else {
-          hi = mid - 1;
+  // Harvest the speculation, if any.  The reuse decision is made from
+  // the spec batch alone (known synchronously), so a close never waits
+  // on the worker unless the result is actually usable: an identical
+  // batch reuses the whole solve, a small delta mines its phase-1 plans
+  // via delta repair, and anything larger falls through to a full solve
+  // while the stale job finishes (and is discarded) in the background.
+  stats.speculation =
+      config_.speculate ? SpeculationOutcome::kMiss : SpeculationOutcome::kOff;
+  std::shared_ptr<SpecResult> spec;
+  bool spec_full_hit = false;
+  if (spec_.valid) {
+    SpecJob job = std::move(spec_);
+    spec_.valid = false;
+    if (job.generation != spec_generation_) {
+      obs::Add(config_.metrics, "svc.spec.stale");
+    } else {
+      const std::size_t common = CommonPrefixLength(job.admitted, admitted);
+      const std::size_t delta =
+          (admitted.size() - common) + (job.admitted.size() - common);
+      obs::Append(config_.metrics, "svc.spec.delta_size",
+                  static_cast<double>(delta));
+      if (delta == 0 ||
+          static_cast<double>(delta) <=
+              config_.speculation_repair_fraction *
+                  static_cast<double>(admitted.size())) {
+        std::shared_ptr<SpecResult> harvested = job.result.get();
+        if (harvested != nullptr && harvested->out.ok()) {
+          spec = std::move(harvested);
+          spec_full_hit = delta == 0;
+          if (!spec_full_hit) stats.speculation = SpeculationOutcome::kRepair;
         }
+        // A failed background solve is just a miss: the close solves for
+        // itself and surfaces any real error through its own attempt.
+      } else {
+        stats.speculation = SpeculationOutcome::kFallback;
+        obs::Add(config_.metrics, "svc.spec.fallback_delta");
       }
-      for (std::size_t i = admitted.size(); i > lo; --i) {
-        pushed_back.emplace_back(std::move(admitted[i - 1]),
-                                 DeferCause::kBudgetEstimate);
-      }
-      admitted.resize(lo);
     }
   }
 
@@ -257,8 +384,23 @@ util::Result<CycleStats> ReservationService::CloseCycle() {
     plain.reserve(admitted.size());
     for (const StampedRequest& s : admitted) plain.push_back(s.request);
     std::vector<workload::Request> attempt_merged;
-    auto out = core::IncrementalSolve(scheduler_, previous_, committed_,
-                                      plain, &attempt_merged);
+    util::Result<core::SolveOutput> out = util::Internal("not attempted");
+    const bool attempt_used_spec = spec_full_hit;
+    if (spec_full_hit) {
+      // The speculative solve IS this attempt: same pure function
+      // (IncrementalSolve) of the same (previous, committed, admitted)
+      // inputs, computed ahead of time.  Feasibility is still judged
+      // below exactly as if it had been solved here.
+      spec_full_hit = false;  // only valid for the full admitted set
+      out = std::move(spec->out);
+      attempt_merged = std::move(spec->merged);
+    } else {
+      core::IncrementalStats inc_stats;
+      out = core::IncrementalSolve(scheduler_, previous_, committed_, plain,
+                                   &attempt_merged, &inc_stats,
+                                   spec ? &spec->solution : nullptr, nullptr);
+      stats.spec_reused_files += inc_stats.files_reused_from_base;
+    }
     if (!out.ok()) {
       // Solver errors are environment-level (validated requests should
       // never trigger them); re-defer the batch so nothing is lost and
@@ -281,10 +423,20 @@ util::Result<CycleStats> ReservationService::CloseCycle() {
                      .ok();
     }
     if (feasible || !config_.admission_control) {
+      if (attempt_used_spec) stats.speculation = SpeculationOutcome::kHit;
       next = std::move(*out);
       merged = std::move(attempt_merged);
       committed_new = true;
       break;
+    }
+    if (attempt_used_spec) {
+      // The speculative result failed the validator or left residual
+      // overflow: abandon it and fall back to the ordinary halving loop,
+      // which solves every further attempt from scratch — exactly the
+      // non-speculative control flow from here on.
+      stats.speculation = SpeculationOutcome::kFallback;
+      obs::Add(config_.metrics, "svc.spec.fallback_invalid");
+      spec.reset();
     }
     // Defer the newer half (drain order puts the oldest first).
     const std::size_t keep = admitted.size() / 2;
@@ -304,13 +456,20 @@ util::Result<CycleStats> ReservationService::CloseCycle() {
   }
 
   // Push-back bookkeeping: bump deferral counts, expire the hopeless,
-  // respect the deferred-set bound.
+  // respect the deferred-set bound.  Expiry (the request itself ran out
+  // of max_deferrals chances) and deferred-set overflow (the backlog is
+  // full — nothing wrong with the request) are distinct drop causes and
+  // are accounted separately.
   for (auto& [s, cause] : pushed_back) {
     obs::Add(config_.metrics, CounterName(cause));
-    if (s.deferrals >= config_.max_deferrals ||
-        deferred_.size() >= config_.deferred_capacity) {
+    if (s.deferrals >= config_.max_deferrals) {
       ++stats.rejected_expired;
       obs::Add(config_.metrics, "svc.admit.rejected_expired");
+      continue;
+    }
+    if (deferred_.size() >= config_.deferred_capacity) {
+      ++stats.rejected_deferred_full;
+      obs::Add(config_.metrics, "svc.admit.rejected_deferred_full");
       continue;
     }
     ++s.deferrals;
@@ -320,6 +479,9 @@ util::Result<CycleStats> ReservationService::CloseCycle() {
   stats.deferred_out = deferred_.size();
 
   ++cycle_index_;
+  // The committed state (and the deferred set) changed shape: any
+  // speculation that predates this close can no longer repair it.
+  ++spec_generation_;
   stats.final_cost = previous_.final_cost.value();
   stats.committed_total = committed_.size();
   stats.close_seconds = close_watch.Seconds();
@@ -328,8 +490,90 @@ util::Result<CycleStats> ReservationService::CloseCycle() {
                stats.close_seconds);
   obs::Observe(config_.metrics, "svc.cycle.solve_seconds",
                stats.solve_seconds);
+  switch (stats.speculation) {
+    case SpeculationOutcome::kOff:
+      break;
+    case SpeculationOutcome::kMiss:
+      obs::Add(config_.metrics, "svc.spec.misses");
+      break;
+    case SpeculationOutcome::kHit:
+      obs::Add(config_.metrics, "svc.spec.hits");
+      break;
+    case SpeculationOutcome::kRepair:
+      obs::Add(config_.metrics, "svc.spec.repairs");
+      break;
+    case SpeculationOutcome::kFallback:
+      obs::Add(config_.metrics, "svc.spec.fallbacks");
+      break;
+  }
+  if (stats.spec_reused_files > 0) {
+    obs::Add(config_.metrics, "svc.spec.repair_files_reused",
+             stats.spec_reused_files);
+  }
   history_.push_back(stats);
   return stats;
+}
+
+bool ReservationService::Speculate() {
+  if (!config_.speculate) return false;
+  std::lock_guard cycle_lock(cycle_mutex_);
+  if (spec_.valid) return false;
+
+  // Non-destructive snapshot of the would-be close batch, through the
+  // same canonical order and admission estimates the close will use.
+  std::vector<StampedRequest> batch = PeekIntake();
+  batch.insert(batch.end(), deferred_.begin(), deferred_.end());
+  std::stable_sort(batch.begin(), batch.end(), DrainOrderLess);
+  AdmissionSplit split =
+      RunAdmissionEstimates(config_, *topology_, *catalog_, scheduler_,
+                            previous_, committed_, std::move(batch));
+  if (split.admitted.empty()) return false;
+
+  // The worker operates on copies only; the shared_ptrs keep them alive
+  // even if the job outlives its usefulness and is discarded unharvested.
+  auto prev = std::make_shared<const core::SolveOutput>(previous_);
+  auto committed = std::make_shared<const std::vector<workload::Request>>(
+      committed_);
+  auto plain = std::make_shared<std::vector<workload::Request>>();
+  plain->reserve(split.admitted.size());
+  for (const StampedRequest& s : split.admitted) {
+    plain->push_back(s.request);
+  }
+
+  if (spec_pool_ == nullptr) {
+    spec_pool_ = std::make_unique<util::ThreadPool>(1);
+  }
+  const core::VorScheduler* scheduler = &scheduler_;
+  spec_.generation = spec_generation_;
+  spec_.admitted = std::move(split.admitted);
+  spec_.result =
+      spec_pool_
+          ->Submit([scheduler, prev, committed, plain] {
+            auto result = std::make_shared<SpecResult>();
+            result->out = core::IncrementalSolve(
+                *scheduler, *prev, *committed, *plain, &result->merged,
+                &result->stats, nullptr, &result->solution);
+            return result;
+          })
+          .share();
+  spec_.valid = true;
+  obs::Add(config_.metrics, "svc.spec.started");
+  return true;
+}
+
+bool ReservationService::SpeculationPending() const {
+  std::lock_guard lock(cycle_mutex_);
+  return spec_.valid;
+}
+
+void ReservationService::WaitForSpeculation() const {
+  std::shared_future<std::shared_ptr<SpecResult>> pending;
+  {
+    std::lock_guard lock(cycle_mutex_);
+    if (!spec_.valid) return;
+    pending = spec_.result;
+  }
+  pending.wait();
 }
 
 void ReservationService::Start() {
@@ -340,12 +584,28 @@ void ReservationService::Start() {
     std::unique_lock lock(clock_mutex_);
     const auto period = std::chrono::duration<double>(
         std::max(1e-3, config_.cycle_period_seconds));
-    while (!clock_cv_.wait_for(lock, period, [this] { return clock_stop_; })) {
-      // The clock mutex must be released across CloseCycle: the close
-      // path takes cycle_mutex_, and Stop() takes clock_mutex_ while a
-      // producer may hold cycle_mutex_ — holding both here would close
-      // that deadlock cycle.  wait_for needs the lock held again on
-      // re-entry, so this window cannot be an RAII scope.
+    // With speculation on, the period splits in half: the midpoint kicks
+    // off the background solve over the batch so far, and the close at
+    // the period boundary repairs in whatever arrived since.
+    const auto half = period / 2;
+    while (true) {
+      if (config_.speculate) {
+        if (clock_cv_.wait_for(lock, half, [this] { return clock_stop_; })) {
+          break;
+        }
+        // The clock mutex must be released across service entry points:
+        // they take cycle_mutex_, and Stop() takes clock_mutex_ while a
+        // producer may hold cycle_mutex_ — holding both here would close
+        // that deadlock cycle.  wait_for needs the lock held again on
+        // re-entry, so this window cannot be an RAII scope.
+        lock.unlock();  // vorlint: ok(CONC-1)
+        (void)Speculate();
+        lock.lock();  // vorlint: ok(CONC-1)
+      }
+      if (clock_cv_.wait_for(lock, config_.speculate ? half : period,
+                             [this] { return clock_stop_; })) {
+        break;
+      }
       lock.unlock();  // vorlint: ok(CONC-1)
       (void)CloseCycle();
       obs::Add(config_.metrics, "svc.cycle.clock_ticks");
@@ -449,6 +709,10 @@ util::Status ReservationService::Restore(const ServiceSnapshot& snapshot) {
   }
 
   std::lock_guard cycle_lock(cycle_mutex_);
+  // Any in-flight speculation targets the pre-restore state; invalidate
+  // it (the worker's copies keep it memory-safe until it finishes).
+  spec_.valid = false;
+  ++spec_generation_;
   cycle_index_ = snapshot.cycle_index;
   committed_ = snapshot.committed;
   previous_ = core::SolveOutput{};

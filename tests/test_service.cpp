@@ -32,13 +32,36 @@ workload::Scenario SmallScenario(double capacity_gb = 50.0) {
   return workload::MakeScenario(params);
 }
 
+/// Where (if at all) the replay kicks the speculative pipeline relative
+/// to each window's submission — the timing axis of the determinism
+/// golden suite.
+enum class SpecMode {
+  /// Speculation disabled (the reference engine).
+  kOff,
+  /// Speculate once the window is fully submitted: delta 0, full hit.
+  kHit,
+  /// Speculate after half the window: the other half is the late delta
+  /// the close repairs in.
+  kMidWindow,
+  /// Mid-window with repair_fraction 0: any delta forces full fallback.
+  kForcedFallback,
+  /// Like kHit, plus a Snapshot() taken while the background solve is in
+  /// flight (must neither block on nor perturb the speculation).
+  kSnapshotMidSolve,
+};
+
 /// Replays `requests` through a service: `cycles` contiguous windows in
 /// canonical replay order, each submitted by `producers` concurrent
 /// threads (round-robin slices), then closed.  Asserts the committed
 /// schedule validates after every close and returns its final JSON dump.
 std::string ReplayThroughService(const workload::Scenario& scenario,
                                  std::size_t producers, std::size_t cycles,
-                                 svc::ServiceConfig config) {
+                                 svc::ServiceConfig config,
+                                 SpecMode mode = SpecMode::kOff) {
+  config.speculate = mode != SpecMode::kOff;
+  if (mode == SpecMode::kForcedFallback) {
+    config.speculation_repair_fraction = 0.0;
+  }
   svc::ReservationService service(scenario.topology, scenario.catalog,
                                   config);
   std::vector<workload::Request> requests = scenario.requests;
@@ -49,17 +72,36 @@ std::string ReplayThroughService(const workload::Scenario& scenario,
   for (std::size_t c = 0; c < cycles; ++c) {
     const std::size_t begin = c * per_cycle;
     const std::size_t end = std::min(requests.size(), begin + per_cycle);
-    std::vector<std::thread> threads;
-    for (std::size_t p = 0; p < producers; ++p) {
-      threads.emplace_back([&, p] {
-        for (std::size_t i = begin + p; i < end; i += producers) {
-          const auto outcome =
-              service.Submit(requests[i], requests[i].start_time);
-          EXPECT_NE(outcome, svc::SubmitOutcome::kRejectedInvalid);
+    const auto submit_range = [&](std::size_t lo, std::size_t hi) {
+      std::vector<std::thread> threads;
+      for (std::size_t p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+          for (std::size_t i = lo + p; i < hi; i += producers) {
+            const auto outcome =
+                service.Submit(requests[i], requests[i].start_time);
+            EXPECT_NE(outcome, svc::SubmitOutcome::kRejectedInvalid);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    };
+    if (mode == SpecMode::kMidWindow || mode == SpecMode::kForcedFallback) {
+      const std::size_t mid = begin + (end - begin) / 2;
+      submit_range(begin, mid);
+      (void)service.Speculate();
+      submit_range(mid, end);
+      service.WaitForSpeculation();
+    } else {
+      submit_range(begin, end);
+      if (mode != SpecMode::kOff) {
+        (void)service.Speculate();
+        if (mode == SpecMode::kSnapshotMidSolve) {
+          const svc::ServiceSnapshot snapshot = service.Snapshot();
+          EXPECT_EQ(snapshot.pending.size(), service.PendingCount());
         }
-      });
+        service.WaitForSpeculation();
+      }
     }
-    for (std::thread& t : threads) t.join();
     const auto stats = service.CloseCycle();
     EXPECT_TRUE(stats.ok()) << stats.error().message;
     // The standing guarantee: whatever was committed validates, capacity
@@ -395,6 +437,284 @@ TEST(ServiceOrdering, DrainOrderIsTotalAndArrivalFirst) {
                                   {a, util::Seconds{1.0}, 1}));
   EXPECT_FALSE(svc::DrainOrderLess({a, util::Seconds{1.0}, 0},
                                    {a, util::Seconds{1.0}, 0}));
+}
+
+TEST(ServiceSpeculation, ByteIdenticalAtAnyTimingAndProducerCount) {
+  // The golden suite: the committed schedule is a pure function of the
+  // canonical batch, so every speculation timing (off / full hit /
+  // mid-window repair / forced fallback / snapshot mid-solve) at every
+  // producer count must produce the same bytes.
+  const workload::Scenario scenario = SmallScenario();
+  svc::ServiceConfig config;
+  config.shards = 4;
+  const std::string golden = ReplayThroughService(scenario, 1, 3, config);
+  ASSERT_FALSE(golden.empty());
+  for (const SpecMode mode :
+       {SpecMode::kOff, SpecMode::kHit, SpecMode::kMidWindow,
+        SpecMode::kForcedFallback, SpecMode::kSnapshotMidSolve}) {
+    for (const std::size_t producers : {1u, 2u, 8u}) {
+      EXPECT_EQ(golden,
+                ReplayThroughService(scenario, producers, 3, config, mode))
+          << "mode " << static_cast<int>(mode) << " producers " << producers;
+    }
+  }
+}
+
+TEST(ServiceSpeculation, ByteIdenticalUnderAdmissionPressure) {
+  // Same suite against the halving/deferral path: tight capacity plus a
+  // crippled SORP budget makes the close defer work, which exercises the
+  // spec-hit -> validator-fallback transition (the speculative result is
+  // only attempt 1; later halving attempts must match the reference).
+  const workload::Scenario scenario = SmallScenario(2.0);
+  svc::ServiceConfig config;
+  config.shards = 4;
+  config.scheduler.max_sorp_iterations = 1;
+  const std::string golden = ReplayThroughService(scenario, 1, 2, config);
+  for (const SpecMode mode :
+       {SpecMode::kHit, SpecMode::kMidWindow, SpecMode::kForcedFallback}) {
+    for (const std::size_t producers : {1u, 2u, 8u}) {
+      EXPECT_EQ(golden,
+                ReplayThroughService(scenario, producers, 2, config, mode))
+          << "mode " << static_cast<int>(mode) << " producers " << producers;
+    }
+  }
+}
+
+TEST(ServiceSpeculation, OutcomesFollowTheTimingOfTheKick) {
+  const workload::Scenario scenario = SmallScenario();
+  std::vector<workload::Request> requests = scenario.requests;
+  workload::SortForReplay(requests);
+  const std::size_t half = requests.size() / 2;
+
+  // Full batch speculated, nothing late: a hit.
+  svc::ServiceConfig config;
+  config.speculate = true;
+  {
+    svc::ReservationService service(scenario.topology, scenario.catalog,
+                                    config);
+    for (const workload::Request& r : requests) {
+      ASSERT_EQ(service.Submit(r, r.start_time),
+                svc::SubmitOutcome::kAccepted);
+    }
+    ASSERT_TRUE(service.Speculate());
+    EXPECT_TRUE(service.SpeculationPending());
+    EXPECT_FALSE(service.Speculate());  // one in flight at a time
+    service.WaitForSpeculation();
+    const auto stats = service.CloseCycle();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->speculation, svc::SpeculationOutcome::kHit);
+    EXPECT_FALSE(service.SpeculationPending());
+  }
+
+  // Speculated at half, the rest arrives late: a delta repair that
+  // reuses per-file plans the speculation already computed.
+  {
+    svc::ServiceConfig repair = config;
+    repair.speculation_repair_fraction = 1.0;
+    svc::ReservationService service(scenario.topology, scenario.catalog,
+                                    repair);
+    for (std::size_t i = 0; i < half; ++i) {
+      ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+                svc::SubmitOutcome::kAccepted);
+    }
+    ASSERT_TRUE(service.Speculate());
+    for (std::size_t i = half; i < requests.size(); ++i) {
+      ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+                svc::SubmitOutcome::kAccepted);
+    }
+    service.WaitForSpeculation();
+    const auto stats = service.CloseCycle();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->speculation, svc::SpeculationOutcome::kRepair);
+    EXPECT_GT(stats->spec_reused_files, 0u);
+  }
+
+  // Same timing with repair disabled: the delta forces a fallback.
+  {
+    svc::ServiceConfig strict = config;
+    strict.speculation_repair_fraction = 0.0;
+    svc::ReservationService service(scenario.topology, scenario.catalog,
+                                    strict);
+    for (std::size_t i = 0; i < half; ++i) {
+      ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+                svc::SubmitOutcome::kAccepted);
+    }
+    ASSERT_TRUE(service.Speculate());
+    for (std::size_t i = half; i < requests.size(); ++i) {
+      ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+                svc::SubmitOutcome::kAccepted);
+    }
+    const auto stats = service.CloseCycle();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->speculation, svc::SpeculationOutcome::kFallback);
+  }
+}
+
+TEST(ServiceSpeculation, RestoreDuringSpeculationInvalidatesIt) {
+  const workload::Scenario scenario = SmallScenario();
+  std::vector<workload::Request> requests = scenario.requests;
+  workload::SortForReplay(requests);
+  const std::size_t half = requests.size() / 2;
+
+  svc::ServiceConfig config;
+  config.speculate = true;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+  }
+  ASSERT_TRUE(service.CloseCycle().ok());
+  const svc::ServiceSnapshot snapshot = service.Snapshot();
+
+  // Kick a speculation over post-snapshot intake, then restore while it
+  // is (potentially still) in flight: the job must be invalidated, not
+  // harvested against the restored state.
+  for (std::size_t i = half; i < requests.size(); ++i) {
+    ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+  }
+  ASSERT_TRUE(service.Speculate());
+  ASSERT_TRUE(service.Restore(snapshot).ok());
+  EXPECT_FALSE(service.SpeculationPending());
+
+  // A control service restored from the same snapshot with speculation
+  // off must land on the same bytes.
+  svc::ReservationService control(scenario.topology, scenario.catalog, {});
+  ASSERT_TRUE(control.Restore(snapshot).ok());
+  for (std::size_t i = half; i < requests.size(); ++i) {
+    ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+    ASSERT_EQ(control.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+  }
+  const auto stats = service.CloseCycle();
+  ASSERT_TRUE(stats.ok());
+  // The restore bumped the generation, so even a finished job reads as
+  // stale — never a hit against state it did not solve for.
+  EXPECT_NE(stats->speculation, svc::SpeculationOutcome::kHit);
+  ASSERT_TRUE(control.CloseCycle().ok());
+  EXPECT_EQ(io::ToJson(service.CommittedSchedule()).Dump(),
+            io::ToJson(control.CommittedSchedule()).Dump());
+}
+
+TEST(ServiceAdmission, CopyKeySeparatesIdsAcross24BitBoundary) {
+  // Regression: the old (video << 24) | node packing aliased once node
+  // ids crossed 2^24 (or video ids grew past 8 bits of headroom).  These
+  // pairs collided under the old key; the 32+32 split must keep them
+  // (and the id halves themselves) exact.
+  const media::VideoId v0 = 0, v1 = 1;
+  const net::NodeId big = (1u << 24) | 7u;
+  // Old scheme: (0 << 24) | ((1<<24)|7)  ==  (1 << 24) | 7.
+  EXPECT_NE(svc::AdmissionCopyKey(v0, big), svc::AdmissionCopyKey(v1, 7u));
+  // Old scheme: (1 << 24) | (1<<24)  ==  (2 << 24) | 0.
+  EXPECT_NE(svc::AdmissionCopyKey(v1, 1u << 24),
+            svc::AdmissionCopyKey(2u, 0u));
+  // The halves round-trip exactly at the extremes.
+  const media::VideoId vmax = 0xffffffffu;
+  const net::NodeId nmax = 0xffffffffu;
+  EXPECT_EQ(svc::AdmissionCopyKey(vmax, nmax) >> 32, vmax);
+  EXPECT_EQ(svc::AdmissionCopyKey(vmax, nmax) & 0xffffffffu, nmax);
+  EXPECT_NE(svc::AdmissionCopyKey(vmax, 0u), svc::AdmissionCopyKey(0u, nmax));
+}
+
+TEST(ServiceIntake, DeferredSetOverflowIsNotCountedAsExpiry) {
+  // A full deferred set drops push-backs as rejected_deferred_full, not
+  // rejected_expired: the requests had deferral budget left.
+  const net::Topology topo = OverflowTopology();
+  const media::Catalog catalog = TwoHotVideos();
+
+  svc::ServiceConfig config;
+  config.scheduler.max_sorp_iterations = 0;
+  config.max_deferrals = 8;      // plenty of lives left
+  config.deferred_capacity = 0;  // but nowhere to wait
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  svc::ReservationService service(topo, catalog, config);
+  for (const workload::Request& r : OverflowRequests()) {
+    ASSERT_EQ(service.Submit(r, util::Seconds{static_cast<double>(r.user)}),
+              svc::SubmitOutcome::kAccepted);
+  }
+  const auto stats = service.CloseCycle();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->rejected_deferred_full, 0u);
+  EXPECT_EQ(stats->rejected_expired, 0u);
+  EXPECT_EQ(stats->deferred_out, 0u);
+  EXPECT_EQ(metrics.GetCounter("svc.admit.rejected_deferred_full").value(),
+            stats->rejected_deferred_full);
+  // Nothing expired, so the expiry counter was never touched.
+  EXPECT_EQ(metrics.ToJson().Dump().find("svc.admit.rejected_expired"),
+            std::string::npos);
+}
+
+TEST(ServiceIntake, SkewedUsersOverflowIntoTheAlternateShard) {
+  const workload::Scenario scenario = SmallScenario();
+  svc::ServiceConfig config;
+  config.shards = 4;
+  config.shard_capacity = 2;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+
+  // Every request hashes to shard 0 (user % 4 == 0).  The home stripe
+  // holds 2; the next 2 take the second-choice stripe; only then does
+  // the spill tier engage.
+  const workload::Request r{4, 0, util::Hours(1.0), 1};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(service.Submit(r, util::Seconds{static_cast<double>(i)}),
+              svc::SubmitOutcome::kAccepted);
+  }
+  EXPECT_EQ(service.Submit(r, util::Seconds{4.0}),
+            svc::SubmitOutcome::kDeferred);
+  EXPECT_EQ(metrics.GetCounter("svc.submit.accepted_second_choice").value(),
+            2u);
+  EXPECT_EQ(service.PendingCount(), 5u);
+  ASSERT_TRUE(service.CloseCycle().ok());
+  EXPECT_EQ(service.PendingCount(), 0u);
+}
+
+TEST(ServiceObs, SpeculationCountersCoverHitAndFallback) {
+  const workload::Scenario scenario = SmallScenario();
+  std::vector<workload::Request> requests = scenario.requests;
+  workload::SortForReplay(requests);
+
+  obs::MetricsRegistry metrics;
+  svc::ServiceConfig config;
+  config.speculate = true;
+  config.speculation_repair_fraction = 0.0;
+  config.metrics = &metrics;
+  svc::ReservationService service(scenario.topology, scenario.catalog,
+                                  config);
+
+  // Cycle 1: full-batch speculation -> hit.
+  const std::size_t half = requests.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+  }
+  ASSERT_TRUE(service.Speculate());
+  service.WaitForSpeculation();
+  ASSERT_TRUE(service.CloseCycle().ok());
+  // Cycle 2: early speculation + zero repair budget -> delta fallback.
+  ASSERT_EQ(service.Submit(requests[half], requests[half].start_time),
+            svc::SubmitOutcome::kAccepted);
+  ASSERT_TRUE(service.Speculate());
+  for (std::size_t i = half + 1; i < requests.size(); ++i) {
+    ASSERT_EQ(service.Submit(requests[i], requests[i].start_time),
+              svc::SubmitOutcome::kAccepted);
+  }
+  ASSERT_TRUE(service.CloseCycle().ok());
+
+  const std::string json = metrics.ToJson().Dump();
+  for (const char* key :
+       {"svc.spec.started", "svc.spec.hits", "svc.spec.fallbacks",
+        "svc.spec.fallback_delta", "svc.spec.delta_size"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(metrics.GetCounter("svc.spec.started").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("svc.spec.hits").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("svc.spec.fallbacks").value(), 1u);
 }
 
 TEST(ServiceObs, CountersCoverTheSubmitAndCyclePath) {
