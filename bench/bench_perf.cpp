@@ -10,18 +10,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
+
 #include "baseline/online_lru.hpp"
 #include "core/ivsp.hpp"
 #include "core/scheduler.hpp"
 #include "core/shootout.hpp"
 #include "core/sorp.hpp"
+#include "io/binary.hpp"
 #include "io/serialize.hpp"
 #include "media/catalog.hpp"
 #include "net/topology.hpp"
@@ -38,6 +45,7 @@
 #include "workload/generator.hpp"
 #include "workload/scenario.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_stream.hpp"
 
 namespace {
 
@@ -400,10 +408,183 @@ bool SvcSpeculationIdentityCheck(std::string* detail) {
   return !plain.empty() && plain == spec;
 }
 
+// ---- codec A/B -----------------------------------------------------------
+
+/// Synthetic trace in canonical replay order (no scenario machinery, so
+/// record counts scale to millions without generator cost).
+workload::Request SyntheticRequest(std::size_t i) {
+  workload::Request r;
+  r.user = static_cast<workload::UserId>(i % 100000);
+  r.video = static_cast<media::VideoId>((i * 2654435761u) % 2000);
+  // Strictly increasing starts (0.125 is exact in binary) keep the
+  // record-at-a-time writer in canonical replay order without sorting.
+  r.start_time = util::Seconds{static_cast<double>(i) * 0.125};
+  r.neighborhood = static_cast<net::NodeId>(i % 64);
+  return r;
+}
+
+std::vector<workload::Request> SyntheticTrace(std::size_t count) {
+  std::vector<workload::Request> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    requests.push_back(SyntheticRequest(i));
+  }
+  workload::SortForReplay(requests);
+  return requests;
+}
+
+/// Encode/decode wall-times of the vor-bin codec against the JSON
+/// pipeline on the same trace.  The recorded `decode_speedup_vs_json`
+/// is the headline number: binary decode throughput over JSON parse +
+/// deserialize throughput.
+util::Json RunCodecSection() {
+  constexpr std::size_t kCodecRequests = 200000;
+  const std::vector<workload::Request> requests =
+      SyntheticTrace(kCodecRequests);
+
+  std::string bin;
+  const double bin_encode = SecondsOf([&] { bin = io::TraceToBinary(requests); });
+  util::Result<std::vector<workload::Request>> bin_decoded(
+      std::vector<workload::Request>{});
+  const double bin_decode =
+      SecondsOf([&] { bin_decoded = io::TraceFromBinary(bin); });
+
+  std::string json_text;
+  const double json_encode =
+      SecondsOf([&] { json_text = io::ToJson(requests).Dump(); });
+  util::Result<std::vector<workload::Request>> json_decoded(
+      std::vector<workload::Request>{});
+  const double json_decode = SecondsOf([&] {
+    auto parsed = util::Json::Parse(json_text);
+    json_decoded = parsed.ok()
+                       ? io::RequestsFromJson(*parsed)
+                       : util::Result<std::vector<workload::Request>>(
+                             parsed.error());
+  });
+
+  util::JsonObject doc;
+  if (!bin_decoded.ok() || !json_decoded.ok() ||
+      bin_decoded->size() != requests.size() ||
+      json_decoded->size() != requests.size()) {
+    doc["error"] = "codec round trip failed";
+    return util::Json(std::move(doc));
+  }
+  doc["requests"] = kCodecRequests;
+  doc["binary_bytes"] = bin.size();
+  doc["json_bytes"] = json_text.size();
+  doc["binary_encode_seconds"] = bin_encode;
+  doc["binary_decode_seconds"] = bin_decode;
+  doc["json_encode_seconds"] = json_encode;
+  doc["json_parse_seconds"] = json_decode;
+  doc["decode_speedup_vs_json"] =
+      bin_decode > 0.0 ? json_decode / bin_decode : 0.0;
+  doc["size_ratio_vs_json"] =
+      bin.empty() ? 0.0
+                  : static_cast<double>(json_text.size()) /
+                        static_cast<double>(bin.size());
+  return util::Json(std::move(doc));
+}
+
+#if defined(__unix__)
+double PeakRssMb() {
+  struct rusage usage = {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KB on Linux
+}
+#endif
+
+/// Streams a 1M-request binary trace written record-at-a-time through a
+/// file sink, and checks the replay never materializes the full request
+/// vector: peak RSS growth across the replay stays far below the ~30 MB
+/// the vector alone would need.  Returns false (with `detail`) on any
+/// failure.  Must run before the allocation-heavy smoke sections, since
+/// ru_maxrss is a lifetime peak.
+bool StreamingReplayRssCheck(std::string* detail) {
+  constexpr std::size_t kStreamRequests = 1000000;
+  const std::string path = "bench_perf_stream_trace.vorb";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      *detail = "cannot open " + path;
+      return false;
+    }
+    io::BinaryWriter writer(
+        [&out](const char* data, std::size_t n) {
+          out.write(data, static_cast<std::streamsize>(n));
+        },
+        io::BinaryKind::kTrace);
+    // One chunk's worth of records in memory at a time, never the trace.
+    std::vector<workload::Request> chunk;
+    chunk.reserve(io::kTraceChunkRecords);
+    for (std::size_t i = 0; i < kStreamRequests; ++i) {
+      chunk.push_back(SyntheticRequest(i));
+      if (chunk.size() == io::kTraceChunkRecords) {
+        io::WriteRequestChunk(writer, io::kSecTraceChunk, chunk.data(),
+                              chunk.size());
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) {
+      io::WriteRequestChunk(writer, io::kSecTraceChunk, chunk.data(),
+                            chunk.size());
+    }
+    writer.Finish();
+  }
+
+#if defined(__unix__)
+  const double rss_before = PeakRssMb();
+#endif
+  std::size_t streamed = 0;
+  bool ok = true;
+  {
+    auto stream = workload::TraceStream::OpenFile(path);
+    if (!stream.ok()) {
+      *detail = stream.error().message;
+      std::remove(path.c_str());
+      return false;
+    }
+    workload::Request r;
+    while (true) {
+      const auto more = stream->Next(r);
+      if (!more.ok()) {
+        *detail = more.error().message;
+        ok = false;
+        break;
+      }
+      if (!*more) break;
+      benchmark::DoNotOptimize(r);
+      ++streamed;
+    }
+  }
+  std::remove(path.c_str());
+  if (!ok) return false;
+  if (streamed != kStreamRequests) {
+    *detail = "streamed " + std::to_string(streamed) + " of " +
+              std::to_string(kStreamRequests);
+    return false;
+  }
+#if defined(__unix__)
+  const double rss_after = PeakRssMb();
+  const double growth = rss_after - rss_before;
+  *detail = "1M requests, peak RSS growth " + std::to_string(growth) + " MB";
+  // The materialized vector alone is ~30 MB (plus growth doubling);
+  // the streaming window is one 4096-record chunk.
+  if (growth > 8.0) return false;
+#else
+  *detail = "1M requests (RSS check skipped: no getrusage)";
+#endif
+  return true;
+}
+
 /// CI smoke: one incremental stress solve; fails on metrics-schema drift
 /// (a renamed/removed SORP counter) or a dead memo (zero hit-rate on a
 /// scenario built to produce hits).
 int RunSmoke() {
+  // Runs first: ru_maxrss is a lifetime peak, so the bounded-memory claim
+  // is only meaningful before the stress scenario inflates the footprint.
+  std::string stream_detail;
+  const bool stream_bounded = StreamingReplayRssCheck(&stream_detail);
+
   const workload::Scenario scenario = MakeStressScenario();
   const net::Router router(scenario.topology);
   const core::CostModel cm(scenario.topology, router, scenario.catalog);
@@ -436,6 +617,9 @@ int RunSmoke() {
     require(metrics_json.find('"' + key + '"') != std::string::npos,
             "metrics schema has " + key);
   }
+
+  require(stream_bounded,
+          "streaming replay keeps memory bounded (" + stream_detail + ")");
 
   std::string spec_detail;
   const bool spec_identical = SvcSpeculationIdentityCheck(&spec_detail);
@@ -661,6 +845,7 @@ int RunBaseline(const std::string& out_path, std::size_t threads) {
   doc["phases"] = registry.ToJson();
   doc["sorp_stress"] = RunSorpStressSection();
   doc["svc_soak"] = RunSvcSoakSection();
+  doc["codec"] = RunCodecSection();
   const std::string text = util::Json(std::move(doc)).Dump(2) + "\n";
   if (const util::Status s = io::WriteFile(out_path, text); !s.ok()) {
     std::cerr << "bench_perf: " << s.error().message << '\n';

@@ -19,14 +19,21 @@
 #
 # `soak` builds vorctl under the tsan preset and replays a short trace
 # through `vorctl serve` with concurrent producers plus the background
-# cycle clock — twice, plain and with `--speculate` (the pipelined close,
-# adding the background speculative solver to the interleaving); any race
-# report fails the gate (TSan exits non-zero).
+# cycle clock — plain, with `--speculate` (the pipelined close, adding
+# the background speculative solver to the interleaving), and streaming
+# from a vor-bin binary trace; any race report fails the gate (TSan
+# exits non-zero).
+#
+# `codec-diff` builds vorctl under the asan-ubsan preset and proves the
+# vor-bin codec lossless end-to-end: encode -> decode -> re-encode must
+# be byte-identical for a trace, a schedule, and a service snapshot,
+# and a binary-trace serve must commit byte-identical schedules to the
+# CSV-trace serve.
 #
 # `all` runs lint first (cheapest gate, fails fastest), then the
-# sanitizer builds, then the soak.
+# sanitizer builds, then the codec diff, then the soak.
 #
-# Usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|soak|all]   (default: all)
+# Usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|codec-diff|soak|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -95,6 +102,56 @@ bench_smoke() {
   ./build/bench/bench_perf --smoke
 }
 
+codec_diff() {
+  echo "==> configure asan-ubsan"
+  cmake --preset asan-ubsan >/dev/null
+  echo "==> build vorctl (asan-ubsan)"
+  cmake --build --preset asan-ubsan -j "${jobs}" --target vorctl
+  local workdir
+  workdir=$(mktemp -d)
+  trap 'rm -rf "${workdir}"' RETURN
+  local vorctl=./build-asan-ubsan/tools/vorctl
+  echo "==> generate codec fixtures"
+  "${vorctl}" gen-scenario --storages 5 --users 4 --catalog 30 \
+    --capacity-gb 5 --seed 23 \
+    --out "${workdir}/scenario.json" --trace-out "${workdir}/trace.csv"
+  "${vorctl}" solve "${workdir}/scenario.json" \
+    --out "${workdir}/schedule.json" >/dev/null
+
+  echo "==> trace: csv -> bin -> csv -> bin byte-identity"
+  "${vorctl}" convert "${workdir}/trace.csv" "${workdir}/trace.vorb"
+  "${vorctl}" convert "${workdir}/trace.vorb" "${workdir}/trace2.csv"
+  "${vorctl}" convert "${workdir}/trace2.csv" "${workdir}/trace2.vorb"
+  cmp "${workdir}/trace.vorb" "${workdir}/trace2.vorb"
+
+  echo "==> schedule: json -> bin -> json -> bin byte-identity"
+  "${vorctl}" convert "${workdir}/schedule.json" "${workdir}/schedule.vorb"
+  "${vorctl}" convert "${workdir}/schedule.vorb" "${workdir}/schedule2.json"
+  "${vorctl}" convert "${workdir}/schedule2.json" "${workdir}/schedule2.vorb"
+  cmp "${workdir}/schedule.vorb" "${workdir}/schedule2.vorb"
+  cmp "${workdir}/schedule.json" "${workdir}/schedule2.json"
+
+  echo "==> snapshot: json -> bin -> json -> bin byte-identity"
+  "${vorctl}" serve "${workdir}/scenario.json" --cycle 21600 \
+    --trace "${workdir}/trace.csv" --producers 2 \
+    --snapshot "${workdir}/snapshot.json" >/dev/null
+  "${vorctl}" convert "${workdir}/snapshot.json" "${workdir}/snapshot.vorb"
+  "${vorctl}" convert "${workdir}/snapshot.vorb" "${workdir}/snapshot2.json"
+  "${vorctl}" convert "${workdir}/snapshot2.json" "${workdir}/snapshot2.vorb"
+  cmp "${workdir}/snapshot.vorb" "${workdir}/snapshot2.vorb"
+  cmp "${workdir}/snapshot.json" "${workdir}/snapshot2.json"
+
+  echo "==> serve: binary trace commits bytes identical to csv trace"
+  "${vorctl}" serve "${workdir}/scenario.json" --cycle 21600 \
+    --trace "${workdir}/trace.csv" --producers 3 \
+    --out "${workdir}/served-csv.json" >/dev/null
+  "${vorctl}" serve "${workdir}/scenario.json" --cycle 21600 \
+    --trace "${workdir}/trace.vorb" --producers 3 \
+    --out "${workdir}/served-bin.json" >/dev/null
+  cmp "${workdir}/served-csv.json" "${workdir}/served-bin.json"
+  echo "==> codec diff clean (all round trips byte-identical)"
+}
+
 soak() {
   echo "==> configure tsan"
   cmake --preset tsan >/dev/null
@@ -123,6 +180,14 @@ soak() {
     "${vorctl}" serve "${workdir}/scenario.json" \
     --trace "${workdir}/trace.csv" --cycle 21600 --producers 4 \
     --clock-ms 5 --speculate --snapshot "${workdir}/snapshot-spec.json"
+  echo "==> vorctl serve under tsan (streaming binary trace)"
+  # Same interleaving with the chunked binary TraceStream feeding the
+  # intake, so the streaming reader itself runs under the race detector.
+  "${vorctl}" convert "${workdir}/trace.csv" "${workdir}/trace.vorb"
+  TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+    "${vorctl}" serve "${workdir}/scenario.json" \
+    --trace "${workdir}/trace.vorb" --cycle 21600 --producers 4 \
+    --clock-ms 5 --speculate --snapshot "${workdir}/snapshot-bin.json"
   echo "==> soak clean (no tsan reports)"
 }
 
@@ -131,15 +196,17 @@ case "${which}" in
   asan-ubsan)  run_preset asan-ubsan ;;
   tsan)        run_preset tsan ;;
   bench-smoke) bench_smoke ;;
+  codec-diff)  codec_diff ;;
   soak)        soak ;;
   all)
     lint
     run_preset asan-ubsan
     run_preset tsan
+    codec_diff
     soak
     ;;
   *)
-    echo "usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|soak|all]" >&2
+    echo "usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|codec-diff|soak|all]" >&2
     exit 2
     ;;
 esac

@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/json_schema.hpp"
+#include "io/schema.hpp"
+
 namespace vor::io {
 
 using util::Json;
@@ -99,8 +102,8 @@ util::Result<net::Topology> TopologyFromJson(const Json& j) {
     }
   }
   for (const Json& link : j["links"].as_array()) {
-    const auto a = static_cast<net::NodeId>(link.GetNumber("a", -1.0));
-    const auto b = static_cast<net::NodeId>(link.GetNumber("b", -1.0));
+    const net::NodeId a = JsonFieldReader::ToId(link.GetNumber("a", -1.0));
+    const net::NodeId b = JsonFieldReader::ToId(link.GetNumber("b", -1.0));
     if (a >= topo.node_count() || b >= topo.node_count() || a == b) {
       return util::InvalidArgument("link references an unknown node");
     }
@@ -161,10 +164,8 @@ Json ToJson(const std::vector<workload::Request>& requests) {
   JsonArray arr;
   for (const workload::Request& r : requests) {
     JsonObject req;
-    req["user"] = r.user;
-    req["video"] = r.video;
-    req["start_sec"] = r.start_time.value();
-    req["neighborhood"] = r.neighborhood;
+    JsonFieldWriter writer{req};
+    schema::VisitRequest(writer, r);
     arr.emplace_back(std::move(req));
   }
   JsonObject doc;
@@ -186,11 +187,9 @@ util::Result<std::vector<workload::Request>> RequestsFromJson(const Json& j) {
       return util::InvalidArgument("request entries must be objects");
     }
     workload::Request r;
-    r.user = static_cast<workload::UserId>(req.GetNumber("user", 0.0));
-    r.video = static_cast<media::VideoId>(req.GetNumber("video", 0.0));
-    r.start_time = util::Seconds{req.GetNumber("start_sec", 0.0)};
-    r.neighborhood =
-        static_cast<net::NodeId>(req.GetNumber("neighborhood", -1.0));
+    JsonFieldReader reader{req};
+    schema::VisitRequest(reader, r);
+    if (!reader.status.ok()) return reader.status.error();
     out.push_back(r);
   }
   return out;
@@ -204,25 +203,15 @@ Json ToJson(const core::Schedule& schedule) {
     JsonArray deliveries;
     for (const core::Delivery& d : f.deliveries) {
       JsonObject delivery;
-      JsonArray route;
-      for (const net::NodeId n : d.route) route.emplace_back(n);
-      delivery["route"] = std::move(route);
-      delivery["start_sec"] = d.start.value();
-      if (d.request_index != core::kNoRequest) {
-        delivery["request"] = d.request_index;
-      }
+      JsonFieldWriter writer{delivery};
+      schema::VisitDelivery(writer, d);
       deliveries.emplace_back(std::move(delivery));
     }
     JsonArray residencies;
     for (const core::Residency& c : f.residencies) {
       JsonObject residency;
-      residency["location"] = c.location;
-      residency["source"] = c.source;
-      residency["t_start_sec"] = c.t_start.value();
-      residency["t_last_sec"] = c.t_last.value();
-      JsonArray services;
-      for (const std::size_t s : c.services) services.emplace_back(s);
-      residency["services"] = std::move(services);
+      JsonFieldWriter writer{residency};
+      schema::VisitResidency(writer, c);
       residencies.emplace_back(std::move(residency));
     }
     JsonObject file;
@@ -247,45 +236,24 @@ util::Result<core::Schedule> ScheduleFromJson(const Json& j) {
   core::Schedule schedule;
   for (const Json& file : j["files"].as_array()) {
     core::FileSchedule f;
-    f.video = static_cast<media::VideoId>(file.GetNumber("video", 0.0));
+    f.video = JsonFieldReader::ToId(file.GetNumber("video", 0.0));
     if (!file["deliveries"].is_array() || !file["residencies"].is_array()) {
       return util::InvalidArgument("file schedule arrays missing");
     }
     for (const Json& delivery : file["deliveries"].as_array()) {
       core::Delivery d;
       d.video = f.video;
-      if (!delivery["route"].is_array()) {
-        return util::InvalidArgument("delivery without a route");
-      }
-      for (const Json& n : delivery["route"].as_array()) {
-        if (!n.is_number()) {
-          return util::InvalidArgument("route entries must be node ids");
-        }
-        d.route.push_back(static_cast<net::NodeId>(n.as_number()));
-      }
-      d.start = util::Seconds{delivery.GetNumber("start_sec", 0.0)};
-      d.request_index = delivery["request"].is_number()
-                            ? static_cast<std::size_t>(
-                                  delivery["request"].as_number())
-                            : core::kNoRequest;
+      JsonFieldReader reader{delivery};
+      schema::VisitDelivery(reader, d);
+      if (!reader.status.ok()) return reader.status.error();
       f.deliveries.push_back(std::move(d));
     }
     for (const Json& residency : file["residencies"].as_array()) {
       core::Residency c;
       c.video = f.video;
-      c.location = static_cast<net::NodeId>(residency.GetNumber("location", -1.0));
-      c.source = static_cast<net::NodeId>(residency.GetNumber("source", -1.0));
-      c.t_start = util::Seconds{residency.GetNumber("t_start_sec", 0.0)};
-      c.t_last = util::Seconds{residency.GetNumber("t_last_sec", 0.0)};
-      if (residency["services"].is_array()) {
-        for (const Json& s : residency["services"].as_array()) {
-          if (!s.is_number()) {
-            return util::InvalidArgument(
-                "residency services must be request indices");
-          }
-          c.services.push_back(static_cast<std::size_t>(s.as_number()));
-        }
-      }
+      JsonFieldReader reader{residency};
+      schema::VisitResidency(reader, c);
+      if (!reader.status.ok()) return reader.status.error();
       f.residencies.push_back(std::move(c));
     }
     schedule.files.push_back(std::move(f));
@@ -310,7 +278,8 @@ Json ToJson(const workload::ScenarioParams& params) {
   doc["cycle_hours"] = params.cycle_length.value() / 3600.0;
   doc["evening_peak"] =
       params.start_profile == workload::StartTimeProfile::kEveningPeak;
-  doc["seed"] = static_cast<double>(params.seed);
+  // Exact: seeds are full-width uint64 and must survive the round trip.
+  doc["seed"] = params.seed;
   return doc;
 }
 
@@ -324,17 +293,18 @@ util::Result<workload::ScenarioParams> ScenarioParamsFromJson(const Json& j) {
   p.srate_per_gb_hour = j.GetNumber("srate_per_gb_hour", p.srate_per_gb_hour);
   p.is_capacity = util::GB(j.GetNumber("is_capacity_gb", 5.0));
   p.zipf_alpha = j.GetNumber("zipf_alpha", p.zipf_alpha);
-  p.storage_count =
-      static_cast<std::size_t>(j.GetNumber("storage_count", 19.0));
-  p.users_per_neighborhood = static_cast<std::size_t>(
-      j.GetNumber("users_per_neighborhood", 10.0));
-  p.catalog_size = static_cast<std::size_t>(j.GetNumber("catalog_size", 500.0));
+  // Generator counts are ids in practice; the 32-bit guard keeps hostile
+  // magnitudes (1e300) from hitting an undefined double→size_t cast.
+  p.storage_count = JsonFieldReader::ToId(j.GetNumber("storage_count", 19.0));
+  p.users_per_neighborhood =
+      JsonFieldReader::ToId(j.GetNumber("users_per_neighborhood", 10.0));
+  p.catalog_size = JsonFieldReader::ToId(j.GetNumber("catalog_size", 500.0));
   p.mean_video_size = util::GB(j.GetNumber("mean_video_size_gb", 3.3));
   p.cycle_length = util::Hours(j.GetNumber("cycle_hours", 24.0));
   p.start_profile = j.GetBool("evening_peak", false)
                         ? workload::StartTimeProfile::kEveningPeak
                         : workload::StartTimeProfile::kUniform;
-  p.seed = static_cast<std::uint64_t>(j.GetNumber("seed", 1997.0));
+  p.seed = j.GetUint64("seed", 1997);
   if (p.storage_count == 0 || p.catalog_size == 0) {
     return util::InvalidArgument("scenario needs storages and a catalog");
   }

@@ -1,8 +1,13 @@
 #include "svc/snapshot.hpp"
 
+#include <algorithm>
 #include <string>
 
+#include "io/binary.hpp"
+#include "io/json_schema.hpp"
+#include "io/schema.hpp"
 #include "io/serialize.hpp"
+#include "util/json.hpp"
 
 namespace vor::svc {
 
@@ -12,12 +17,8 @@ constexpr const char* kFormatVersion = "vor-svc/1";
 
 util::Json StampedToJson(const StampedRequest& s) {
   util::JsonObject obj;
-  obj["user"] = s.request.user;
-  obj["video"] = s.request.video;
-  obj["start_sec"] = s.request.start_time.value();
-  obj["neighborhood"] = s.request.neighborhood;
-  obj["arrival_sec"] = s.arrival.value();
-  obj["deferrals"] = static_cast<std::size_t>(s.deferrals);
+  io::JsonFieldWriter writer{obj};
+  io::schema::VisitStamped(writer, s);
   return obj;
 }
 
@@ -34,16 +35,9 @@ util::Result<std::vector<StampedRequest>> StampedFromJson(
       return util::InvalidArgument("'" + what + "' entries must be objects");
     }
     StampedRequest s;
-    s.request.user =
-        static_cast<workload::UserId>(item.GetNumber("user", 0.0));
-    s.request.video =
-        static_cast<media::VideoId>(item.GetNumber("video", 0.0));
-    s.request.start_time = util::Seconds{item.GetNumber("start_sec", 0.0)};
-    s.request.neighborhood =
-        static_cast<net::NodeId>(item.GetNumber("neighborhood", -1.0));
-    s.arrival = util::Seconds{item.GetNumber("arrival_sec", 0.0)};
-    s.deferrals =
-        static_cast<std::uint32_t>(item.GetNumber("deferrals", 0.0));
+    io::JsonFieldReader reader{item};
+    io::schema::VisitStamped(reader, s);
+    if (!reader.status.ok()) return reader.status.error();
     out.push_back(s);
   }
   return out;
@@ -55,7 +49,7 @@ util::Json SnapshotToJson(const ServiceSnapshot& snapshot) {
   util::JsonObject doc;
   doc["format"] = kFormatVersion;
   doc["kind"] = "service";
-  doc["cycle_index"] = static_cast<std::size_t>(snapshot.cycle_index);
+  doc["cycle_index"] = snapshot.cycle_index;
   doc["committed"] = io::ToJson(snapshot.committed);
   doc["schedule"] = io::ToJson(snapshot.schedule);
   util::JsonArray deferred;
@@ -89,7 +83,11 @@ util::Result<ServiceSnapshot> SnapshotFromJson(const util::Json& j) {
   }
 
   ServiceSnapshot snapshot;
-  snapshot.cycle_index = static_cast<std::uint64_t>(index.as_number());
+  try {
+    snapshot.cycle_index = index.as_uint64();
+  } catch (const std::bad_variant_access&) {
+    return util::InvalidArgument("snapshot cycle_index out of range");
+  }
   auto committed = io::RequestsFromJson(j["committed"]);
   if (!committed.ok()) return committed.error();
   snapshot.committed = std::move(*committed);
@@ -103,6 +101,172 @@ util::Result<ServiceSnapshot> SnapshotFromJson(const util::Json& j) {
   if (!pending.ok()) return pending.error();
   snapshot.pending = std::move(*pending);
   return snapshot;
+}
+
+// ---- binary --------------------------------------------------------------
+
+namespace {
+
+void WriteStampedChunks(io::BinaryWriter& writer, std::uint64_t tag,
+                        const std::vector<StampedRequest>& items) {
+  for (std::size_t begin = 0; begin < items.size();
+       begin += io::kTraceChunkRecords) {
+    const std::size_t count =
+        std::min(io::kTraceChunkRecords, items.size() - begin);
+    writer.BeginSection(tag);
+    writer.PutVarint(count);
+    std::string body;
+    for (std::size_t i = 0; i < count; ++i) {
+      io::BinaryFieldWriter field_writer{body};
+      io::schema::VisitStamped(field_writer, items[begin + i]);
+    }
+    writer.PutBytes(body.data(), body.size());
+    writer.EndSection();
+  }
+}
+
+util::Status ReadStampedChunk(const std::string& payload,
+                              std::vector<StampedRequest>& out) {
+  io::PayloadReader in(payload);
+  const auto count = in.Varint();
+  if (!count.ok()) return count.error();
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    StampedRequest s;
+    io::BinaryFieldReader reader{in};
+    io::schema::VisitStamped(reader, s);
+    if (!reader.status.ok()) return reader.status;
+    out.push_back(s);
+  }
+  if (!in.AtEnd()) {
+    return util::InvalidArgument("vor-bin: trailing bytes in stamped chunk");
+  }
+  return util::Status::Ok();
+}
+
+util::Status ReadRequestChunk(const std::string& payload,
+                              std::vector<workload::Request>& out) {
+  io::PayloadReader in(payload);
+  const auto count = in.Varint();
+  if (!count.ok()) return count.error();
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto r = io::ReadRequestRecord(in);
+    if (!r.ok()) return r.error();
+    out.push_back(*r);
+  }
+  if (!in.AtEnd()) {
+    return util::InvalidArgument("vor-bin: trailing bytes in request chunk");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::string SnapshotToBinary(const ServiceSnapshot& snapshot) {
+  std::string out;
+  io::BinaryWriter writer(
+      [&out](const char* data, std::size_t n) { out.append(data, n); },
+      io::BinaryKind::kSnapshot);
+  writer.BeginSection(io::kSecSvcMeta);
+  writer.PutVarint(snapshot.cycle_index);
+  writer.EndSection();
+  for (std::size_t begin = 0; begin < snapshot.committed.size();
+       begin += io::kTraceChunkRecords) {
+    const std::size_t count =
+        std::min(io::kTraceChunkRecords, snapshot.committed.size() - begin);
+    io::WriteRequestChunk(writer, io::kSecCommittedChunk,
+                          snapshot.committed.data() + begin, count);
+  }
+  writer.BeginSection(io::kSecSchedule);
+  std::string payload;
+  io::AppendSchedulePayload(payload, snapshot.schedule);
+  writer.PutBytes(payload.data(), payload.size());
+  writer.EndSection();
+  WriteStampedChunks(writer, io::kSecDeferredChunk, snapshot.deferred);
+  WriteStampedChunks(writer, io::kSecPendingChunk, snapshot.pending);
+  writer.Finish();
+  return out;
+}
+
+util::Result<ServiceSnapshot> SnapshotFromBinary(const std::string& buffer) {
+  io::BinaryReader reader(io::BufferSource(buffer));
+  if (const util::Status s = reader.ReadHeader(io::BinaryKind::kSnapshot);
+      !s.ok()) {
+    return s.error();
+  }
+  ServiceSnapshot snapshot;
+  bool seen_meta = false;
+  bool seen_schedule = false;
+  io::BinarySection section;
+  for (;;) {
+    const auto more = reader.NextSection(section);
+    if (!more.ok()) return more.error();
+    if (!*more) break;
+    switch (section.tag) {
+      case io::kSecSvcMeta: {
+        if (seen_meta) {
+          return util::InvalidArgument("vor-bin: duplicate svc-meta section");
+        }
+        io::PayloadReader in(section.payload);
+        const auto index = in.Varint();
+        if (!index.ok()) return index.error();
+        if (!in.AtEnd()) {
+          return util::InvalidArgument(
+              "vor-bin: trailing bytes in svc-meta section");
+        }
+        snapshot.cycle_index = *index;
+        seen_meta = true;
+        break;
+      }
+      case io::kSecCommittedChunk: {
+        if (const util::Status s =
+                ReadRequestChunk(section.payload, snapshot.committed);
+            !s.ok()) {
+          return s.error();
+        }
+        break;
+      }
+      case io::kSecSchedule: {
+        if (seen_schedule) {
+          return util::InvalidArgument("vor-bin: duplicate schedule section");
+        }
+        auto schedule = io::ReadSchedulePayload(section.payload);
+        if (!schedule.ok()) return schedule.error();
+        snapshot.schedule = std::move(*schedule);
+        seen_schedule = true;
+        break;
+      }
+      case io::kSecDeferredChunk: {
+        if (const util::Status s =
+                ReadStampedChunk(section.payload, snapshot.deferred);
+            !s.ok()) {
+          return s.error();
+        }
+        break;
+      }
+      case io::kSecPendingChunk: {
+        if (const util::Status s =
+                ReadStampedChunk(section.payload, snapshot.pending);
+            !s.ok()) {
+          return s.error();
+        }
+        break;
+      }
+      default:
+        break;  // unknown section: skip (forward compatibility)
+    }
+  }
+  if (!seen_meta || !seen_schedule) {
+    return util::InvalidArgument(
+        "vor-bin: snapshot missing svc-meta or schedule section");
+  }
+  return snapshot;
+}
+
+util::Result<ServiceSnapshot> SnapshotFromBytes(const std::string& buffer) {
+  if (io::LooksBinary(buffer)) return SnapshotFromBinary(buffer);
+  auto doc = util::Json::Parse(buffer);
+  if (!doc.ok()) return doc.error();
+  return SnapshotFromJson(*doc);
 }
 
 }  // namespace vor::svc

@@ -18,7 +18,13 @@
 // can inspect a snapshot's schedule directly.  Round trip is exact: a
 // service restored from SnapshotFromJson(SnapshotToJson(s)) continues
 // the horizon with byte-identical committed schedules.
+// The "vor-bin/1" twin (kind = snapshot) carries the same state as
+// tagged sections — svc-meta (cycle_index), committed chunks, schedule,
+// deferred/pending chunks — and both codecs drive their record layouts
+// through the io/schema.hpp visitors, so the formats cannot drift.
 #pragma once
+
+#include <string>
 
 #include "svc/reservation_service.hpp"
 #include "util/json.hpp"
@@ -33,5 +39,17 @@ namespace vor::svc {
 /// ReservationService::Restore.
 [[nodiscard]] util::Result<ServiceSnapshot> SnapshotFromJson(
     const util::Json& j);
+
+/// Binary snapshot codec ("vor-bin/1", kind = snapshot).  Semantically
+/// identical to the JSON document: decoding either format yields the
+/// same ServiceSnapshot, byte for byte once re-encoded.
+[[nodiscard]] std::string SnapshotToBinary(const ServiceSnapshot& snapshot);
+[[nodiscard]] util::Result<ServiceSnapshot> SnapshotFromBinary(
+    const std::string& buffer);
+
+/// Parses a snapshot from raw file contents, sniffing the vor-bin magic
+/// to pick the codec.
+[[nodiscard]] util::Result<ServiceSnapshot> SnapshotFromBytes(
+    const std::string& buffer);
 
 }  // namespace vor::svc

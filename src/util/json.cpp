@@ -8,6 +8,7 @@
 #endif
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -16,6 +17,11 @@ namespace vor::util {
 
 namespace {
 const Json kNull{};
+
+// Largest double below 2^63 / 2^64; doubles at or above these bounds
+// cannot be represented by the corresponding integer type.
+constexpr double kMaxI64AsDouble = 9223372036854775808.0;   // 2^63
+constexpr double kMaxU64AsDouble = 18446744073709551616.0;  // 2^64
 }  // namespace
 
 const Json& Json::operator[](const std::string& key) const {
@@ -25,9 +31,60 @@ const Json& Json::operator[](const std::string& key) const {
   return it == obj.end() ? kNull : it->second;
 }
 
+double Json::as_number() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    return static_cast<double>(*u);
+  }
+  return std::get<double>(value_);
+}
+
+std::int64_t Json::as_int64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    if (*u <= static_cast<std::uint64_t>(INT64_MAX)) {
+      return static_cast<std::int64_t>(*u);
+    }
+    throw std::bad_variant_access();
+  }
+  const double d = std::get<double>(value_);
+  if (std::isfinite(d) && d == std::floor(d) && d >= -kMaxI64AsDouble &&
+      d < kMaxI64AsDouble) {
+    return static_cast<std::int64_t>(d);
+  }
+  throw std::bad_variant_access();
+}
+
+std::uint64_t Json::as_uint64() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) return *u;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i >= 0) return static_cast<std::uint64_t>(*i);
+    throw std::bad_variant_access();
+  }
+  const double d = std::get<double>(value_);
+  if (std::isfinite(d) && d == std::floor(d) && d >= 0.0 &&
+      d < kMaxU64AsDouble) {
+    return static_cast<std::uint64_t>(d);
+  }
+  throw std::bad_variant_access();
+}
+
 double Json::GetNumber(const std::string& key, double fallback) const {
   const Json& v = (*this)[key];
   return v.is_number() ? v.as_number() : fallback;
+}
+
+std::uint64_t Json::GetUint64(const std::string& key,
+                              std::uint64_t fallback) const {
+  const Json& v = (*this)[key];
+  if (!v.is_number()) return fallback;
+  try {
+    return v.as_uint64();
+  } catch (const std::bad_variant_access&) {
+    return fallback;
+  }
 }
 
 std::string Json::GetString(const std::string& key,
@@ -39,6 +96,27 @@ std::string Json::GetString(const std::string& key,
 bool Json::GetBool(const std::string& key, bool fallback) const {
   const Json& v = (*this)[key];
   return v.is_bool() ? v.as_bool() : fallback;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  // Numbers compare by mathematical value across alternatives:
+  // Dump(1.0) prints "1", which reparses as int64, and the two must
+  // still be equal.  Integer/integer pairs have at most one signed
+  // alternative after canonicalization, so only mixed int/double needs
+  // a conversion — done on the double side, exact for every integer a
+  // double can represent.
+  if (a.is_number() && b.is_number()) {
+    if (a.is_integer() && b.is_integer()) {
+      if (const auto* ai = std::get_if<std::int64_t>(&a.value_)) {
+        const auto* bi = std::get_if<std::int64_t>(&b.value_);
+        return bi != nullptr && *ai == *bi;
+      }
+      const auto* bu = std::get_if<std::uint64_t>(&b.value_);
+      return bu != nullptr && std::get<std::uint64_t>(a.value_) == *bu;
+    }
+    return a.as_number() == b.as_number();
+  }
+  return a.value_ == b.value_;
 }
 
 // ---- serialization ---------------------------------------------------
@@ -69,7 +147,19 @@ void EscapeInto(std::ostringstream& os, const std::string& s) {
   os << '"';
 }
 
-void NumberInto(std::ostringstream& os, double d) {
+void NumberInto(std::ostringstream& os, const Json& value) {
+  if (value.is_integer()) {
+    // Exact alternatives print all 64 bits losslessly.  Negative
+    // integers always live in the signed alternative; everything else
+    // fits uint64.
+    if (value.as_number() < 0.0) {
+      os << value.as_int64();
+    } else {
+      os << value.as_uint64();
+    }
+    return;
+  }
+  const double d = value.as_number();
   if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
     // Integral values print without exponent or trailing zeros.
     os << static_cast<long long>(d);
@@ -95,7 +185,7 @@ void DumpInto(const Json& value, std::ostringstream& os, int indent,
   } else if (value.is_bool()) {
     os << (value.as_bool() ? "true" : "false");
   } else if (value.is_number()) {
-    NumberInto(os, value.as_number());
+    NumberInto(os, value);
   } else if (value.is_string()) {
     EscapeInto(os, value.as_string());
   } else if (value.is_array()) {
@@ -223,15 +313,42 @@ class Parser {
 
   bool ParseNumber(Json& out) {
     const std::size_t start = pos_;
+    bool integral = true;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
             text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        integral = false;
+      }
       ++pos_;
     }
     if (pos_ == start) return Fail("expected a value");
     const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      // Exact path: integer literals (optionally signed, digits only)
+      // keep all 64 bits instead of rounding through double.  Falls
+      // through to the double path on overflow so e.g. 1e300-magnitude
+      // digit strings still parse.
+      const char* first = token.data();
+      const char* last = first + token.size();
+      if (token[0] == '-') {
+        std::int64_t iv = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, iv);
+        if (ec == std::errc() && ptr == last) {
+          out = Json(iv);
+          return true;
+        }
+      } else {
+        std::uint64_t uv = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, uv);
+        if (ec == std::errc() && ptr == last) {
+          out = Json(uv);
+          return true;
+        }
+      }
+    }
     try {
       std::size_t used = 0;
       const double v = std::stod(token, &used);
@@ -308,12 +425,22 @@ class Parser {
     return Fail("unterminated string");
   }
 
+  bool EnterNested() {
+    if (depth_ >= Json::kMaxParseDepth) {
+      return Fail("nesting too deep");
+    }
+    ++depth_;
+    return true;
+  }
+
   bool ParseArray(Json& out) {
     if (!Consume('[')) return false;
+    if (!EnterNested()) return false;
     JsonArray arr;
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == ']') {
       ++pos_;
+      --depth_;
       out = Json(std::move(arr));
       return true;
     }
@@ -328,6 +455,7 @@ class Parser {
         continue;
       }
       if (!Consume(']')) return false;
+      --depth_;
       out = Json(std::move(arr));
       return true;
     }
@@ -335,10 +463,12 @@ class Parser {
 
   bool ParseObject(Json& out) {
     if (!Consume('{')) return false;
+    if (!EnterNested()) return false;
     JsonObject obj;
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == '}') {
       ++pos_;
+      --depth_;
       out = Json(std::move(obj));
       return true;
     }
@@ -358,6 +488,7 @@ class Parser {
         continue;
       }
       if (!Consume('}')) return false;
+      --depth_;
       out = Json(std::move(obj));
       return true;
     }
@@ -365,6 +496,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 

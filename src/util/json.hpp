@@ -2,8 +2,12 @@
 //
 // Used by the io layer to persist topologies, catalogs, request traces,
 // and schedules, and by vorctl to read scenario files.  Implements the
-// JSON grammar (RFC 8259) with doubles for all numbers — sufficient and
-// exact for this library's data (ids fit in 2^53).
+// JSON grammar (RFC 8259).  Numbers are stored in one of three
+// alternatives: exact signed/unsigned 64-bit integers (integer literals
+// without '.', 'e', or 'E' — so ids, byte counts, and cycle indices
+// beyond 2^53 round-trip exactly) or double for everything else.
+// Non-negative integers <= INT64_MAX canonicalize to the signed
+// alternative, so equal values compare equal regardless of origin.
 #pragma once
 
 #include <cstdint>
@@ -28,9 +32,12 @@ class Json {
   Json(std::nullptr_t) : value_(nullptr) {}         // NOLINT
   Json(bool b) : value_(b) {}                       // NOLINT
   Json(double d) : value_(d) {}                     // NOLINT
-  Json(int i) : value_(static_cast<double>(i)) {}   // NOLINT
-  Json(std::size_t u) : value_(static_cast<double>(u)) {}  // NOLINT
-  Json(std::uint32_t u) : value_(static_cast<double>(u)) {}  // NOLINT
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Json(long l) : value_(static_cast<std::int64_t>(l)) {}  // NOLINT
+  Json(long long l) : value_(static_cast<std::int64_t>(l)) {}  // NOLINT
+  Json(unsigned u) : value_(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Json(unsigned long u) : value_(Canonical(u)) {}   // NOLINT
+  Json(unsigned long long u) : value_(Canonical(u)) {}  // NOLINT
   Json(const char* s) : value_(std::string(s)) {}   // NOLINT
   Json(std::string s) : value_(std::move(s)) {}     // NOLINT
   Json(JsonArray a) : value_(std::move(a)) {}       // NOLINT
@@ -38,13 +45,27 @@ class Json {
 
   [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
   [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
-  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_) || is_integer();
+  }
+  /// True only for the exact integer alternatives (not integral doubles).
+  [[nodiscard]] bool is_integer() const {
+    return std::holds_alternative<std::int64_t>(value_) ||
+           std::holds_alternative<std::uint64_t>(value_);
+  }
   [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
   [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
   [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
 
   [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
-  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  /// Numeric value as double (lossy above 2^53 for the integer
+  /// alternatives; use as_int64/as_uint64 for exactness).
+  [[nodiscard]] double as_number() const;
+  /// Exact integer access.  Valid for any number whose value fits the
+  /// target type (including integral doubles); otherwise throws
+  /// std::bad_variant_access like the other typed accessors.
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
   [[nodiscard]] const std::string& as_string() const {
     return std::get<std::string>(value_);
   }
@@ -62,6 +83,8 @@ class Json {
 
   /// Typed getters with defaults (object use only).
   [[nodiscard]] double GetNumber(const std::string& key, double fallback) const;
+  [[nodiscard]] std::uint64_t GetUint64(const std::string& key,
+                                        std::uint64_t fallback) const;
   [[nodiscard]] std::string GetString(const std::string& key,
                                       const std::string& fallback) const;
   [[nodiscard]] bool GetBool(const std::string& key, bool fallback) const;
@@ -69,15 +92,33 @@ class Json {
   /// Serialize; indent > 0 pretty-prints.
   [[nodiscard]] std::string Dump(int indent = 0) const;
 
-  /// Parse a complete JSON document (trailing non-space input is an error).
+  /// Parse a complete JSON document (trailing non-space input is an
+  /// error).  Documents nested deeper than kMaxParseDepth are rejected
+  /// with a parse error instead of overflowing the stack.
   [[nodiscard]] static Result<Json> Parse(const std::string& text);
 
-  friend bool operator==(const Json&, const Json&) = default;
+  /// Recursive-descent nesting limit (arrays + objects combined).
+  static constexpr int kMaxParseDepth = 192;
+
+  /// Numbers compare by value across the three numeric alternatives;
+  /// everything else compares structurally.
+  friend bool operator==(const Json& a, const Json& b);
 
  private:
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
-      value_;
+  using Value = std::variant<std::nullptr_t, bool, double, std::string,
+                             JsonArray, JsonObject, std::int64_t,
+                             std::uint64_t>;
+
+  /// Non-negative integers canonicalize to int64 when they fit, so the
+  /// unsigned alternative only ever holds values above INT64_MAX.
+  static Value Canonical(std::uint64_t u) {
+    if (u <= static_cast<std::uint64_t>(INT64_MAX)) {
+      return static_cast<std::int64_t>(u);
+    }
+    return u;
+  }
+
+  Value value_;
 };
 
 }  // namespace vor::util

@@ -28,8 +28,14 @@ double Accumulator::variance() const {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 double Percentile(std::vector<double> values, double p) {
-  assert(p >= 0.0 && p <= 100.0);
   if (values.empty()) return 0.0;
+  // Clamp p into [0, 100]; the !(p >= 0) form also catches NaN.
+  if (!(p >= 0.0)) {
+    p = 0.0;
+  } else if (p > 100.0) {
+    p = 100.0;
+  }
+  if (values.size() == 1) return values.front();
   std::sort(values.begin(), values.end());
   const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

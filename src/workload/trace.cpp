@@ -147,21 +147,31 @@ util::Status ValidateTrace(const std::vector<Request>& requests,
                            const net::Topology& topology,
                            const media::Catalog& catalog) {
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const Request& r = requests[i];
-    if (!catalog.Contains(r.video)) {
-      return util::InvalidArgument("request " + std::to_string(i) +
-                                   " references unknown video " +
-                                   std::to_string(r.video));
+    if (const util::Status s =
+            ValidateTraceRecord(requests[i], i, topology, catalog);
+        !s.ok()) {
+      return s;
     }
-    if (!topology.IsStorage(r.neighborhood)) {
-      return util::InvalidArgument("request " + std::to_string(i) +
-                                   " has non-storage neighborhood " +
-                                   std::to_string(r.neighborhood));
-    }
-    if (r.start_time.value() < 0.0) {
-      return util::InvalidArgument("request " + std::to_string(i) +
-                                   " has negative start time");
-    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ValidateTraceRecord(const Request& r, std::size_t index,
+                                 const net::Topology& topology,
+                                 const media::Catalog& catalog) {
+  if (!catalog.Contains(r.video)) {
+    return util::InvalidArgument("request " + std::to_string(index) +
+                                 " references unknown video " +
+                                 std::to_string(r.video));
+  }
+  if (!topology.IsStorage(r.neighborhood)) {
+    return util::InvalidArgument("request " + std::to_string(index) +
+                                 " has non-storage neighborhood " +
+                                 std::to_string(r.neighborhood));
+  }
+  if (r.start_time.value() < 0.0) {
+    return util::InvalidArgument("request " + std::to_string(index) +
+                                 " has negative start time");
   }
   return util::Status::Ok();
 }

@@ -37,6 +37,13 @@ namespace vor::workload {
     const std::vector<Request>& requests, const net::Topology& topology,
     const media::Catalog& catalog);
 
+/// Per-record form of ValidateTrace, for streaming replay paths that
+/// never hold the whole trace; `index` appears in error messages.
+[[nodiscard]] util::Status ValidateTraceRecord(const Request& r,
+                                               std::size_t index,
+                                               const net::Topology& topology,
+                                               const media::Catalog& catalog);
+
 /// Canonical replay order: (start time, user, video, neighborhood),
 /// ascending.  A reservation log's row order is an accident of how the
 /// operator's collectors interleaved, so every replay path — trace

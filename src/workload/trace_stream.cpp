@@ -1,0 +1,115 @@
+#include "workload/trace_stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "workload/trace.hpp"
+
+namespace vor::workload {
+
+namespace {
+
+io::ByteSource FileSource(std::shared_ptr<std::ifstream> file) {
+  return [file = std::move(file)](char* dst, std::size_t n) -> std::size_t {
+    file->read(dst, static_cast<std::streamsize>(n));
+    return static_cast<std::size_t>(file->gcount());
+  };
+}
+
+io::ByteSource OwnedBufferSource(std::shared_ptr<std::string> buffer) {
+  return [buffer = std::move(buffer), pos = std::size_t{0}](
+             char* dst, std::size_t n) mutable -> std::size_t {
+    const std::size_t take = std::min(n, buffer->size() - pos);
+    std::memcpy(dst, buffer->data() + pos, take);
+    pos += take;
+    return take;
+  };
+}
+
+}  // namespace
+
+util::Result<TraceStream> TraceStream::FromBinarySource(io::ByteSource source) {
+  TraceStream stream;
+  stream.reader_ = std::make_unique<io::BinaryReader>(std::move(source));
+  if (const util::Status s = stream.reader_->ReadHeader(io::BinaryKind::kTrace);
+      !s.ok()) {
+    return s.error();
+  }
+  return stream;
+}
+
+util::Result<TraceStream> TraceStream::OpenFile(const std::string& path) {
+  auto file = std::make_shared<std::ifstream>(path, std::ios::binary);
+  if (!*file) return util::NotFound("cannot open " + path);
+  char magic[sizeof io::kBinaryMagic] = {};
+  file->read(magic, sizeof magic);
+  const bool is_binary =
+      file->gcount() == sizeof magic &&
+      std::memcmp(magic, io::kBinaryMagic, sizeof magic) == 0;
+  file->clear();
+  file->seekg(0);
+  if (is_binary) return FromBinarySource(FileSource(std::move(file)));
+  std::ostringstream buffer;
+  buffer << file->rdbuf();
+  auto requests = RequestsFromCsv(buffer.str());
+  if (!requests.ok()) return requests.error();
+  return FromVector(std::move(*requests));
+}
+
+util::Result<TraceStream> TraceStream::FromBytes(std::string bytes) {
+  if (io::LooksBinary(bytes)) {
+    return FromBinarySource(
+        OwnedBufferSource(std::make_shared<std::string>(std::move(bytes))));
+  }
+  auto requests = RequestsFromCsv(bytes);
+  if (!requests.ok()) return requests.error();
+  return FromVector(std::move(*requests));
+}
+
+TraceStream TraceStream::FromVector(std::vector<Request> requests) {
+  TraceStream stream;
+  SortForReplay(requests);
+  stream.requests_ = std::move(requests);
+  return stream;
+}
+
+util::Result<bool> TraceStream::Next(Request& out) {
+  if (!reader_) {
+    if (pos_ >= requests_.size()) return false;
+    out = requests_[pos_++];
+    return true;
+  }
+  while (chunk_remaining_ == 0) {
+    io::BinarySection section;
+    const auto more = reader_->NextSection(section);
+    if (!more.ok()) return more.error();
+    if (!*more) return false;  // end marker + CRC verified
+    if (section.tag != io::kSecTraceChunk) continue;  // forward compat
+    chunk_ = std::make_shared<std::string>(std::move(section.payload));
+    chunk_reader_ = std::make_unique<io::PayloadReader>(*chunk_);
+    const auto count = chunk_reader_->Varint();
+    if (!count.ok()) return count.error();
+    chunk_remaining_ = *count;
+    if (chunk_remaining_ == 0 && !chunk_reader_->AtEnd()) {
+      return util::InvalidArgument("vor-bin: trailing bytes in trace chunk");
+    }
+  }
+  const auto r = io::ReadRequestRecord(*chunk_reader_);
+  if (!r.ok()) return r.error();
+  --chunk_remaining_;
+  if (chunk_remaining_ == 0 && !chunk_reader_->AtEnd()) {
+    return util::InvalidArgument("vor-bin: trailing bytes in trace chunk");
+  }
+  if (have_prev_ && ReplayOrderLess(*r, prev_)) {
+    return util::InvalidArgument(
+        "binary trace is not in canonical replay order");
+  }
+  prev_ = *r;
+  have_prev_ = true;
+  out = *r;
+  return true;
+}
+
+}  // namespace vor::workload

@@ -1,0 +1,72 @@
+// Streaming request-trace reader.
+//
+// Yields requests in canonical replay order (workload::ReplayOrderLess)
+// from any trace source:
+//
+//   * "vor-bin/1" trace files/buffers stream chunk-at-a-time — memory
+//     stays O(chunk), so a 10M-request trace replays without ever
+//     materializing the request vector.  Binary traces are required to
+//     be stored in replay order (the writers sort before encoding); an
+//     out-of-order record is a hard error, as is any container
+//     corruption (bad magic/version, truncation, CRC mismatch).
+//   * CSV text and in-memory vectors are materialized and stable-sorted
+//     with SortForReplay — the historical semantics, byte-identical
+//     downstream.
+//
+// File inputs are sniffed by the vor-bin magic, so every consumer
+// (vorctl serve/solve --trace, bench replay) accepts either format
+// through one entry point.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/binary.hpp"
+#include "util/result.hpp"
+#include "workload/request.hpp"
+
+namespace vor::workload {
+
+class TraceStream {
+ public:
+  /// Opens a trace file, sniffing binary vs CSV by magic.
+  [[nodiscard]] static util::Result<TraceStream> OpenFile(
+      const std::string& path);
+  /// Parses in-memory trace bytes (binary or CSV).
+  [[nodiscard]] static util::Result<TraceStream> FromBytes(std::string bytes);
+  /// Wraps an in-memory vector, stable-sorting it into replay order.
+  [[nodiscard]] static TraceStream FromVector(std::vector<Request> requests);
+
+  /// Pulls the next request in canonical replay order.  Returns true
+  /// with `out` filled, false at a clean end of trace, or an error on
+  /// corrupt input.
+  [[nodiscard]] util::Result<bool> Next(Request& out);
+
+  /// True when backed by the incremental binary reader (bounded memory);
+  /// false when the trace was materialized.
+  [[nodiscard]] bool streaming() const { return reader_ != nullptr; }
+
+ private:
+  TraceStream() = default;
+
+  [[nodiscard]] static util::Result<TraceStream> FromBinarySource(
+      io::ByteSource source);
+
+  // Materialized path.
+  std::vector<Request> requests_;
+  std::size_t pos_ = 0;
+
+  // Streaming path.  The chunk payload lives on the heap so the
+  // PayloadReader's reference (and the ByteSource's capture of the
+  // backing file/buffer) stay valid across moves of the TraceStream.
+  std::unique_ptr<io::BinaryReader> reader_;
+  std::shared_ptr<std::string> chunk_;
+  std::unique_ptr<io::PayloadReader> chunk_reader_;
+  std::uint64_t chunk_remaining_ = 0;
+  bool have_prev_ = false;
+  Request prev_;
+};
+
+}  // namespace vor::workload

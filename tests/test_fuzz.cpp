@@ -61,6 +61,20 @@ TEST_P(JsonFuzz, StructuredMutationsNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range(1, 9));
 
+TEST(DomainFuzz, AdversarialDeepNestingIsAParseError) {
+  // A 100k-deep document must come back as a parse-error Result; the
+  // recursive-descent parser bounds its depth instead of overflowing
+  // the stack.
+  for (const char* unit : {"[", "{\"k\":"}) {
+    std::string deep;
+    for (int i = 0; i < 100000; ++i) deep += unit;
+    const auto r = util::Json::Parse(deep);
+    ASSERT_FALSE(r.ok()) << unit;
+    EXPECT_NE(r.error().message.find("nesting too deep"), std::string::npos)
+        << r.error().message;
+  }
+}
+
 TEST(DomainFuzz, ScheduleFromHostileJsonIsRejectedOrHarmless) {
   // Hand-crafted hostile schedule documents.
   const char* hostile[] = {

@@ -127,5 +127,81 @@ TEST(JsonTest, DeterministicKeyOrder) {
   EXPECT_LT(dumped.find("alpha"), dumped.find("zebra"));
 }
 
+TEST(JsonTest, IntegersBeyondDoublePrecisionRoundTripExactly) {
+  // 2^53 is the last integer a double represents exactly; 2^53 +/- 1
+  // used to collapse onto it when numbers round-tripped through %.17g.
+  const std::int64_t boundary = 9007199254740992;  // 2^53
+  for (const std::int64_t v :
+       {boundary - 1, boundary, boundary + 1, -boundary - 1,
+        std::int64_t{9223372036854775807}}) {
+    const Json j{v};
+    EXPECT_TRUE(j.is_integer());
+    EXPECT_EQ(j.as_int64(), v);
+    const auto back = Json::Parse(j.Dump());
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(back->as_int64(), v) << "lost precision for " << v;
+    EXPECT_EQ(back->Dump(), j.Dump());
+  }
+}
+
+TEST(JsonTest, Unsigned64RoundTripExactly) {
+  const std::uint64_t huge = 18446744073709551615ull;  // UINT64_MAX
+  const Json j{huge};
+  EXPECT_EQ(j.as_uint64(), huge);
+  const auto back = Json::Parse(j.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_uint64(), huge);
+  // Values representable as i64 canonicalize into the signed arm, so
+  // equality across construction paths holds.
+  EXPECT_EQ(Json{std::uint64_t{42}}, Json{std::int64_t{42}});
+}
+
+TEST(JsonTest, ExactAccessorsRejectUnrepresentable) {
+  EXPECT_THROW((void)Json{-1}.as_uint64(), std::bad_variant_access);
+  EXPECT_THROW((void)Json{18446744073709551615ull}.as_int64(),
+               std::bad_variant_access);
+  EXPECT_THROW((void)Json{1.5}.as_int64(), std::bad_variant_access);
+  EXPECT_THROW((void)Json{"x"}.as_uint64(), std::bad_variant_access);
+  // GetUint64 wraps the throw into the fallback.
+  JsonObject o;
+  o["neg"] = -5;
+  o["ok"] = 7;
+  const Json j{o};
+  EXPECT_EQ(j.GetUint64("neg", 99), 99u);
+  EXPECT_EQ(j.GetUint64("ok", 99), 7u);
+  EXPECT_EQ(j.GetUint64("missing", 99), 99u);
+}
+
+TEST(JsonTest, IntegerAndDoubleCompareByValue) {
+  // Dump(1.0) prints "1", which reparses as an integer; equality must
+  // not depend on which variant arm a number landed in.
+  EXPECT_EQ(Json{1.0}, Json{std::int64_t{1}});
+  EXPECT_EQ(*Json::Parse("1"), *Json::Parse("1.0"));
+  EXPECT_NE(*Json::Parse("1"), *Json::Parse("1.5"));
+  EXPECT_DOUBLE_EQ(Json::Parse("3")->as_number(), 3.0);
+}
+
+TEST(JsonTest, HugeIntegerLiteralsFallBackToDouble) {
+  // Wider than u64: parsed as a double approximation, not an error.
+  const auto r = Json::Parse("123456789012345678901234567890");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_number());
+  EXPECT_FALSE(r->is_integer());
+  EXPECT_NEAR(r->as_number(), 1.2345678901234568e29, 1e14);
+}
+
+TEST(JsonTest, NestingDepthLimited) {
+  // kMaxParseDepth containers parse; one more is a parse error, not a
+  // stack overflow.
+  std::string ok_doc;
+  for (int i = 0; i < Json::kMaxParseDepth; ++i) ok_doc += '[';
+  std::string too_deep = ok_doc + '[';
+  for (int i = 0; i < Json::kMaxParseDepth; ++i) ok_doc += ']';
+  ASSERT_TRUE(Json::Parse(ok_doc).ok());
+  const auto r = Json::Parse(too_deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("nesting too deep"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace vor::util

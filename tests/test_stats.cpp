@@ -49,6 +49,24 @@ TEST(PercentileTest, UnsortedInputHandled) {
 
 TEST(PercentileTest, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  // Empty input is safe for every p, including hostile ones.
+  EXPECT_DOUBLE_EQ(Percentile({}, -10), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 1e300), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsItsOwnPercentile) {
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 50), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 100), 7.5);
+}
+
+TEST(PercentileTest, OutOfRangePIsClamped) {
+  const std::vector<double> values{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Percentile(values, -5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 105), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1e300), 4.0);
+  // NaN p clamps to the minimum instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(Percentile(values, std::nan("")), 1.0);
 }
 
 TEST(CorrelationTest, PerfectLinearIsOne) {

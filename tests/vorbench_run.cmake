@@ -38,3 +38,21 @@ endif()
 if(NOT err MATCHES "unknown knob")
   message(FATAL_ERROR "vorbench error message unexpected: ${err}")
 endif()
+
+# Overflowing integral knob values must be spec errors, not undefined
+# double->integer casts.
+file(WRITE ${spec} "{\"format\": \"vor/1\", \"kind\": \"experiment\",
+  \"base\": {\"seed\": 1e300},
+  \"sweep\": {\"knob\": \"nrate_per_gb\", \"values\": [300]}}")
+execute_process(COMMAND ${VORBENCH} run ${spec}
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "non-negative integer")
+  message(FATAL_ERROR "vorbench accepted seed 1e300: rc=${rc} err=${err}")
+endif()
+file(WRITE ${spec} "{\"format\": \"vor/1\", \"kind\": \"experiment\",
+  \"sweep\": {\"knob\": \"catalog_size\", \"values\": [40, -3]}}")
+execute_process(COMMAND ${VORBENCH} run ${spec}
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "non-negative integer")
+  message(FATAL_ERROR "vorbench accepted catalog_size -3: rc=${rc} err=${err}")
+endif()

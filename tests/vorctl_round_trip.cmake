@@ -77,14 +77,34 @@ endif()
 execute_process(
   COMMAND ${VORCTL} solve ${scenario} --threads abc
   RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
-if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a number")
+if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a")
   message(FATAL_ERROR "malformed --threads: rc=${rc} err=${err}")
 endif()
 execute_process(
   COMMAND ${VORCTL} gen-scenario --seed 12xyz
   RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
-if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a number")
+if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a")
   message(FATAL_ERROR "malformed --seed: rc=${rc} err=${err}")
+endif()
+# Integral flags with overflowing or non-integer literals are a usage
+# error too — previously 1e300 went through an undefined double->u64 cast.
+execute_process(
+  COMMAND ${VORCTL} gen-scenario --seed 1e300
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a non-negative integer")
+  message(FATAL_ERROR "overflowing --seed: rc=${rc} err=${err}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --cycle 21600 --producers 1e300
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a non-negative integer")
+  message(FATAL_ERROR "overflowing --producers: rc=${rc} err=${err}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} gen-scenario --catalog 99999999999999999999999
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 1 OR NOT err MATCHES "expects a non-negative integer")
+  message(FATAL_ERROR "overflowing --catalog: rc=${rc} err=${err}")
 endif()
 
 # --metrics-out must emit a JSON document carrying the phase spans and
@@ -169,6 +189,161 @@ execute_process(
   RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
 if(NOT rc EQUAL 1 OR NOT err MATCHES "--cycle")
   message(FATAL_ERROR "serve without --cycle: rc=${rc} err=${err}")
+endif()
+
+# ---- vor-bin codec round trips -------------------------------------------
+# CSV -> binary -> CSV -> binary: the two binary encodings must be
+# byte-identical (the binary container is canonical).
+set(trace_bin ${WORKDIR}/vorctl_trace.vorb)
+set(trace_rt ${WORKDIR}/vorctl_trace_rt.csv)
+set(trace_bin2 ${WORKDIR}/vorctl_trace_rt.vorb)
+execute_process(
+  COMMAND ${VORCTL} convert ${trace} ${trace_bin}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "binary")
+  message(FATAL_ERROR "convert csv->binary failed (${rc}): ${out}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} convert ${trace_bin} ${trace_rt}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "convert binary->csv failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} convert ${trace_rt} ${trace_bin2}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "convert csv->binary (2nd) failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${trace_bin} ${trace_bin2}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "binary trace re-encode is not byte-identical")
+endif()
+
+# Schedule JSON -> binary -> JSON must reproduce the original bytes, and
+# validate must accept the binary schedule directly.
+set(schedule_bin ${WORKDIR}/vorctl_schedule.vorb)
+set(schedule_rt ${WORKDIR}/vorctl_schedule_rt.json)
+execute_process(
+  COMMAND ${VORCTL} convert ${schedule} ${schedule_bin}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "convert schedule json->binary failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} convert ${schedule_bin} ${schedule_rt}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "convert schedule binary->json failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${schedule} ${schedule_rt}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "schedule JSON<->binary round trip lost bytes")
+endif()
+execute_process(
+  COMMAND ${VORCTL} validate ${scenario} ${schedule_bin}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "validate rejected the binary schedule (${rc}): ${out}")
+endif()
+
+# Batch solve from the CSV trace and from its binary twin must commit
+# byte-identical schedules.
+set(solved_csv ${WORKDIR}/vorctl_solved_csv.json)
+set(solved_bin ${WORKDIR}/vorctl_solved_bin.json)
+execute_process(
+  COMMAND ${VORCTL} solve ${scenario} --trace ${trace} --out ${solved_csv}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "solve --trace csv failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} solve ${scenario} --trace ${trace_bin} --out ${solved_bin}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "solve --trace binary failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${solved_csv} ${solved_bin}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "solve schedule depends on trace encoding")
+endif()
+
+# Streaming binary replay must commit the same bytes as the CSV replay,
+# at any producer count and with speculation on.
+set(served_bin4 ${WORKDIR}/vorctl_served_bin4.json)
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --trace ${trace_bin} --cycle 21600
+          --producers 4 --out ${served_bin4}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve binary trace failed (${rc}): ${out}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${served1} ${served_bin4}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve schedule depends on trace encoding")
+endif()
+set(served_spec ${WORKDIR}/vorctl_served_spec.json)
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --trace ${trace_bin} --cycle 21600
+          --producers 4 --speculate --out ${served_spec}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve binary trace --speculate failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${served1} ${served_spec}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "speculative binary replay diverged")
+endif()
+
+# Binary snapshot + binary schedule out: the decoded schedule must match
+# the JSON run, and a restore from the binary snapshot must resume.
+set(snapshot_bin ${WORKDIR}/vorctl_snapshot.vorb)
+set(served_vorb ${WORKDIR}/vorctl_served_bin1.vorb)
+set(served_vorb_json ${WORKDIR}/vorctl_served_bin1_rt.json)
+file(REMOVE ${snapshot_bin})
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --trace ${trace_bin} --cycle 21600
+          --producers 1 --binary --out ${served_vorb}
+          --snapshot ${snapshot_bin}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve --binary failed (${rc}): ${out}")
+endif()
+execute_process(
+  COMMAND ${VORCTL} convert ${served_vorb} ${served_vorb_json}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "convert served binary schedule failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${served1} ${served_vorb_json}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "binary served schedule decoded to different bytes")
+endif()
+set(resumed_bin ${WORKDIR}/vorctl_resumed_bin.json)
+execute_process(
+  COMMAND ${VORCTL} serve ${scenario} --trace ${trace_bin} --cycle 21600
+          --producers 4 --snapshot ${snapshot_bin} --out ${resumed_bin}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "restored")
+  message(FATAL_ERROR "binary snapshot restore failed (${rc}): ${out}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${served1} ${resumed_bin}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "binary snapshot resume diverged from the original run")
 endif()
 
 # Corrupt the schedule (splice a bogus node into every route) and

@@ -45,37 +45,67 @@ using namespace vor;
 
 // ---- knobs ---------------------------------------------------------------
 
-using KnobSetter = std::function<void(workload::ScenarioParams&, double)>;
+using KnobSetter =
+    std::function<util::Status(workload::ScenarioParams&, double)>;
+
+/// Integral knobs must be exactly representable counts; a spec value of
+/// 1e300 or -3 is a spec error, not an undefined double→integer cast.
+util::Status CheckCount(const char* knob, double v) {
+  if (!(v >= 0.0) || v > 9007199254740992.0 ||
+      v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+    return util::InvalidArgument(std::string("knob '") + knob +
+                                 "' must be a non-negative integer");
+  }
+  return util::Status::Ok();
+}
 
 const std::map<std::string, KnobSetter>& Knobs() {
+  static const auto number = [](double workload::ScenarioParams::* field) {
+    return [field](workload::ScenarioParams& p, double v) {
+      p.*field = v;
+      return util::Status::Ok();
+    };
+  };
   static const std::map<std::string, KnobSetter> knobs{
-      {"nrate_per_gb",
-       [](workload::ScenarioParams& p, double v) { p.nrate_per_gb = v; }},
+      {"nrate_per_gb", number(&workload::ScenarioParams::nrate_per_gb)},
       {"srate_per_gb_hour",
-       [](workload::ScenarioParams& p, double v) { p.srate_per_gb_hour = v; }},
+       number(&workload::ScenarioParams::srate_per_gb_hour)},
       {"is_capacity_gb",
-       [](workload::ScenarioParams& p, double v) { p.is_capacity = util::GB(v); }},
-      {"zipf_alpha",
-       [](workload::ScenarioParams& p, double v) { p.zipf_alpha = v; }},
+       [](workload::ScenarioParams& p, double v) {
+         p.is_capacity = util::GB(v);
+         return util::Status::Ok();
+       }},
+      {"zipf_alpha", number(&workload::ScenarioParams::zipf_alpha)},
       {"users_per_neighborhood",
        [](workload::ScenarioParams& p, double v) {
+         if (auto s = CheckCount("users_per_neighborhood", v); !s.ok()) {
+           return s;
+         }
          p.users_per_neighborhood = static_cast<std::size_t>(v);
+         return util::Status::Ok();
        }},
       {"storage_count",
        [](workload::ScenarioParams& p, double v) {
+         if (auto s = CheckCount("storage_count", v); !s.ok()) return s;
          p.storage_count = static_cast<std::size_t>(v);
+         return util::Status::Ok();
        }},
       {"catalog_size",
        [](workload::ScenarioParams& p, double v) {
+         if (auto s = CheckCount("catalog_size", v); !s.ok()) return s;
          p.catalog_size = static_cast<std::size_t>(v);
+         return util::Status::Ok();
        }},
       {"cycle_hours",
        [](workload::ScenarioParams& p, double v) {
          p.cycle_length = util::Hours(v);
+         return util::Status::Ok();
        }},
       {"seed",
        [](workload::ScenarioParams& p, double v) {
+         if (auto s = CheckCount("seed", v); !s.ok()) return s;
          p.seed = static_cast<std::uint64_t>(v);
+         return util::Status::Ok();
        }},
   };
   return knobs;
@@ -161,10 +191,18 @@ util::Result<Axis> ParseAxis(const util::Json& j, const char* what) {
     return util::InvalidArgument(std::string(what) +
                                  ": needs a non-empty 'values' array");
   }
+  const KnobSetter& setter = Knobs().at(axis.knob);
   for (const util::Json& v : j["values"].as_array()) {
     if (!v.is_number()) {
       return util::InvalidArgument(std::string(what) +
                                    ": values must be numbers");
+    }
+    // Dry-run the setter so out-of-range integral values (1e300, -3)
+    // fail at parse time instead of mid-sweep.
+    workload::ScenarioParams scratch;
+    if (auto s = setter(scratch, v.as_number()); !s.ok()) {
+      return util::InvalidArgument(std::string(what) + ": " +
+                                   s.error().message);
     }
     axis.values.push_back(v.as_number());
   }
@@ -185,7 +223,9 @@ util::Result<Spec> ParseSpec(const util::Json& j) {
       if (!value.is_number()) {
         return util::InvalidArgument("base: '" + key + "' must be a number");
       }
-      knob->second(spec.base, value.as_number());
+      if (auto s = knob->second(spec.base, value.as_number()); !s.ok()) {
+        return util::InvalidArgument("base: " + s.error().message);
+      }
     }
   }
   auto sweep = ParseAxis(j["sweep"], "sweep");
@@ -227,9 +267,19 @@ int CmdRun(const std::string& path) {
     const std::size_t row = i / columns;
     const std::size_t col = i % columns;
     workload::ScenarioParams params = spec->base;
-    Knobs().at(spec->sweep.knob)(params, spec->sweep.values[row]);
+    // Values were validated by ParseAxis; a failure here is a bug.
+    if (auto s = Knobs().at(spec->sweep.knob)(params, spec->sweep.values[row]);
+        !s.ok()) {
+      errors[i] = s.error().message;
+      return;
+    }
     if (spec->series) {
-      Knobs().at(spec->series->knob)(params, spec->series->values[col]);
+      if (auto s = Knobs().at(spec->series->knob)(params,
+                                                  spec->series->values[col]);
+          !s.ok()) {
+        errors[i] = s.error().message;
+        return;
+      }
     }
     CellInputs inputs{workload::MakeScenario(params), {}, nullptr};
     const core::VorScheduler scheduler(inputs.scenario.topology,

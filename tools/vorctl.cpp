@@ -31,14 +31,22 @@
 //       Shows what changed between two schedules of the same cycle:
 //       moved/extended copies, retargeted services, per-file cost deltas.
 //
-//   vorctl serve <scenario.json> --cycle SECS [--trace FILE.csv]
+//   vorctl convert <in> <out>
+//       Translates between the text formats (CSV trace, JSON schedule /
+//       snapshot / requests) and the "vor-bin/1" binary container,
+//       sniffing the input format by magic/header/kind.
+//
+//   vorctl serve <scenario.json> --cycle SECS [--trace FILE]
 //                [--producers N] [--shards N] [--threads N]
 //                [--snapshot FILE] [--clock-ms MS] [--speculate]
-//                [--out FILE] [--metrics-out FILE]
+//                [--out FILE] [--metrics-out FILE] [--binary]
 //       Replays the request trace through the online ReservationService:
 //       requests are partitioned into virtual-time windows of --cycle
 //       seconds and each window is submitted by --producers concurrent
-//       threads before the cycle closes.  The committed schedule is
+//       threads before the cycle closes.  A vor-bin --trace is streamed
+//       chunk by chunk (memory stays O(window), not O(trace)); CSV is
+//       materialized and sorted first.  Either format commits a
+//       byte-identical schedule.  The committed schedule is
 //       byte-identical at any producer count.  --snapshot names a
 //       "vor-svc/1" state file: restored at startup when it exists (the
 //       replay resumes at the snapshot's cycle) and rewritten at exit.
@@ -49,6 +57,7 @@
 //       submitting and the close repairs in the late delta (the "spec"
 //       column reports hit/repair/fallback per cycle; the committed
 //       schedule stays byte-identical either way).
+#include <charconv>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -64,6 +73,7 @@
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "ext/bandwidth.hpp"
+#include "io/binary.hpp"
 #include "io/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "sim/playback_sim.hpp"
@@ -74,6 +84,7 @@
 #include "util/table.hpp"
 #include "workload/scenario.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_stream.hpp"
 
 namespace {
 
@@ -101,6 +112,23 @@ struct Args {
       throw UsageError{"--" + key + " expects a number, got '" + it->second +
                        "'"};
     }
+  }
+  /// Exact non-negative integer flags (seeds, counts, thread numbers).
+  /// Unlike Number + static_cast, magnitudes like 1e300 or 2^64 are a
+  /// usage error instead of an undefined double→integer conversion.
+  [[nodiscard]] std::size_t Count(const std::string& key,
+                                  std::size_t fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    std::uint64_t v = 0;
+    const char* first = it->second.data();
+    const char* last = first + it->second.size();
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc{} || ptr != last) {
+      throw UsageError{"--" + key + " expects a non-negative integer, got '" +
+                       it->second + "'"};
+    }
+    return static_cast<std::size_t>(v);
   }
   [[nodiscard]] std::string Str(const std::string& key,
                                 const std::string& fallback) const {
@@ -143,9 +171,11 @@ util::Result<workload::Scenario> LoadScenario(const std::string& path) {
   return io::ScenarioFromJson(*json);
 }
 
+/// Accepts either the JSON schedule document or its vor-bin twin.
 util::Result<core::Schedule> LoadSchedule(const std::string& path) {
   auto text = io::ReadFile(path);
   if (!text.ok()) return text.error();
+  if (io::LooksBinary(*text)) return io::ScheduleFromBinary(*text);
   auto json = util::Json::Parse(*text);
   if (!json.ok()) return json.error();
   return io::ScheduleFromJson(*json);
@@ -165,12 +195,10 @@ int CmdGenScenario(const Args& args) {
   params.srate_per_gb_hour = args.Number("srate", params.srate_per_gb_hour);
   params.is_capacity = util::GB(args.Number("capacity-gb", 5.0));
   params.zipf_alpha = args.Number("alpha", params.zipf_alpha);
-  params.storage_count =
-      static_cast<std::size_t>(args.Number("storages", 19));
-  params.users_per_neighborhood =
-      static_cast<std::size_t>(args.Number("users", 10));
-  params.catalog_size = static_cast<std::size_t>(args.Number("catalog", 500));
-  params.seed = static_cast<std::uint64_t>(args.Number("seed", 1997));
+  params.storage_count = args.Count("storages", 19);
+  params.users_per_neighborhood = args.Count("users", 10);
+  params.catalog_size = args.Count("catalog", 500);
+  params.seed = args.Count("seed", 1997);
   if (args.Flag("evening")) {
     params.start_profile = workload::StartTimeProfile::kEveningPeak;
   }
@@ -178,9 +206,17 @@ int CmdGenScenario(const Args& args) {
   const workload::Scenario scenario = workload::MakeScenario(params);
   const std::string trace_out = args.Str("trace-out", "");
   if (!trace_out.empty()) {
-    if (const util::Status s = io::WriteFile(
-            trace_out, workload::RequestsToCsv(scenario.requests));
-        !s.ok()) {
+    std::string trace_text;
+    if (args.Flag("binary")) {
+      // Binary traces are stored in canonical replay order so they can
+      // be streamed without a sort.
+      std::vector<workload::Request> sorted = scenario.requests;
+      workload::SortForReplay(sorted);
+      trace_text = io::TraceToBinary(sorted);
+    } else {
+      trace_text = workload::RequestsToCsv(scenario.requests);
+    }
+    if (const util::Status s = io::WriteFile(trace_out, trace_text); !s.ok()) {
       return Fail(s.error().message);
     }
     std::cout << "wrote " << trace_out << " (" << scenario.requests.size()
@@ -206,19 +242,26 @@ int CmdSolve(const Args& args) {
   auto scenario = LoadScenario(args.positional[0]);
   if (!scenario.ok()) return Fail(scenario.error().message);
 
-  // Optional CSV trace replaces the scenario's synthetic requests.
+  // Optional trace (CSV or vor-bin, sniffed by magic) replaces the
+  // scenario's synthetic requests, normalized to canonical replay order.
   const std::string trace_path = args.Str("trace", "");
   if (!trace_path.empty()) {
-    auto text = io::ReadFile(trace_path);
-    if (!text.ok()) return Fail(text.error().message);
-    auto trace = workload::RequestsFromCsv(*text);
-    if (!trace.ok()) return Fail(trace.error().message);
+    auto stream = workload::TraceStream::OpenFile(trace_path);
+    if (!stream.ok()) return Fail(stream.error().message);
+    std::vector<workload::Request> trace;
+    workload::Request r;
+    while (true) {
+      auto more = stream->Next(r);
+      if (!more.ok()) return Fail(more.error().message);
+      if (!*more) break;
+      trace.push_back(r);
+    }
     if (const util::Status s = workload::ValidateTrace(
-            *trace, scenario->topology, scenario->catalog);
+            trace, scenario->topology, scenario->catalog);
         !s.ok()) {
       return Fail(s.error().message);
     }
-    scenario->requests = std::move(*trace);
+    scenario->requests = std::move(trace);
   }
 
   core::SchedulerOptions options;
@@ -229,9 +272,7 @@ int CmdSolve(const Args& args) {
   // --threads N: worker threads shared by phase 1 and SORP evaluations
   // (1 = serial, 0 = one per hardware thread).  The schedule is
   // byte-identical at any setting.
-  const double threads = args.Number("threads", 1);
-  if (threads < 0) return Fail("--threads must be >= 0");
-  options.parallel.threads = static_cast<std::size_t>(threads);
+  options.parallel.threads = args.Count("threads", 1);
 
   // --metrics-out FILE: attach a registry and export phase timings and
   // solver counters as JSON after the solve.
@@ -288,8 +329,10 @@ int CmdSolve(const Args& args) {
 
   const std::string out = args.Str("out", "");
   if (!out.empty()) {
-    if (const util::Status s = io::WriteFile(out, io::ToJson(schedule).Dump(2));
-        !s.ok()) {
+    const std::string text = args.Flag("binary")
+                                 ? io::ScheduleToBinary(schedule)
+                                 : io::ToJson(schedule).Dump(2);
+    if (const util::Status s = io::WriteFile(out, text); !s.ok()) {
       return Fail(s.error().message);
     }
     std::cout << "wrote " << out << '\n';
@@ -405,36 +448,17 @@ int CmdServe(const Args& args) {
   auto scenario = LoadScenario(args.positional[0]);
   if (!scenario.ok()) return Fail(scenario.error().message);
 
-  const std::string trace_path = args.Str("trace", "");
-  if (!trace_path.empty()) {
-    auto text = io::ReadFile(trace_path);
-    if (!text.ok()) return Fail(text.error().message);
-    auto trace = workload::RequestsFromCsv(*text);
-    if (!trace.ok()) return Fail(trace.error().message);
-    if (const util::Status s = workload::ValidateTrace(
-            *trace, scenario->topology, scenario->catalog);
-        !s.ok()) {
-      return Fail(s.error().message);
-    }
-    scenario->requests = std::move(*trace);
-  }
-  if (scenario->requests.empty()) return Fail("serve: no requests to replay");
-
   const double cycle = args.Number("cycle", 0.0);
   if (cycle <= 0.0) return Fail("serve needs --cycle SECS (> 0)");
-  const double producers_arg = args.Number("producers", 1);
-  if (producers_arg < 1) return Fail("--producers must be >= 1");
-  const std::size_t producers = static_cast<std::size_t>(producers_arg);
+  const std::size_t producers = args.Count("producers", 1);
+  if (producers < 1) return Fail("--producers must be >= 1");
   const double clock_ms = args.Number("clock-ms", 0.0);
   if (clock_ms < 0) return Fail("--clock-ms must be >= 0");
 
   svc::ServiceConfig config;
-  config.shards = static_cast<std::size_t>(
-      args.Number("shards", static_cast<double>(config.shards)));
+  config.shards = args.Count("shards", config.shards);
   if (config.shards == 0) return Fail("--shards must be >= 1");
-  const double threads = args.Number("threads", 1);
-  if (threads < 0) return Fail("--threads must be >= 0");
-  config.scheduler.parallel.threads = static_cast<std::size_t>(threads);
+  config.scheduler.parallel.threads = args.Count("threads", 1);
   if (clock_ms > 0) config.cycle_period_seconds = clock_ms / 1000.0;
   config.speculate = args.Flag("speculate");
 
@@ -445,13 +469,12 @@ int CmdServe(const Args& args) {
   svc::ReservationService service(scenario->topology, scenario->catalog,
                                   config);
 
-  // --snapshot FILE doubles as restore source and save target.
+  // --snapshot FILE doubles as restore source and save target (JSON or
+  // vor-bin, sniffed by magic).
   const std::string snapshot_path = args.Str("snapshot", "");
   if (!snapshot_path.empty()) {
     if (auto text = io::ReadFile(snapshot_path); text.ok()) {
-      auto json = util::Json::Parse(*text);
-      if (!json.ok()) return Fail("snapshot: " + json.error().message);
-      auto snapshot = svc::SnapshotFromJson(*json);
+      auto snapshot = svc::SnapshotFromBytes(*text);
       if (!snapshot.ok()) return Fail("snapshot: " + snapshot.error().message);
       if (const util::Status s = service.Restore(*snapshot); !s.ok()) {
         return Fail("snapshot: " + s.error().message);
@@ -466,16 +489,20 @@ int CmdServe(const Args& args) {
     }
   }
 
-  // Partition the trace into virtual-time windows of --cycle seconds.
-  // The grid is anchored at the earliest start time of the full trace, so
-  // a restored run resumes on exactly the window boundaries the original
+  // The trace is consumed as a stream in canonical replay order: a
+  // vor-bin trace file is replayed chunk by chunk without ever holding
+  // the full request vector; CSV and scenario requests are materialized
+  // and sorted.  Requests are partitioned into virtual-time windows of
+  // --cycle seconds anchored at the first (earliest) request, so a
+  // restored run resumes on exactly the window boundaries the original
   // run used.
-  std::vector<workload::Request> requests = scenario->requests;
-  workload::SortForReplay(requests);
-  const double t0 = requests.front().start_time.value();
-  const double span = requests.back().start_time.value() - t0;
-  const std::size_t windows =
-      1 + static_cast<std::size_t>(span / cycle);
+  const std::string trace_path = args.Str("trace", "");
+  auto stream = trace_path.empty()
+                    ? util::Result<workload::TraceStream>(
+                          workload::TraceStream::FromVector(
+                              std::move(scenario->requests)))
+                    : workload::TraceStream::OpenFile(trace_path);
+  if (!stream.ok()) return Fail(stream.error().message);
 
   if (clock_ms > 0) service.Start();
 
@@ -493,29 +520,26 @@ int CmdServe(const Args& args) {
 
   const std::size_t skip_windows =
       static_cast<std::size_t>(service.cycle_index());
-  std::size_t next = 0;
+  std::size_t w = 0;
+  std::size_t total = 0;
   std::size_t backpressured = 0;
-  for (std::size_t w = 0; w < windows; ++w) {
-    const double window_end = t0 + static_cast<double>(w + 1) * cycle;
-    std::size_t end = next;
-    while (end < requests.size() &&
-           (requests[end].start_time.value() < window_end ||
-            w + 1 == windows)) {
-      ++end;
-    }
+  std::vector<workload::Request> window;
+
+  // Submits the buffered window with --producers concurrent threads and
+  // closes the cycle.  Windows inside the restored horizon are skipped
+  // (their requests are already part of the service state).
+  auto close_window = [&]() -> int {
     if (w < skip_windows) {
-      // Already part of the restored horizon.
-      next = end;
-      continue;
+      window.clear();
+      return 0;
     }
-    const std::size_t begin = next;
     std::vector<std::thread> pool;
     std::vector<std::size_t> rejected(producers, 0);
     for (std::size_t p = 0; p < producers; ++p) {
       pool.emplace_back([&, p] {
-        for (std::size_t i = begin + p; i < end; i += producers) {
+        for (std::size_t i = p; i < window.size(); i += producers) {
           const auto outcome =
-              service.Submit(requests[i], requests[i].start_time);
+              service.Submit(window[i], window[i].start_time);
           if (outcome == svc::SubmitOutcome::kRejectedBackpressure ||
               outcome == svc::SubmitOutcome::kRejectedInvalid) {
             ++rejected[p];
@@ -525,6 +549,7 @@ int CmdServe(const Args& args) {
     }
     for (std::thread& t : pool) t.join();
     for (const std::size_t r : rejected) backpressured += r;
+    window.clear();
     // Pipelined close: solve the submitted window in the background and
     // close once it lands, so the close itself only harvests (any late
     // trickle would be repaired in as a delta).  With the wall clock
@@ -533,11 +558,33 @@ int CmdServe(const Args& args) {
       (void)service.Speculate();
       service.WaitForSpeculation();
     }
-    next = end;
     auto stats = service.CloseCycle();
     if (!stats.ok()) return Fail(stats.error().message);
     add_row(*stats);
+    return 0;
+  };
+
+  double t0 = 0.0;
+  workload::Request r;
+  while (true) {
+    auto more = stream->Next(r);
+    if (!more.ok()) return Fail(more.error().message);
+    if (!*more) break;
+    if (const util::Status s = workload::ValidateTraceRecord(
+            r, total, scenario->topology, scenario->catalog);
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    if (total == 0) t0 = r.start_time.value();
+    while (r.start_time.value() >= t0 + static_cast<double>(w + 1) * cycle) {
+      if (const int rc = close_window(); rc != 0) return rc;
+      ++w;
+    }
+    window.push_back(r);
+    ++total;
   }
+  if (total == 0) return Fail("serve: no requests to replay");
+  if (const int rc = close_window(); rc != 0) return rc;
 
   if (clock_ms > 0) service.Stop();
 
@@ -574,26 +621,29 @@ int CmdServe(const Args& args) {
   for (const svc::CycleStats& s : service.History()) {
     close_times.push_back(s.close_seconds);
   }
-  std::cout << "served " << committed.size() << "/" << requests.size()
+  std::cout << "served " << committed.size() << "/" << total
             << " request(s) over " << service.cycle_index()
             << " cycle(s); backlog " << service.DeferredCount()
             << "; total cost $" << cm.TotalCost(schedule).value() << '\n';
   std::cout << "cycle close p50 " << util::Percentile(close_times, 50)
             << " s, p95 " << util::Percentile(close_times, 95) << " s\n";
 
+  const bool binary_out = args.Flag("binary");
   const std::string out = args.Str("out", "");
   if (!out.empty()) {
-    if (const util::Status s =
-            io::WriteFile(out, io::ToJson(schedule).Dump(2));
-        !s.ok()) {
+    const std::string text = binary_out ? io::ScheduleToBinary(schedule)
+                                        : io::ToJson(schedule).Dump(2);
+    if (const util::Status s = io::WriteFile(out, text); !s.ok()) {
       return Fail(s.error().message);
     }
     std::cout << "wrote " << out << '\n';
   }
   if (!snapshot_path.empty()) {
-    const util::Json doc = svc::SnapshotToJson(service.Snapshot());
-    if (const util::Status s = io::WriteFile(snapshot_path, doc.Dump(2));
-        !s.ok()) {
+    const svc::ServiceSnapshot snap = service.Snapshot();
+    const std::string text = binary_out
+                                 ? svc::SnapshotToBinary(snap)
+                                 : svc::SnapshotToJson(snap).Dump(2);
+    if (const util::Status s = io::WriteFile(snapshot_path, text); !s.ok()) {
       return Fail(s.error().message);
     }
     std::cout << "wrote " << snapshot_path << '\n';
@@ -610,23 +660,108 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// vorctl convert <in> <out> — translates between the text formats (CSV
+// trace, JSON schedule/snapshot/requests) and their vor-bin twins.  The
+// input format is sniffed: vor-bin magic dispatches on the container
+// kind back to text; text dispatches on the CSV header or the JSON
+// "kind"/"format" fields forward to binary.  Traces are normalized to
+// canonical replay order on the way into binary, so the output is
+// always streamable.
+int CmdConvert(const Args& args) {
+  if (args.positional.size() < 2) {
+    return Fail("convert needs <in> <out>");
+  }
+  const std::string& in_path = args.positional[0];
+  const std::string& out_path = args.positional[1];
+  auto text = io::ReadFile(in_path);
+  if (!text.ok()) return Fail(text.error().message);
+
+  std::string out_text;
+  std::string what;
+  if (io::LooksBinary(*text)) {
+    const auto kind = io::SniffBinaryKind(*text);
+    if (!kind.ok()) return Fail(kind.error().message);
+    switch (*kind) {
+      case io::BinaryKind::kTrace: {
+        auto trace = io::TraceFromBinary(*text);
+        if (!trace.ok()) return Fail(trace.error().message);
+        out_text = workload::RequestsToCsv(*trace);
+        what = "trace (binary -> csv)";
+        break;
+      }
+      case io::BinaryKind::kSchedule: {
+        auto schedule = io::ScheduleFromBinary(*text);
+        if (!schedule.ok()) return Fail(schedule.error().message);
+        out_text = io::ToJson(*schedule).Dump(2);
+        what = "schedule (binary -> json)";
+        break;
+      }
+      case io::BinaryKind::kSnapshot: {
+        auto snapshot = svc::SnapshotFromBinary(*text);
+        if (!snapshot.ok()) return Fail(snapshot.error().message);
+        out_text = svc::SnapshotToJson(*snapshot).Dump(2);
+        what = "snapshot (binary -> json)";
+        break;
+      }
+    }
+  } else if (text->rfind("user,", 0) == 0) {
+    auto trace = workload::RequestsFromCsv(*text);
+    if (!trace.ok()) return Fail(trace.error().message);
+    workload::SortForReplay(*trace);
+    out_text = io::TraceToBinary(*trace);
+    what = "trace (csv -> binary)";
+  } else {
+    auto json = util::Json::Parse(*text);
+    if (!json.ok()) return Fail(json.error().message);
+    const std::string kind = json->GetString("kind", "");
+    if (json->GetString("format", "") == "vor-svc/1") {
+      auto snapshot = svc::SnapshotFromJson(*json);
+      if (!snapshot.ok()) return Fail(snapshot.error().message);
+      out_text = svc::SnapshotToBinary(*snapshot);
+      what = "snapshot (json -> binary)";
+    } else if (kind == "schedule") {
+      auto schedule = io::ScheduleFromJson(*json);
+      if (!schedule.ok()) return Fail(schedule.error().message);
+      out_text = io::ScheduleToBinary(*schedule);
+      what = "schedule (json -> binary)";
+    } else if (kind == "requests") {
+      auto trace = io::RequestsFromJson(*json);
+      if (!trace.ok()) return Fail(trace.error().message);
+      workload::SortForReplay(*trace);
+      out_text = io::TraceToBinary(*trace);
+      what = "trace (json -> binary)";
+    } else {
+      return Fail("convert: unsupported document kind '" + kind + "'");
+    }
+  }
+
+  if (const util::Status s = io::WriteFile(out_path, out_text); !s.ok()) {
+    return Fail(s.error().message);
+  }
+  std::cout << "wrote " << out_path << ": " << what << '\n';
+  return 0;
+}
+
 void PrintUsage() {
   std::cout <<
       "usage: vorctl <command> [args]\n"
       "  gen-scenario [--nrate N] [--srate N] [--capacity-gb N] [--alpha A]\n"
       "               [--storages N] [--users N] [--catalog N] [--seed N]\n"
-      "               [--evening] [--out FILE] [--trace-out FILE.csv]\n"
-      "  solve <scenario.json> [--heat m1|m2|m3|m4] [--out schedule.json]\n"
-      "        [--trace FILE.csv] [--bandwidth] [--threads N]\n"
+      "               [--evening] [--out FILE] [--trace-out FILE] [--binary]\n"
+      "  solve <scenario.json> [--heat m1|m2|m3|m4] [--out schedule]\n"
+      "        [--trace FILE] [--bandwidth] [--threads N] [--binary]\n"
       "        [--metrics-out FILE.json]\n"
-      "  serve <scenario.json> --cycle SECS [--trace FILE.csv]\n"
+      "  serve <scenario.json> --cycle SECS [--trace FILE]\n"
       "        [--producers N] [--shards N] [--threads N] [--snapshot FILE]\n"
-      "        [--clock-ms MS] [--speculate] [--out FILE]\n"
+      "        [--clock-ms MS] [--speculate] [--out FILE] [--binary]\n"
       "        [--metrics-out FILE.json]\n"
-      "  validate <scenario.json> <schedule.json>\n"
-      "  simulate <scenario.json> <schedule.json>\n"
-      "  report <scenario.json> <schedule.json>\n"
-      "  diff <scenario.json> <before.json> <after.json>\n";
+      "  convert <in> <out>        (csv/json <-> vor-bin, format sniffed)\n"
+      "  validate <scenario.json> <schedule>\n"
+      "  simulate <scenario.json> <schedule>\n"
+      "  report <scenario.json> <schedule>\n"
+      "  diff <scenario.json> <before> <after>\n"
+      "trace/schedule/snapshot files may be text or vor-bin; --binary\n"
+      "selects vor-bin for files written by gen-scenario/solve/serve.\n";
 }
 
 }  // namespace
@@ -642,6 +777,7 @@ int main(int argc, char** argv) {
     if (command == "gen-scenario") return CmdGenScenario(args);
     if (command == "solve") return CmdSolve(args);
     if (command == "serve") return CmdServe(args);
+    if (command == "convert") return CmdConvert(args);
     if (command == "validate") return CmdValidate(args);
     if (command == "simulate") return CmdSimulate(args);
     if (command == "report") return CmdReport(args);
