@@ -43,6 +43,7 @@
 #include "util/thread_pool.hpp"
 #include "util/zipf.hpp"
 #include "workload/generator.hpp"
+#include "workload/scale.hpp"
 #include "workload/scenario.hpp"
 #include "workload/trace.hpp"
 #include "workload/trace_stream.hpp"
@@ -335,6 +336,8 @@ util::Json RunSorpStressSection() {
 
   util::JsonObject doc;
   doc["scenario"] = "64 IS x 312 users (19968 req), 2000 titles, 150GB IS";
+  doc["hardware_threads"] =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
   doc["max_rounds"] = kStressMaxRounds;
   doc["requests"] = scenario.requests.size();
   doc["files"] = phase1.files.size();
@@ -470,6 +473,8 @@ util::Json RunCodecSection() {
     return util::Json(std::move(doc));
   }
   doc["requests"] = kCodecRequests;
+  doc["hardware_threads"] =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
   doc["binary_bytes"] = bin.size();
   doc["json_bytes"] = json_text.size();
   doc["binary_encode_seconds"] = bin_encode;
@@ -640,6 +645,213 @@ int RunSmoke() {
   return 0;
 }
 
+// ---- region-sharded SORP at million-user scale ---------------------------
+//
+// The tentpole A/B: a region-skewed scale-generator workload (full
+// affinity, so the file population partitions into one shard per natural
+// region) solved by the monolithic SORP loop versus the region-sharded
+// engine at 1/2/4/8 worker threads.  The region win is structural even
+// serially — each shard only re-sweeps its own candidate set after its
+// own commits, where the monolithic loop re-sweeps every overflown
+// window graph-wide — and the per-shard solves parallelize on top.
+// Schedules are byte-compared against the monolithic reference at every
+// thread count.  `users` is 1M for --baseline, trimmed for --region-smoke.
+std::size_t RegionEnvCount(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? static_cast<std::size_t>(std::atof(value))
+                          : fallback;
+}
+
+struct RegionScenario {
+  net::Topology topology;
+  media::Catalog catalog;
+  std::vector<workload::Request> requests;
+  std::string describe;
+};
+
+RegionScenario MakeRegionScenario(std::size_t users) {
+  const std::size_t storages = RegionEnvCount("VOR_REGION_IS", 48);
+  const std::size_t hubs = RegionEnvCount("VOR_REGION_HUBS", 16);
+  const std::size_t titles = RegionEnvCount("VOR_REGION_CATALOG", 2000);
+  const std::size_t cap_gb = RegionEnvCount("VOR_REGION_CAP_GB", 400);
+
+  RegionScenario s;
+  net::PaperTopologyParams topo;
+  topo.storage_count = storages;
+  topo.hub_count = hubs;
+  topo.storage_capacity = util::GB(static_cast<double>(cap_gb));
+  topo.srate = util::StorageRate{3.0 / (1e9 * 3600.0)};
+  topo.base_nrate = util::NetworkRate{1000.0 / 1e9};
+  s.topology = net::MakePaperTopology(topo);
+
+  media::CatalogParams cat;
+  cat.count = titles;
+  s.catalog = media::MakeSyntheticCatalog(cat);
+
+  workload::ScaleParams scale;
+  scale.users = users;
+  scale.region_affinity = 1.0;
+  scale.diurnal_depth = 0.6;
+  s.requests.reserve(users);
+  workload::GenerateScaleTrace(
+      s.topology, s.catalog, scale,
+      [&s](const workload::Request* batch, std::size_t n) {
+        s.requests.insert(s.requests.end(), batch, batch + n);
+      });
+
+  s.describe = std::to_string(storages) + " IS / " + std::to_string(hubs) +
+               " hubs, " + std::to_string(titles) + " titles, " +
+               std::to_string(cap_gb) + "GB IS, " +
+               std::to_string(users) + " users (region-skewed)";
+  return s;
+}
+
+struct RegionRun {
+  double seconds = 0.0;
+  core::SorpStats stats;
+  std::string bytes;
+};
+
+RegionRun TimeRegionSorp(const RegionScenario& scenario,
+                         const core::CostModel& cm,
+                         const core::Schedule& phase1, std::size_t regions,
+                         std::size_t threads) {
+  core::Schedule schedule = phase1;  // copied outside the timed region
+  core::SorpOptions options;
+  options.regions = regions;
+  options.parallel.threads = threads;
+  RegionRun run;
+  run.seconds = SecondsOf([&] {
+    run.stats = core::SorpSolve(schedule, scenario.requests, cm, options);
+  });
+  run.bytes = io::ScheduleToBinary(schedule);
+  return run;
+}
+
+util::Json RunSorpRegionSection(std::size_t users) {
+  const RegionScenario scenario = MakeRegionScenario(users);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  core::Schedule phase1;
+  const double ivsp_seconds = SecondsOf([&] {
+    phase1 = core::IvspSolve(scenario.requests, cm, core::IvspOptions{});
+  });
+
+  const RegionRun mono =
+      TimeRegionSorp(scenario, cm, phase1, /*regions=*/1, /*threads=*/1);
+
+  const std::size_t hardware =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
+  if (hardware <= 1) {
+    std::cerr << "bench_perf: WARNING: 1 hardware thread; the sorp_region "
+                 "scaling table measures timesharing overhead, not "
+                 "parallel speedup\n";
+  }
+
+  bool all_identical = true;
+  double region_serial_seconds = 0.0;
+  util::JsonArray scaling;
+  RegionRun region_serial;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const RegionRun run =
+        TimeRegionSorp(scenario, cm, phase1, /*regions=*/0, threads);
+    const bool identical = run.bytes == mono.bytes;
+    all_identical = all_identical && identical;
+    if (threads == 1) {
+      region_serial_seconds = run.seconds;
+      region_serial = run;
+    }
+    util::JsonObject row;
+    row["threads"] = threads;
+    row["seconds"] = run.seconds;
+    row["speedup_vs_monolithic"] =
+        run.seconds > 0.0 ? mono.seconds / run.seconds : 0.0;
+    row["identical_to_monolithic"] = identical;
+    scaling.emplace_back(std::move(row));
+  }
+
+  util::JsonObject doc;
+  doc["scenario"] = scenario.describe;
+  doc["hardware_threads"] = hardware;
+  doc["requests"] = scenario.requests.size();
+  doc["files"] = phase1.files.size();
+  doc["ivsp_seconds"] = ivsp_seconds;
+  doc["region_shards"] = region_serial.stats.region_shards;
+  doc["victims"] = mono.stats.victims_rescheduled;
+  doc["resolved"] = mono.stats.Resolved();
+  doc["monolithic_seconds"] = mono.seconds;
+  doc["monolithic_evaluations"] = mono.stats.evaluations;
+  doc["region_evaluations"] = region_serial.stats.evaluations;
+  doc["region_serial_seconds"] = region_serial_seconds;
+  doc["serial_speedup"] = region_serial_seconds > 0.0
+                              ? mono.seconds / region_serial_seconds
+                              : 0.0;
+  doc["scaling"] = std::move(scaling);
+  doc["schedules_identical"] = all_identical;
+  if (hardware <= 1) {
+    doc["note"] =
+        "single-core host: threads>1 rows measure timesharing overhead";
+  }
+  return util::Json(std::move(doc));
+}
+
+/// CI gate (asan/ubsan budget): a trimmed sorp_region run that checks the
+/// invariants rather than the wall clock — byte-identity at several
+/// (regions x threads) points, a genuinely multi-shard plan, and the
+/// structural work reduction (the region engine must evaluate strictly
+/// fewer candidates than the monolithic loop, which is what the speedup
+/// is made of; wall time itself is too noisy under sanitizers).
+int RunRegionSmoke() {
+  const std::size_t users = RegionEnvCount("VOR_REGION_USERS", 100000);
+  const RegionScenario scenario = MakeRegionScenario(users);
+  const net::Router router(scenario.topology);
+  const core::CostModel cm(scenario.topology, router, scenario.catalog);
+  const core::Schedule phase1 =
+      core::IvspSolve(scenario.requests, cm, core::IvspOptions{});
+
+  const RegionRun mono =
+      TimeRegionSorp(scenario, cm, phase1, /*regions=*/1, /*threads=*/1);
+
+  int failures = 0;
+  const auto require = [&failures](bool ok, const std::string& what) {
+    std::cout << (ok ? "ok   " : "FAIL ") << what << '\n';
+    if (!ok) ++failures;
+  };
+  require(mono.stats.HadOverflow(), "scenario engages SORP");
+  require(mono.stats.victims_rescheduled > 0, "victims rescheduled > 0");
+  require(mono.stats.Resolved(), "monolithic run resolves");
+
+  for (const auto& [regions, threads] :
+       {std::pair<std::size_t, std::size_t>{0, 1},
+        std::pair<std::size_t, std::size_t>{0, 2},
+        std::pair<std::size_t, std::size_t>{4, 2}}) {
+    const RegionRun run =
+        TimeRegionSorp(scenario, cm, phase1, regions, threads);
+    require(run.bytes == mono.bytes,
+            "byte-identical at regions=" + std::to_string(regions) +
+                " threads=" + std::to_string(threads));
+    if (regions == 0 && threads == 1) {
+      require(run.stats.region_shards > 1,
+              "auto plan forms >1 shard (" +
+                  std::to_string(run.stats.region_shards) + ")");
+      require(run.stats.evaluations < mono.stats.evaluations,
+              "region engine evaluates fewer candidates (" +
+                  std::to_string(run.stats.evaluations) + " < " +
+                  std::to_string(mono.stats.evaluations) + ")");
+      require(run.stats.Resolved(), "region run resolves");
+    }
+  }
+
+  if (failures != 0) {
+    std::cerr << "bench_perf --region-smoke: " << failures
+              << " check(s) failed\n";
+    return 1;
+  }
+  std::cout << "bench_perf --region-smoke: all checks passed ("
+            << scenario.requests.size() << " requests)\n";
+  return 0;
+}
+
 // ---- service soak --------------------------------------------------------
 //
 // A Table-4 tight-capacity cycle replayed through the online
@@ -750,6 +962,8 @@ util::Json RunSvcSoakSection() {
     return util::Json(std::move(doc));
   }
   doc["scenario"] = "table4 tight (5GB, nrate 1000)";
+  doc["hardware_threads"] =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
   doc["cycles"] = kSoakCycles;
   doc["producers"] = kSoakProducers;
   doc["requests"] = requests.size();
@@ -821,6 +1035,8 @@ int RunBaseline(const std::string& out_path, std::size_t threads) {
   }
   const auto section = [single_core](double serial, double parallel,
                                      std::size_t n, util::JsonObject extra) {
+    extra["hardware_threads"] =
+        static_cast<std::size_t>(std::thread::hardware_concurrency());
     extra["serial_seconds"] = serial;
     extra["threads"] = n;
     extra["parallel_seconds"] = parallel;
@@ -844,6 +1060,7 @@ int RunBaseline(const std::string& out_path, std::size_t threads) {
                           {"scenario", "table5 grid, stride 16"}});
   doc["phases"] = registry.ToJson();
   doc["sorp_stress"] = RunSorpStressSection();
+  doc["sorp_region"] = RunSorpRegionSection(1000000);
   doc["svc_soak"] = RunSvcSoakSection();
   doc["codec"] = RunCodecSection();
   const std::string text = util::Json(std::move(doc)).Dump(2) + "\n";
@@ -861,6 +1078,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       return RunSmoke();
+    }
+    if (std::string(argv[i]) == "--region-smoke") {
+      return RunRegionSmoke();
     }
     if (std::string(argv[i]) == "--baseline") {
       std::string out = "BENCH_perf.json";

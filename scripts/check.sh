@@ -17,6 +17,13 @@
 # self-checking smoke (the SORP stress scenario): metrics schema, memo
 # hit-rate, and single-usage-build invariants, in ~10s.
 #
+# `bench-region` builds bench_perf under the asan-ubsan preset and runs
+# the region-sharded SORP smoke: a 100k-request region-skewed scale
+# trace solved monolithically and region-sharded, checking shard-plan
+# formation, candidate-evaluation reduction, and byte-identical
+# schedules across (regions x threads) combinations — with the memory
+# and UB checkers watching the parallel shard path.
+#
 # `soak` builds vorctl under the tsan preset and replays a short trace
 # through `vorctl serve` with concurrent producers plus the background
 # cycle clock — plain, with `--speculate` (the pipelined close, adding
@@ -33,7 +40,7 @@
 # `all` runs lint first (cheapest gate, fails fastest), then the
 # sanitizer builds, then the codec diff, then the soak.
 #
-# Usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|codec-diff|soak|all]   (default: all)
+# Usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|bench-region|codec-diff|soak|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -100,6 +107,18 @@ bench_smoke() {
   cmake --build build -j "${jobs}" --target bench_perf
   echo "==> bench_perf --smoke"
   ./build/bench/bench_perf --smoke
+}
+
+bench_region() {
+  echo "==> configure asan-ubsan"
+  cmake --preset asan-ubsan >/dev/null
+  echo "==> build bench_perf (asan-ubsan)"
+  cmake --build --preset asan-ubsan -j "${jobs}" --target bench_perf
+  echo "==> bench_perf --region-smoke (asan-ubsan)"
+  # Sanitized builds run ~2x slower; halve the default trace so the gate
+  # stays under a minute while still forming a multi-shard plan.
+  VOR_REGION_USERS="${VOR_REGION_USERS:-50000}" \
+    ./build-asan-ubsan/bench/bench_perf --region-smoke
 }
 
 codec_diff() {
@@ -188,6 +207,15 @@ soak() {
     "${vorctl}" serve "${workdir}/scenario.json" \
     --trace "${workdir}/trace.vorb" --cycle 21600 --producers 4 \
     --clock-ms 5 --speculate --snapshot "${workdir}/snapshot-bin.json"
+  echo "==> vorctl serve under tsan (region-sharded sorp at cycle close)"
+  # Region-sharded SORP runs one worker per shard inside each cycle
+  # close, concurrently with the intake producers and the clock; this
+  # serve pushes that fan-out through the race detector.
+  TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+    "${vorctl}" serve "${workdir}/scenario.json" \
+    --trace "${workdir}/trace.csv" --cycle 21600 --producers 4 \
+    --clock-ms 5 --regions auto --threads 4 \
+    --snapshot "${workdir}/snapshot-region.json"
   echo "==> soak clean (no tsan reports)"
 }
 
@@ -196,17 +224,19 @@ case "${which}" in
   asan-ubsan)  run_preset asan-ubsan ;;
   tsan)        run_preset tsan ;;
   bench-smoke) bench_smoke ;;
+  bench-region) bench_region ;;
   codec-diff)  codec_diff ;;
   soak)        soak ;;
   all)
     lint
     run_preset asan-ubsan
     run_preset tsan
+    bench_region
     codec_diff
     soak
     ;;
   *)
-    echo "usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|codec-diff|soak|all]" >&2
+    echo "usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|bench-region|codec-diff|soak|all]" >&2
     exit 2
     ;;
 esac

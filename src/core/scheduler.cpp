@@ -51,6 +51,8 @@ util::Result<SolveOutput> VorScheduler::Solve(
   sorp_options.ivsp = options_.ivsp;
   sorp_options.max_iterations = options_.max_sorp_iterations;
   sorp_options.incremental = options_.sorp_incremental;
+  sorp_options.regions = options_.sorp_regions;
+  sorp_options.parallel = options_.parallel;
   sorp_options.pool = pool.get();
   sorp_options.metrics = metrics;
   out.sorp = SorpSolve(out.schedule, requests, cost_model_, sorp_options);

@@ -35,6 +35,14 @@ struct SchedulerOptions {
   /// runs the delta-maintained + memoized loop; false the rebuild-from-
   /// scratch reference engine.  Schedule bytes are identical either way.
   bool sorp_incremental = true;
+  /// SORP region sharding (see SorpOptions::regions): 1 (default) runs the
+  /// single global resolution loop; 0 = auto (one shard per route-closed
+  /// neighborhood cluster); N >= 2 coalesces the topology's natural
+  /// clusters to at most N before closure merging.  Shards resolve
+  /// concurrently on the shared pool and reconcile serially; the solved
+  /// schedule is byte-identical to the monolithic engine (DESIGN.md
+  /// "Region-sharded SORP").
+  std::size_t sorp_regions = 1;
   /// Worker threads shared by both phases: phase 1's per-file greedies
   /// and each SORP round's tentative victim evaluations fan out over one
   /// pool (1 = serial, 0 = hardware concurrency, N = pool of N).  The

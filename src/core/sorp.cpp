@@ -1,16 +1,21 @@
 #include "core/sorp.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <set>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "core/overflow.hpp"
 #include "core/rejective_greedy.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "storage/usage_timeline.hpp"
 
@@ -50,54 +55,36 @@ struct MemoEntry {
   std::vector<std::pair<net::NodeId, std::uint64_t>> consulted_gens;
 };
 
-}  // namespace
-
-std::vector<SorpCandidate> CollectSorpCandidates(
-    const Schedule& schedule, const std::vector<OverflowWindow>& overflows,
-    const CostModel& cost_model) {
-  std::vector<SorpCandidate> candidates;
-  // Dedupe on the full (file, node, window.start, window.end) tuple.  The
-  // previous packed key `(node << 32) ^ window.start` dropped the window
-  // end entirely and aliased node bits once a start time exceeded 2^32
-  // seconds, silently skipping distinct (file, window) pairings.
-  std::set<std::tuple<std::size_t, net::NodeId, double, double>> evaluated;
-  for (const OverflowWindow& of : overflows) {
-    for (const ResidencyRef& ref : of.contributors) {
-      const FileSchedule& file = schedule.files[ref.file_index];
-      const Residency& c = file.residencies[ref.residency_index];
-
-      const double ds = TimeSpaceImprovement(c, of, cost_model);
-      if (ds <= 0.0) continue;
-      const double chi = ImprovedLength(c, of, cost_model);
-
-      if (!evaluated
-               .emplace(ref.file_index, of.node, of.window.start.value(),
-                        of.window.end.value())
-               .second) {
-        continue;
-      }
-      candidates.push_back(
-          SorpCandidate{ref.file_index, of.node, of.window, chi, ds});
-    }
-  }
-  return candidates;
-}
-
-SorpStats SorpSolve(Schedule& schedule,
-                    const std::vector<workload::Request>& requests,
-                    const CostModel& cost_model, const SorpOptions& options) {
-  obs::MetricsRegistry* metrics = options.metrics;
-  const obs::ScopedSpan span(metrics, "sorp");
-  SorpStats stats;
-  stats.cost_before = cost_model.TotalCost(schedule);
-
+[[nodiscard]] bool HooksSerial(const SorpOptions& options) {
   // The extension hooks exclude/re-include a file's streams in external
   // trackers around each dry run; that protocol is inherently serial, and
   // because the external state drifts between rounds, replaying a cached
   // result would skip the hook's side effects — so memoization is off too.
-  const bool hooks_serial = static_cast<bool>(options.on_file_excluded) ||
-                            static_cast<bool>(options.on_file_included) ||
-                            static_cast<bool>(options.route_ok);
+  return static_cast<bool>(options.on_file_excluded) ||
+         static_cast<bool>(options.on_file_included) ||
+         static_cast<bool>(options.route_ok);
+}
+
+/// The paper's Table-3 resolution loop, parameterized over scope: the
+/// whole schedule (`shard_files == nullptr`) or one region shard's file
+/// subset.  In shard scope the usage aggregate, overflow detection, and
+/// excess measure all restrict to the shard's files — which, because
+/// shards are route-closed (see FormShards), see exactly the same per-node
+/// timelines the global loop would.  The caller supplies the metrics sink
+/// (per-shard local registries during the parallel phase) and the pool for
+/// the *inner* evaluation fan-out (null inside parallel shards — the shard
+/// already owns a worker thread).  Round spans are suppressed in shard
+/// scope: ScopedSpan paths are per-thread and would start fresh roots on
+/// pool workers.  Costs (stats.cost_*) are left at zero — TotalCost reads
+/// every file and is therefore computed only on the serial control path.
+SorpStats RunSorpLoop(Schedule& schedule,
+                      const std::vector<workload::Request>& requests,
+                      const CostModel& cost_model, const SorpOptions& options,
+                      util::ThreadPool* pool, obs::MetricsRegistry* metrics,
+                      const std::vector<std::size_t>* shard_files,
+                      bool round_spans) {
+  SorpStats stats;
+  const bool hooks_serial = HooksSerial(options);
   const bool incremental = options.incremental;
   const bool memoize = incremental && !hooks_serial;
 
@@ -108,9 +95,16 @@ SorpStats SorpSolve(Schedule& schedule,
   std::optional<storage::UsageTracker> tracker;
   storage::UsageMap rebuilt;
   if (incremental) {
-    tracker.emplace(schedule, cost_model);
+    if (shard_files != nullptr) {
+      tracker.emplace(schedule, cost_model, *shard_files);
+    } else {
+      tracker.emplace(schedule, cost_model);
+    }
   } else {
-    rebuilt = storage::BuildUsage(schedule, cost_model);
+    rebuilt = shard_files != nullptr
+                  ? storage::BuildUsageForFiles(schedule, cost_model,
+                                                *shard_files)
+                  : storage::BuildUsage(schedule, cost_model);
   }
   ++stats.usage_rebuilds;
   const auto current_usage = [&]() -> const storage::UsageMap& {
@@ -125,13 +119,6 @@ SorpStats SorpSolve(Schedule& schedule,
   obs::Add(metrics, "sorp.initial_overflow_windows", overflows.size());
   if (metrics != nullptr && !overflows.empty()) {
     obs::Append(metrics, "sorp.excess_trajectory", excess);
-  }
-
-  util::ThreadPool* pool = options.pool;
-  std::unique_ptr<util::ThreadPool> owned_pool;
-  if (pool == nullptr && !hooks_serial && options.parallel.Resolve() > 1) {
-    owned_pool = std::make_unique<util::ThreadPool>(options.parallel.Resolve());
-    pool = owned_pool.get();
   }
 
   // One tentative rejective-greedy dry run; pure given a frozen schedule
@@ -151,8 +138,11 @@ SorpStats SorpSolve(Schedule& schedule,
       if (incremental) {
         other = tracker->ExcludingFile(c.file_index);
       } else {
-        scratch = storage::BuildUsageExcludingFile(schedule, cost_model,
-                                                   c.file_index);
+        scratch = shard_files != nullptr
+                      ? storage::BuildUsageForFiles(schedule, cost_model,
+                                                    *shard_files, c.file_index)
+                      : storage::BuildUsageExcludingFile(schedule, cost_model,
+                                                         c.file_index);
         other = storage::UsageView(&scratch);
       }
     }
@@ -173,7 +163,7 @@ SorpStats SorpSolve(Schedule& schedule,
 
   while (!overflows.empty() &&
          stats.victims_rescheduled < options.max_iterations) {
-    const obs::ScopedSpan round_span(metrics, "round");
+    const obs::ScopedSpan round_span(round_spans ? metrics : nullptr, "round");
     std::vector<SorpCandidate> candidates =
         CollectSorpCandidates(schedule, overflows, cost_model);
     if (candidates.empty()) break;  // nothing can improve any window
@@ -218,8 +208,8 @@ SorpStats SorpSolve(Schedule& schedule,
     const bool parallel = pool != nullptr && !hooks_serial &&
                           to_run.size() > 1 && !pool->InWorkerThread();
     if (parallel) {
-      // Fan the dry runs out; each shard reads the frozen schedule and
-      // writes only its own slot.  The reduction below is order-based,
+      // Fan the dry runs out; each slot reads the frozen schedule and
+      // writes only its own entry.  The reduction below is order-based,
       // so thread scheduling cannot change the chosen victim.
       pool->ParallelFor(to_run.size(), [&](std::size_t k) {
         evals[to_run[k]] = evaluate(candidates[to_run[k]]);
@@ -291,7 +281,9 @@ SorpStats SorpSolve(Schedule& schedule,
       }
     }
 
-    // Commit step — always serial, per the paper's Table-3 loop.
+    // Commit step — always serial, per the paper's Table-3 loop.  In shard
+    // scope the victim is a shard-owned file, so concurrent shards write
+    // disjoint schedule slots.
     const std::size_t victim = candidates[best].file_index;
     if (options.on_file_excluded) options.on_file_excluded(victim);
     schedule.files[victim] = std::move(evals[best].schedule);
@@ -319,7 +311,10 @@ SorpStats SorpSolve(Schedule& schedule,
       // new ones and bump the touched nodes' generations.
       tracker->ApplyCommit(victim, schedule.files[victim]);
     } else {
-      rebuilt = storage::BuildUsage(schedule, cost_model);
+      rebuilt = shard_files != nullptr
+                    ? storage::BuildUsageForFiles(schedule, cost_model,
+                                                  *shard_files)
+                    : storage::BuildUsage(schedule, cost_model);
       ++stats.usage_rebuilds;
       // The reference engine also rebuilt the backdrop once per dry run.
       if (options.capacity_aware_reschedule) {
@@ -335,9 +330,350 @@ SorpStats SorpSolve(Schedule& schedule,
   }
 
   stats.final_excess = TotalExcess(current_usage(), cost_model.topology());
-  stats.cost_after = cost_model.TotalCost(schedule);
   obs::Add(metrics, "sorp.victims_rescheduled", stats.victims_rescheduled);
   obs::Add(metrics, "sorp.usage_rebuilds", stats.usage_rebuilds);
+  return stats;
+}
+
+// ---- region sharding ------------------------------------------------------
+
+/// Union-find over dense region ids; deterministic (the smaller root
+/// always wins), path-halving finds.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true when the two sets were distinct (a real merge).
+  bool Unite(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct ShardPlan {
+  /// Per shard, the global file indices it owns, ascending; shards ordered
+  /// by their merged group's smallest base-region id (canonical).
+  std::vector<std::vector<std::size_t>> shard_files;
+  /// Natural/coalesced regions before closure merging.
+  std::size_t base_regions = 0;
+  /// Files whose footprint touched >= 2 base regions (the merge pressure).
+  std::size_t cross_files = 0;
+};
+
+/// Partitions the schedule's files into independently resolvable shards.
+///
+/// Starting from the topology's base regions (net::MakeRegions), two merge
+/// passes run to a joint fixpoint:
+///   1. file spans — a file's requesting neighborhoods, current residency
+///      locations, and delivery-route nodes must share one shard (the
+///      file is one indivisible victim);
+///   2. route closure — every cheapest path among {VW} ∪ group members
+///      with both endpoints in the group is folded into the group.
+/// The closure makes each shard's greedy self-contained: RescheduleVictim
+/// only ever consults nodes on cheapest paths from {VW, existing caches}
+/// to the file's requesting neighborhoods, and all of those are group
+/// members after closure.  Hence (a) a shard's commits only touch its own
+/// nodes, (b) no node hosts residencies of two shards, and (c) each
+/// shard's victim sequence equals the monolithic loop's subsequence of
+/// commits to that shard's files — the byte-identity argument of
+/// DESIGN.md "Region-sharded SORP".
+///
+/// Files with no footprint at all (no requests, residencies, deliveries)
+/// belong to no shard; neither engine can ever pick them as victims.
+ShardPlan FormShards(const Schedule& schedule,
+                     const std::vector<workload::Request>& requests,
+                     const CostModel& cost_model, std::size_t target_regions) {
+  ShardPlan plan;
+  const net::Topology& topology = cost_model.topology();
+  const net::RegionMap rmap = net::MakeRegions(topology, target_regions);
+  plan.base_regions = rmap.count;
+  if (rmap.count == 0) return plan;
+
+  std::unordered_map<media::VideoId, std::size_t> file_of_video;
+  file_of_video.reserve(schedule.files.size());
+  for (std::size_t f = 0; f < schedule.files.size(); ++f) {
+    file_of_video.emplace(schedule.files[f].video, f);
+  }
+
+  // Base regions touched by each file's current footprint.
+  std::vector<std::vector<std::uint32_t>> file_regions(schedule.files.size());
+  const auto add_region = [&](std::size_t f, net::NodeId node) {
+    const std::uint32_t r = rmap.RegionOf(node);
+    if (r != net::kInvalidRegion) file_regions[f].push_back(r);
+  };
+  for (const workload::Request& req : requests) {
+    const auto it = file_of_video.find(req.video);
+    if (it != file_of_video.end()) add_region(it->second, req.neighborhood);
+  }
+  for (std::size_t f = 0; f < schedule.files.size(); ++f) {
+    const FileSchedule& file = schedule.files[f];
+    for (const Residency& c : file.residencies) add_region(f, c.location);
+    for (const Delivery& d : file.deliveries) {
+      for (const net::NodeId node : d.route) add_region(f, node);
+    }
+    auto& regions = file_regions[f];
+    std::sort(regions.begin(), regions.end());
+    regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+    if (regions.size() >= 2) ++plan.cross_files;
+  }
+
+  UnionFind uf(rmap.count);
+  for (const auto& regions : file_regions) {
+    for (std::size_t i = 1; i < regions.size(); ++i) {
+      uf.Unite(regions[0], regions[i]);
+    }
+  }
+
+  // Route closure to fixpoint.  Merging two groups can expose new member
+  // pairs whose cheapest paths cross yet more regions, so iterate until no
+  // union fires.  Group count only ever shrinks, so this terminates in at
+  // most base_regions rounds.
+  const net::Router& router = cost_model.router();
+  const net::NodeId vw = topology.warehouse();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::vector<net::NodeId>> members_of(rmap.count);
+    for (net::NodeId id = 0; id < rmap.region_of.size(); ++id) {
+      const std::uint32_t r = rmap.region_of[id];
+      if (r == net::kInvalidRegion) continue;
+      members_of[uf.Find(r)].push_back(id);
+    }
+    for (std::size_t g = 0; g < members_of.size(); ++g) {
+      const std::vector<net::NodeId>& members = members_of[g];
+      if (members.empty()) continue;
+      const auto close_path = [&](net::NodeId from, net::NodeId to) {
+        for (const net::NodeId node : router.CheapestPath(from, to).nodes) {
+          const std::uint32_t r = rmap.RegionOf(node);
+          if (r != net::kInvalidRegion && uf.Unite(g, r)) changed = true;
+        }
+      };
+      for (const net::NodeId dst : members) {
+        close_path(vw, dst);
+        // Both directions: the router's tie-breaks need not be symmetric.
+        for (const net::NodeId src : members) {
+          if (src != dst) close_path(src, dst);
+        }
+      }
+    }
+  }
+
+  // Canonical shard order: ascending merged-group root (roots are base
+  // region ids, themselves numbered by smallest member node); files within
+  // a shard ascending.
+  std::map<std::size_t, std::vector<std::size_t>> by_root;
+  for (std::size_t f = 0; f < schedule.files.size(); ++f) {
+    if (file_regions[f].empty()) continue;
+    by_root[uf.Find(file_regions[f][0])].push_back(f);
+  }
+  plan.shard_files.reserve(by_root.size());
+  for (auto& [root, files] : by_root) {
+    plan.shard_files.push_back(std::move(files));
+  }
+  return plan;
+}
+
+/// Region-sharded engine: resolve each shard concurrently (phase A), fold
+/// per-shard stats/metrics serially in canonical order, then run a global
+/// residual pass (phase B) that re-detects against the full schedule and
+/// mops up anything a shard left behind (per-shard iteration budgets or
+/// progress-guard stalls) — a no-op when the shards fully resolved, which
+/// is the common case.
+SorpStats RegionShardedSolve(Schedule& schedule,
+                             const std::vector<workload::Request>& requests,
+                             const CostModel& cost_model,
+                             const SorpOptions& options) {
+  obs::MetricsRegistry* metrics = options.metrics;
+  const obs::ScopedSpan span(metrics, "sorp");
+  SorpStats stats;
+  stats.cost_before = cost_model.TotalCost(schedule);
+
+  const ShardPlan plan =
+      FormShards(schedule, requests, cost_model, options.regions);
+  stats.region_shards = plan.shard_files.size();
+  obs::Add(metrics, "sorp.regions.base", plan.base_regions);
+  obs::Add(metrics, "sorp.regions.shards", plan.shard_files.size());
+  obs::Add(metrics, "sorp.regions.cross_files", plan.cross_files);
+
+  util::ThreadPool* pool = options.pool;
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (pool == nullptr && options.parallel.Resolve() > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(options.parallel.Resolve());
+    pool = owned_pool.get();
+  }
+
+  // Phase A: per-shard resolution.  Each shard owns its tracker, overlay
+  // caches, memo table, and (when observability is on) a private metrics
+  // registry, so the workers share nothing but read-only inputs and their
+  // disjoint schedule slots.
+  std::vector<SorpStats> shard_stats(plan.shard_files.size());
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> shard_metrics;
+  shard_metrics.reserve(plan.shard_files.size());
+  for (std::size_t s = 0; s < plan.shard_files.size(); ++s) {
+    shard_metrics.push_back(metrics != nullptr
+                                ? std::make_unique<obs::MetricsRegistry>()
+                                : nullptr);
+  }
+  const bool shards_parallel = pool != nullptr &&
+                               plan.shard_files.size() > 1 &&
+                               !pool->InWorkerThread();
+  const auto run_shard = [&](std::size_t s, util::ThreadPool* inner_pool) {
+    const obs::Stopwatch watch;
+    shard_stats[s] =
+        RunSorpLoop(schedule, requests, cost_model, options, inner_pool,
+                    shard_metrics[s].get(), &plan.shard_files[s],
+                    /*round_spans=*/false);
+    // Per-shard wall time; the serial fold merges these into one timer
+    // whose count/min/max expose shard imbalance.
+    obs::Observe(shard_metrics[s].get(), "sorp.shard.seconds", watch.Seconds());
+  };
+  {
+    const obs::ScopedSpan regions_span(metrics, "regions");
+    if (shards_parallel) {
+      // Inner evaluation fan-out stays off inside parallel shards: each
+      // shard already occupies one worker, and nested ParallelFor would
+      // only run inline anyway.
+      pool->ParallelFor(plan.shard_files.size(),
+                        [&](std::size_t s) { run_shard(s, nullptr); });
+    } else {
+      // Serial shard walk (single thread, or one shard): let each shard's
+      // evaluation fan-out use the pool.
+      for (std::size_t s = 0; s < plan.shard_files.size(); ++s) {
+        run_shard(s, pool);
+      }
+    }
+  }
+
+  // Serial fold in canonical (ascending shard) order: stats sum, metrics
+  // absorb.  initial_excess sums shard-local excesses; shards partition
+  // the residency-hosting nodes, so the total covers every node (the
+  // floating-point summation order differs from the monolithic engine's
+  // node walk — stats-only, the schedule bytes are unaffected).
+  for (std::size_t s = 0; s < plan.shard_files.size(); ++s) {
+    const SorpStats& shard = shard_stats[s];
+    stats.initial_overflow_windows += shard.initial_overflow_windows;
+    stats.victims_rescheduled += shard.victims_rescheduled;
+    stats.evaluations += shard.evaluations;
+    stats.memo_hits += shard.memo_hits;
+    stats.memo_misses += shard.memo_misses;
+    stats.usage_rebuilds += shard.usage_rebuilds;
+    stats.initial_excess += shard.initial_excess;
+  }
+  if (metrics != nullptr) {
+    for (const auto& shard_registry : shard_metrics) {
+      metrics->Absorb(*shard_registry);
+    }
+  }
+
+  // Phase B: global residual pass over the reconciled schedule.  Detection
+  // runs against a fresh full aggregate; when the shards resolved
+  // everything (the normal case) this finds no overflows and only
+  // establishes the authoritative final_excess.
+  {
+    const obs::ScopedSpan residual_span(metrics, "residual");
+    const SorpStats residual =
+        RunSorpLoop(schedule, requests, cost_model, options, pool, metrics,
+                    /*shard_files=*/nullptr, /*round_spans=*/true);
+    stats.victims_rescheduled += residual.victims_rescheduled;
+    stats.evaluations += residual.evaluations;
+    stats.memo_hits += residual.memo_hits;
+    stats.memo_misses += residual.memo_misses;
+    stats.usage_rebuilds += residual.usage_rebuilds;
+    stats.final_excess = residual.final_excess;
+    if (residual.victims_rescheduled > 0) {
+      obs::Add(metrics, "sorp.regions.residual_victims",
+               residual.victims_rescheduled);
+    }
+  }
+
+  stats.cost_after = cost_model.TotalCost(schedule);
+  if (owned_pool != nullptr) obs::ExportPoolTelemetry(metrics, *owned_pool);
+  if (metrics != nullptr && !stats.Resolved()) {
+    obs::Add(metrics, "sorp.unresolved_runs");
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<SorpCandidate> CollectSorpCandidates(
+    const Schedule& schedule, const std::vector<OverflowWindow>& overflows,
+    const CostModel& cost_model) {
+  std::vector<SorpCandidate> candidates;
+  // Dedupe on the full (file, node, window.start, window.end) tuple.  The
+  // previous packed key `(node << 32) ^ window.start` dropped the window
+  // end entirely and aliased node bits once a start time exceeded 2^32
+  // seconds, silently skipping distinct (file, window) pairings.
+  std::set<std::tuple<std::size_t, net::NodeId, double, double>> evaluated;
+  for (const OverflowWindow& of : overflows) {
+    for (const ResidencyRef& ref : of.contributors) {
+      const FileSchedule& file = schedule.files[ref.file_index];
+      const Residency& c = file.residencies[ref.residency_index];
+
+      const double ds = TimeSpaceImprovement(c, of, cost_model);
+      if (ds <= 0.0) continue;
+      const double chi = ImprovedLength(c, of, cost_model);
+
+      if (!evaluated
+               .emplace(ref.file_index, of.node, of.window.start.value(),
+                        of.window.end.value())
+               .second) {
+        continue;
+      }
+      candidates.push_back(
+          SorpCandidate{ref.file_index, of.node, of.window, chi, ds});
+    }
+  }
+  return candidates;
+}
+
+SorpStats SorpSolve(Schedule& schedule,
+                    const std::vector<workload::Request>& requests,
+                    const CostModel& cost_model, const SorpOptions& options) {
+  const bool hooks_serial = HooksSerial(options);
+
+  // The region engine requires commit commutativity (kMaxHeat's reduction
+  // is per-shard deterministic) and hook-free dry runs; otherwise fall
+  // back to the global loop, which handles every configuration.
+  if (options.regions != 1 && !hooks_serial &&
+      options.victim_policy == VictimPolicy::kMaxHeat) {
+    return RegionShardedSolve(schedule, requests, cost_model, options);
+  }
+
+  obs::MetricsRegistry* metrics = options.metrics;
+  const obs::ScopedSpan span(metrics, "sorp");
+  SorpStats stats_header;
+  stats_header.cost_before = cost_model.TotalCost(schedule);
+
+  util::ThreadPool* pool = options.pool;
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (pool == nullptr && !hooks_serial && options.parallel.Resolve() > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(options.parallel.Resolve());
+    pool = owned_pool.get();
+  }
+
+  SorpStats stats =
+      RunSorpLoop(schedule, requests, cost_model, options, pool, metrics,
+                  /*shard_files=*/nullptr, /*round_spans=*/true);
+  stats.cost_before = stats_header.cost_before;
+  stats.cost_after = cost_model.TotalCost(schedule);
   if (owned_pool != nullptr) obs::ExportPoolTelemetry(metrics, *owned_pool);
   if (metrics != nullptr && !stats.Resolved()) {
     obs::Add(metrics, "sorp.unresolved_runs");

@@ -61,6 +61,27 @@ struct SorpOptions {
   /// tracker state between rounds, which the memo cannot see).
   bool incremental = true;
 
+  /// Region-sharded resolution (the million-user scale-out).  1 (default)
+  /// runs the single global loop.  0 = auto: one shard per route-closed
+  /// neighborhood cluster of the topology; N >= 2 coalesces the clusters
+  /// to at most N before closure merging.  The engine partitions the IS
+  /// graph into regions (net::MakeRegions), merges regions until every
+  /// region is closed under cheapest-path routing and no file's requests
+  /// span two shards, then resolves each shard's overflows concurrently —
+  /// each shard owns its UsageTracker, overlay caches, and memo tables —
+  /// and finishes with a serial canonical reconciliation pass (per-shard
+  /// stats/metrics folded in sorted shard order, then a residual global
+  /// detection + monolithic mop-up, normally a no-op).  Because a file's
+  /// greedy only ever touches nodes on cheapest paths among {VW} and its
+  /// requesting neighborhoods, shard-confined commits commute and the
+  /// final schedule is byte-identical to the monolithic engine whenever
+  /// resolution completes within budget (see DESIGN.md "Region-sharded
+  /// SORP" for the argument and the max_iterations / progress-guard
+  /// caveats; max_iterations is per shard here).  Falls back to the
+  /// monolithic loop when extension hooks are set or the victim policy is
+  /// not kMaxHeat.
+  std::size_t regions = 1;
+
   // ---- parallelism ----------------------------------------------------
   /// Each round's tentative victim evaluations (one rejective-greedy dry
   /// run per overflow contributor, all against the same frozen integrated
@@ -139,6 +160,10 @@ struct SorpStats {
   /// BuildUsage/BuildUsageExcludingFile calls).  O(1) on the incremental
   /// engine vs. O(rounds × candidates) on the reference engine.
   std::size_t usage_rebuilds = 0;
+  /// Shards the region engine resolved concurrently (0 on the monolithic
+  /// engine; 1 means the region engine ran but closure merging collapsed
+  /// everything into one shard).
+  std::size_t region_shards = 0;
   util::Money cost_before{0.0};
   util::Money cost_after{0.0};
   /// Byte-seconds above capacity before/after.

@@ -156,6 +156,90 @@ util::Status Topology::Validate() const {
   return util::Status::Ok();
 }
 
+std::vector<std::vector<NodeId>> RegionMap::Members() const {
+  std::vector<std::vector<NodeId>> members(count);
+  for (NodeId id = 0; id < region_of.size(); ++id) {
+    if (region_of[id] != kInvalidRegion) members[region_of[id]].push_back(id);
+  }
+  return members;
+}
+
+RegionMap MakeRegions(const Topology& topology, std::size_t target_regions) {
+  assert(topology.has_warehouse());
+  const NodeId vw = topology.warehouse();
+  RegionMap map;
+  map.region_of.assign(topology.node_count(), kInvalidRegion);
+
+  // Seeds: the warehouse's direct storage neighbors, ascending and deduped
+  // (parallel links would list a neighbor twice).
+  std::vector<NodeId> seeds;
+  for (const auto& [neighbor, link_index] : topology.Adjacency(vw)) {
+    (void)link_index;
+    if (topology.IsStorage(neighbor)) seeds.push_back(neighbor);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  // Multi-source BFS over the storage subgraph.  The frontier is seeded in
+  // ascending seed order and neighbors are visited in adjacency order, so
+  // first-reached assignment (hop ties to the earlier-queued, i.e.
+  // smaller-id, seed) is deterministic.
+  std::vector<std::uint32_t> cluster_of(topology.node_count(), kInvalidRegion);
+  std::queue<NodeId> frontier;
+  for (std::uint32_t c = 0; c < seeds.size(); ++c) {
+    cluster_of[seeds[c]] = c;
+    frontier.push(seeds[c]);
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& [v, link_index] : topology.Adjacency(u)) {
+      (void)link_index;
+      if (!topology.IsStorage(v) || cluster_of[v] != kInvalidRegion) continue;
+      cluster_of[v] = cluster_of[u];
+      frontier.push(v);
+    }
+  }
+  const std::size_t clusters = seeds.size();
+
+  // Coalesce round-robin (in seed order) when more clusters exist than the
+  // caller wants regions; 0 keeps every natural cluster.
+  std::vector<std::uint32_t> coalesced(clusters);
+  std::size_t merged_count = clusters;
+  if (target_regions >= 1 && target_regions < clusters) {
+    merged_count = target_regions;
+    for (std::uint32_t c = 0; c < clusters; ++c) {
+      coalesced[c] = static_cast<std::uint32_t>(c % target_regions);
+    }
+  } else {
+    for (std::uint32_t c = 0; c < clusters; ++c) coalesced[c] = c;
+  }
+
+  // Renumber by smallest member node id for a canonical labeling.
+  std::vector<NodeId> smallest(merged_count, kInvalidNode);
+  for (NodeId id = 0; id < cluster_of.size(); ++id) {
+    if (cluster_of[id] == kInvalidRegion) continue;
+    const std::uint32_t r = coalesced[cluster_of[id]];
+    smallest[r] = std::min(smallest[r], id);
+  }
+  std::vector<std::uint32_t> order(merged_count);
+  for (std::uint32_t r = 0; r < merged_count; ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return smallest[a] < smallest[b];
+  });
+  std::vector<std::uint32_t> relabel(merged_count, kInvalidRegion);
+  for (std::uint32_t rank = 0; rank < merged_count; ++rank) {
+    relabel[order[rank]] = rank;
+  }
+  for (NodeId id = 0; id < cluster_of.size(); ++id) {
+    if (cluster_of[id] != kInvalidRegion) {
+      map.region_of[id] = relabel[coalesced[cluster_of[id]]];
+    }
+  }
+  map.count = merged_count;
+  return map;
+}
+
 Topology MakePaperTopology(const PaperTopologyParams& params) {
   assert(params.storage_count >= 1);
   assert(params.hub_count >= 1);

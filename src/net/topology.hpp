@@ -148,4 +148,43 @@ struct PaperTopologyParams {
 /// exchange cached content more cheaply than re-fetching from the VW.
 [[nodiscard]] Topology MakePaperTopology(const PaperTopologyParams& params);
 
+// ---- regions ------------------------------------------------------------
+
+inline constexpr std::uint32_t kInvalidRegion =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Partition of the storage nodes into neighborhood clusters ("regions").
+/// The warehouse belongs to no region: it is the shared root every region
+/// fetches from, so region-local reasoning always treats it as external.
+struct RegionMap {
+  /// node id -> region id; kInvalidRegion for the warehouse.
+  std::vector<std::uint32_t> region_of;
+  /// Number of regions; ids are dense in [0, count).
+  std::size_t count = 0;
+
+  [[nodiscard]] std::uint32_t RegionOf(NodeId id) const {
+    return id < region_of.size() ? region_of[id] : kInvalidRegion;
+  }
+
+  /// Region members (storage nodes, ascending) — derived, O(nodes).
+  [[nodiscard]] std::vector<std::vector<NodeId>> Members() const;
+};
+
+/// Derives neighborhood clusters from the topology: a multi-source BFS
+/// over the storage subgraph (the warehouse is never traversed), seeded at
+/// the warehouse's direct storage neighbors in ascending node order, so
+/// each cluster is the set of IS nodes closest (in hops) to one
+/// warehouse-adjacent "hub"; hop ties go to the smaller-id seed.  With
+/// `target_regions` == 0 every natural cluster stays its own region; with
+/// N >= 1 clusters are coalesced round-robin down to at most N regions.
+/// Region ids are renumbered by each region's smallest member node id, so
+/// the labeling is canonical regardless of seed discovery order.
+///
+/// Every storage node is assigned: a storage component that only touches
+/// the rest of the graph through the warehouse necessarily contains a
+/// warehouse-adjacent seed of its own (Topology::Validate guarantees
+/// connectivity through the warehouse).
+[[nodiscard]] RegionMap MakeRegions(const Topology& topology,
+                                    std::size_t target_regions);
+
 }  // namespace vor::net

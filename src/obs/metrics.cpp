@@ -33,14 +33,51 @@ Timer::Snapshot Timer::Snap() const {
   return snap_;
 }
 
+void Timer::Merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  std::lock_guard lock(mutex_);
+  if (snap_.count == 0) {
+    snap_ = other;
+    return;
+  }
+  snap_.min = std::min(snap_.min, other.min);
+  snap_.max = std::max(snap_.max, other.max);
+  snap_.sum += other.sum;
+  snap_.count += other.count;
+}
+
 void Series::Append(double v) {
   std::lock_guard lock(mutex_);
-  values_.push_back(v);
+  // Keep the exact subsequence {0, stride, 2*stride, ...} of appends.
+  if (appended_ % stride_ == 0) {
+    if (values_.size() == kCapacity) {
+      // Decimate in place: keep every second held sample (which are the
+      // appends at even multiples of the old stride), double the stride.
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < values_.size(); r += 2) values_[w++] = values_[r];
+      values_.resize(w);
+      stride_ *= 2;
+      if (appended_ % stride_ == 0) values_.push_back(v);
+    } else {
+      values_.push_back(v);
+    }
+  }
+  ++appended_;
 }
 
 std::vector<double> Series::Values() const {
   std::lock_guard lock(mutex_);
   return values_;
+}
+
+std::uint64_t Series::AppendCount() const {
+  std::lock_guard lock(mutex_);
+  return appended_;
+}
+
+std::uint64_t Series::Stride() const {
+  std::lock_guard lock(mutex_);
+  return stride_;
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
@@ -88,6 +125,25 @@ util::Json MetricsRegistry::ToJson() const {
   return util::JsonObject{{"counters", std::move(counters)},
                           {"timers", std::move(timers)},
                           {"series", std::move(series)}};
+}
+
+void MetricsRegistry::Absorb(const MetricsRegistry& src) {
+  // Instrument maps are std::map, so the fold visits names in sorted
+  // order — deterministic given a deterministic source registry.  Lock
+  // only the source map structure; instrument ops take their own locks
+  // (GetCounter/GetTimer/GetSeries lock this->mutex_, so self-absorption
+  // would deadlock — callers fold distinct per-shard registries).
+  std::lock_guard lock(src.mutex_);
+  for (const auto& [name, counter] : src.counters_) {
+    GetCounter(name).Add(counter->value());
+  }
+  for (const auto& [name, timer] : src.timers_) {
+    GetTimer(name).Merge(timer->Snap());
+  }
+  for (const auto& [name, series] : src.series_) {
+    Series& dst = GetSeries(name);
+    for (const double v : series->Values()) dst.Append(v);
+  }
 }
 
 void ExportPoolTelemetry(MetricsRegistry* registry,

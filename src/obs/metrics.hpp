@@ -67,20 +67,45 @@ class Timer {
   void Observe(double v);
   [[nodiscard]] Snapshot Snap() const;
 
+  /// Folds another timer's snapshot in (count/sum add, min/max combine) —
+  /// the serial per-region metrics fold of the sharded SORP engine.
+  void Merge(const Snapshot& other);
+
  private:
   mutable std::mutex mutex_;
   Snapshot snap_;
 };
 
-/// Append-only sequence of doubles, exported as a JSON array.
+/// Bounded sequence of doubles, exported as a JSON array.
+///
+/// Long solves append per round (the SORP excess trajectory grows with the
+/// victim count), so an unbounded vector would bloat a million-request
+/// run's --metrics-out.  The series self-limits with deterministic
+/// keep-every-k decimation: when kCapacity samples are held, every second
+/// held sample is dropped and the keep stride doubles, so at most
+/// kCapacity values are retained — always including the first sample, the
+/// exact subsequence {0, k, 2k, ...} of appends, uniformly spread over the
+/// whole run.  The result depends only on the append sequence (no clocks,
+/// no randomness): identical at any thread count for a deterministic run.
 class Series {
  public:
+  /// Max retained samples; decimation halves occupancy at the cap, so the
+  /// held count stays within (kCapacity/2, kCapacity].
+  static constexpr std::size_t kCapacity = 4096;
+
   void Append(double v);
   [[nodiscard]] std::vector<double> Values() const;
+
+  /// Total appends ever (>= Values().size()).
+  [[nodiscard]] std::uint64_t AppendCount() const;
+  /// Current keep stride k: values are appends {0, k, 2k, ...}.
+  [[nodiscard]] std::uint64_t Stride() const;
 
  private:
   mutable std::mutex mutex_;
   std::vector<double> values_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t stride_ = 1;
 };
 
 /// Named instrument store.  Get* creates on first use and returns a
@@ -99,6 +124,12 @@ class MetricsRegistry {
   /// {"counters": {name: n}, "timers": {name: {count, total_seconds,
   /// min_seconds, max_seconds, mean_seconds}}, "series": {name: [v...]}}.
   [[nodiscard]] util::Json ToJson() const;
+
+  /// Folds every instrument of `src` into this registry by name: counters
+  /// add, timers merge, series values append in order.  Called serially in
+  /// sorted shard order by the region-sharded SORP engine, so fold results
+  /// are deterministic; `src` must not be mutated concurrently.
+  void Absorb(const MetricsRegistry& src);
 
  private:
   mutable std::mutex mutex_;

@@ -45,6 +45,25 @@ UsageMap BuildUsageExcludingFile(const core::Schedule& schedule,
   return BuildUsageImpl(schedule, cost_model, excluded_file);
 }
 
+UsageMap BuildUsageForFiles(const core::Schedule& schedule,
+                            const core::CostModel& cost_model,
+                            const std::vector<std::size_t>& files,
+                            std::size_t excluded_file) {
+  UsageMap usage;
+  // Ascending file order (the caller's contract) keeps every node's piece
+  // vector in canonical ascending-tag order, exactly like a full build.
+  for (const std::size_t f : files) {
+    if (f == excluded_file || f >= schedule.files.size()) continue;
+    const core::FileSchedule& file = schedule.files[f];
+    for (std::size_t r = 0; r < file.residencies.size(); ++r) {
+      const core::Residency& c = file.residencies[r];
+      const core::ResidencyRef ref{f, r};
+      usage[c.location].Add(cost_model.OccupancyPiece(c, ref.Pack()));
+    }
+  }
+  return usage;
+}
+
 double PeakUsage(const UsageMap& usage, net::NodeId node) {
   const auto it = usage.find(node);
   return it == usage.end() ? 0.0 : it->second.Max();
@@ -77,22 +96,46 @@ std::vector<net::NodeId> UsageView::ConsultedNodes() const {
   return nodes;
 }
 
+namespace {
+
+/// Shared aggregation step of the two tracker constructors.
+void AddFileToUsage(const core::Schedule& schedule,
+                    const core::CostModel& cost_model, std::size_t f,
+                    UsageMap& usage, std::vector<net::NodeId>& nodes) {
+  const core::FileSchedule& file = schedule.files[f];
+  nodes.reserve(file.residencies.size());
+  for (std::size_t r = 0; r < file.residencies.size(); ++r) {
+    const core::Residency& c = file.residencies[r];
+    const core::ResidencyRef ref{f, r};
+    usage[c.location].Add(cost_model.OccupancyPiece(c, ref.Pack()));
+    nodes.push_back(c.location);
+  }
+  SortUnique(nodes);
+}
+
+}  // namespace
+
 UsageTracker::UsageTracker(const core::Schedule& schedule,
                            const core::CostModel& cost_model)
     : cost_model_(&cost_model), file_nodes_(schedule.files.size()) {
   // Same iteration order as BuildUsage, so per-node piece vectors come out
   // identical (ascending tag, since Pack is monotone in (file, residency)).
   for (std::size_t f = 0; f < schedule.files.size(); ++f) {
-    const core::FileSchedule& file = schedule.files[f];
-    std::vector<net::NodeId>& nodes = file_nodes_[f];
-    nodes.reserve(file.residencies.size());
-    for (std::size_t r = 0; r < file.residencies.size(); ++r) {
-      const core::Residency& c = file.residencies[r];
-      const core::ResidencyRef ref{f, r};
-      usage_[c.location].Add(cost_model.OccupancyPiece(c, ref.Pack()));
-      nodes.push_back(c.location);
-    }
-    SortUnique(nodes);
+    AddFileToUsage(schedule, cost_model, f, usage_, file_nodes_[f]);
+  }
+}
+
+UsageTracker::UsageTracker(const core::Schedule& schedule,
+                           const core::CostModel& cost_model,
+                           const std::vector<std::size_t>& files)
+    : cost_model_(&cost_model), file_nodes_(schedule.files.size()) {
+  // Subset aggregation in ascending file order — matches BuildUsageForFiles
+  // piece for piece.  file_nodes_ stays indexed by global file index;
+  // non-subset entries are empty, so ExcludingFile on them degenerates to
+  // the plain aggregate view.
+  for (const std::size_t f : files) {
+    if (f >= schedule.files.size()) continue;
+    AddFileToUsage(schedule, cost_model, f, usage_, file_nodes_[f]);
   }
 }
 

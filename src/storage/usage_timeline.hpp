@@ -41,6 +41,17 @@ using UsageMap = std::unordered_map<net::NodeId, util::PiecewiseLinear>;
                                                const core::CostModel& cost_model,
                                                std::size_t excluded_file);
 
+/// Aggregate usage of a file subset only (region-sharded SORP: each shard
+/// tracks just its own files, so concurrent shards never read another
+/// shard's residencies).  `files` must be sorted ascending — iteration in
+/// file order is what keeps the canonical ascending-tag piece order.  An
+/// `excluded_file` (optional) is skipped, mirroring
+/// BuildUsageExcludingFile for the shard-restricted reference engine.
+[[nodiscard]] UsageMap BuildUsageForFiles(
+    const core::Schedule& schedule, const core::CostModel& cost_model,
+    const std::vector<std::size_t>& files,
+    std::size_t excluded_file = static_cast<std::size_t>(-1));
+
 /// Peak reserved bytes at a node (0 when the node has no residencies).
 [[nodiscard]] double PeakUsage(const UsageMap& usage, net::NodeId node);
 
@@ -99,6 +110,14 @@ class UsageView {
 class UsageTracker {
  public:
   UsageTracker(const core::Schedule& schedule, const core::CostModel& cost_model);
+
+  /// File-subset tracker (region-sharded SORP): aggregates only `files`
+  /// (sorted ascending).  Equivalent to BuildUsageForFiles; ApplyCommit /
+  /// ExcludingFile still take global file indices, and indices outside the
+  /// subset simply have no pieces.  Concurrent shard trackers over
+  /// disjoint subsets never touch each other's state.
+  UsageTracker(const core::Schedule& schedule, const core::CostModel& cost_model,
+               const std::vector<std::size_t>& files);
 
   /// The live aggregate (matches BuildUsage on the tracked schedule).
   [[nodiscard]] const UsageMap& usage() const { return usage_; }

@@ -1,0 +1,184 @@
+#include "workload/scale.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "io/binary.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace vor::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Largest-remainder apportionment of `total` into weighted shares.
+/// Exact (shares sum to `total`), deterministic (remainder ties break to
+/// the smaller index).  Weights must be non-negative with a positive sum.
+std::vector<std::size_t> Apportion(std::size_t total,
+                                   const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  std::vector<std::size_t> shares(weights.size(), 0);
+  if (sum <= 0.0 || total == 0) return shares;
+
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(weights.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total) * weights[i] / sum;
+    shares[i] = static_cast<std::size_t>(exact);
+    assigned += shares[i];
+    remainders.emplace_back(exact - static_cast<double>(shares[i]), i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t k = 0; assigned < total; ++k) {
+    ++shares[remainders[k % remainders.size()].second];
+    ++assigned;
+  }
+  return shares;
+}
+
+bool CanonicalLess(const Request& a, const Request& b) {
+  if (a.start_time != b.start_time) return a.start_time < b.start_time;
+  if (a.user != b.user) return a.user < b.user;
+  if (a.video != b.video) return a.video < b.video;
+  return a.neighborhood < b.neighborhood;
+}
+
+}  // namespace
+
+ScaleTraceInfo GenerateScaleTrace(const net::Topology& topology,
+                                  const media::Catalog& catalog,
+                                  const ScaleParams& params,
+                                  const RequestBatchSink& sink) {
+  assert(catalog.size() > 0);
+  const std::vector<net::NodeId> storages = topology.StorageNodes();
+  assert(!storages.empty());
+  const std::size_t buckets = std::max<std::size_t>(params.buckets, 1);
+  const double cycle = params.cycle_length.value();
+  const std::size_t titles = catalog.size();
+
+  ScaleTraceInfo info;
+  info.total_requests = params.users * params.requests_per_user;
+
+  // Natural regions drive the affinity split: the catalog is cut into one
+  // private slice per region, and an affinity draw samples Zipf *within*
+  // the requesting region's slice.  At affinity 1.0 no title is requested
+  // from two regions, so the file population — and hence region-sharded
+  // SORP's shards — partition cleanly; every global draw (probability
+  // 1 - affinity) and the flash title are cross-region couplers that
+  // merge the shards they touch.
+  const net::RegionMap rmap = net::MakeRegions(topology, 0);
+  info.regions = rmap.count;
+  const std::size_t slice_len =
+      rmap.count == 0 ? 0 : std::max<std::size_t>(titles / rmap.count, 1);
+
+  // Per-bucket request counts from the diurnal curve.
+  std::vector<double> weights(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double x = (static_cast<double>(b) + 0.5) / static_cast<double>(buckets);
+    weights[b] = 1.0 + params.diurnal_depth * std::sin(kTwoPi * (x - 0.5));
+  }
+  const std::vector<std::size_t> counts =
+      Apportion(info.total_requests, weights);
+
+  // Flash-crowd counts: carve flash_fraction of the total out of the
+  // buckets overlapping the window, proportional to overlap length.
+  const double flash_lo = params.flash_start.value();
+  const double flash_hi = flash_lo + params.flash_length.value();
+  std::vector<std::size_t> flash_counts(buckets, 0);
+  if (params.flash_fraction > 0.0 && flash_hi > flash_lo) {
+    std::vector<double> overlap(buckets, 0.0);
+    bool any = false;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const double lo = cycle * static_cast<double>(b) / static_cast<double>(buckets);
+      const double hi = cycle * static_cast<double>(b + 1) / static_cast<double>(buckets);
+      overlap[b] = std::max(0.0, std::min(hi, flash_hi) - std::max(lo, flash_lo));
+      any = any || overlap[b] > 0.0;
+    }
+    if (any) {
+      const auto want = static_cast<std::size_t>(
+          params.flash_fraction * static_cast<double>(info.total_requests));
+      const std::vector<std::size_t> flash = Apportion(want, overlap);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        // Flash requests replace ordinary ones, so the total stays exact.
+        flash_counts[b] = std::min(flash[b], counts[b]);
+        info.flash_requests += flash_counts[b];
+      }
+    }
+  }
+
+  const util::ZipfDistribution zipf(titles, params.zipf_alpha);
+  // Local draws use their own Zipf over a slice-sized rank space, so each
+  // region has a properly skewed private popularity curve.
+  const util::ZipfDistribution local_zipf(std::max<std::size_t>(slice_len, 1),
+                                          params.zipf_alpha);
+  const util::Rng master(params.seed);
+  std::vector<Request> bucket;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (counts[b] == 0) continue;
+    util::Rng rng = master.Fork(b);
+    const double lo = cycle * static_cast<double>(b) / static_cast<double>(buckets);
+    const double hi = cycle * static_cast<double>(b + 1) / static_cast<double>(buckets);
+    bucket.clear();
+    bucket.reserve(counts[b]);
+    for (std::size_t i = 0; i < counts[b]; ++i) {
+      const bool flash = i < flash_counts[b];
+      Request r;
+      r.user = static_cast<UserId>(rng.NextBounded(params.users));
+      r.neighborhood = storages[r.user % storages.size()];
+      if (flash) {
+        r.video = 0;  // the globally hottest title (rank 0 == id 0)
+        r.start_time = util::Seconds{
+            rng.Uniform(std::max(lo, flash_lo), std::min(hi, flash_hi))};
+      } else {
+        std::size_t rank;
+        const std::uint32_t region = rmap.RegionOf(r.neighborhood);
+        if (slice_len > 0 && region != net::kInvalidRegion &&
+            rng.NextDouble() < params.region_affinity) {
+          // Region-local: Zipf rank inside the region's private slice
+          // [region * slice_len, (region + 1) * slice_len).
+          rank = static_cast<std::size_t>(region) * slice_len +
+                 local_zipf.Sample(rng);
+        } else {
+          rank = zipf.Sample(rng);
+        }
+        r.video = static_cast<media::VideoId>(std::min(rank, titles - 1));
+        r.start_time = util::Seconds{rng.Uniform(lo, hi)};
+      }
+      bucket.push_back(r);
+    }
+    std::sort(bucket.begin(), bucket.end(), CanonicalLess);
+    sink(bucket.data(), bucket.size());
+  }
+  return info;
+}
+
+ScaleTraceInfo WriteScaleTrace(
+    const net::Topology& topology, const media::Catalog& catalog,
+    const ScaleParams& params,
+    const std::function<void(const char*, std::size_t)>& write) {
+  io::BinaryWriter writer(write, io::BinaryKind::kTrace);
+  const ScaleTraceInfo info = GenerateScaleTrace(
+      topology, catalog, params,
+      [&](const Request* batch, std::size_t n) {
+        // Buckets can exceed the chunk bound; re-chunk so every section
+        // stays TraceStream-bounded.
+        for (std::size_t off = 0; off < n; off += io::kTraceChunkRecords) {
+          io::WriteRequestChunk(writer, io::kSecTraceChunk, batch + off,
+                                std::min(io::kTraceChunkRecords, n - off));
+        }
+      });
+  writer.Finish();
+  return info;
+}
+
+}  // namespace vor::workload

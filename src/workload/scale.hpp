@@ -1,0 +1,100 @@
+// Million-user workload generation, streamed.
+//
+// The base generator (workload/generator.hpp) materializes the whole
+// request vector — fine for the paper's 190-user evaluation, hopeless for
+// the region-sharded scale-out's million-user scenarios.  This generator
+// never holds more than one time bucket of requests: the cycle is cut
+// into `buckets` slices, each slice's request count is fixed up front by
+// largest-remainder apportionment of the diurnal load curve (so the total
+// is exact and deterministic), and each slice is drawn, sorted, and
+// emitted before the next begins.  Emission order is the canonical trace
+// replay order — ascending (start_time, user, video, neighborhood) — so
+// the output can be piped straight into a chunked vor-bin trace and
+// replayed by workload::TraceStream without ever materializing the cycle.
+//
+// Workload shape knobs:
+//   * Zipf title popularity (Dan & Sitaram alpha, as everywhere else);
+//   * region-skewed placement: with probability `region_affinity` the
+//     title is drawn Zipf from the requesting region's private slice of
+//     the catalog, so each region concentrates on its own titles.  At
+//     affinity 1.0 the file population partitions perfectly by region
+//     (region-sharded SORP's shardable regime); every global draw and
+//     the flash title couple regions and merge their shards;
+//   * diurnal curve: sinusoidal load modulation with an evening peak at
+//     75% of the cycle and trough at 25%;
+//   * flash crowd: a fraction of all requests is re-aimed at the single
+//     globally hottest title inside one time window (cross-region load
+//     spike — the reconciliation stressor).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "media/catalog.hpp"
+#include "net/topology.hpp"
+#include "util/units.hpp"
+#include "workload/request.hpp"
+
+namespace vor::workload {
+
+struct ScaleParams {
+  /// Total user population, spread round-robin over the topology's
+  /// storage nodes (user u lives at storage node u mod N).
+  std::size_t users = 1'000'000;
+  /// Mean reservations per user per cycle; total requests =
+  /// users * requests_per_user, each request's user drawn uniformly.
+  std::size_t requests_per_user = 1;
+  /// Zipf skew (0 = most biased, 1 = uniform; paper: 0.271).
+  double zipf_alpha = 0.271;
+  /// Probability in [0, 1] that a title draw samples the requesting
+  /// region's private catalog slice instead of the global catalog.  1.0 =
+  /// fully region-partitioned files (maximally shardable).
+  double region_affinity = 1.0;
+  /// Diurnal modulation depth in [0, 1): slice weight is
+  /// 1 + depth * sin(2*pi*(x - 0.5)), x the slice midpoint as a cycle
+  /// fraction — peak at 0.75 (evening), trough at 0.25.  0 = flat.
+  double diurnal_depth = 0.6;
+  /// Fraction of ALL requests redirected into the flash crowd (hottest
+  /// global title, start times inside the flash window).  0 disables.
+  double flash_fraction = 0.0;
+  util::Seconds flash_start{0.0};
+  util::Seconds flash_length{0.0};
+  util::Seconds cycle_length = util::Hours(24.0);
+  /// Time slices; peak memory is O(largest slice), so more buckets =
+  /// flatter memory at slightly more sort calls.
+  std::size_t buckets = 1024;
+  std::uint64_t seed = 97;
+};
+
+/// Aggregate facts about an emitted trace (the requests themselves are
+/// gone — that is the point).
+struct ScaleTraceInfo {
+  std::size_t total_requests = 0;
+  std::size_t flash_requests = 0;
+  /// Natural topology regions used for the affinity rotation.
+  std::size_t regions = 0;
+};
+
+/// Batch consumer: called once per time bucket with that bucket's
+/// requests in canonical replay order; batches arrive in ascending time
+/// order, so their concatenation is the whole sorted trace.
+using RequestBatchSink = std::function<void(const Request*, std::size_t)>;
+
+/// Generates the workload bucket-by-bucket into `sink`.  Bit-reproducible
+/// for equal (topology, catalog, params): every bucket forks its own RNG
+/// substream keyed on the bucket index, and all apportionment is integer
+/// largest-remainder with index tie-breaks.
+ScaleTraceInfo GenerateScaleTrace(const net::Topology& topology,
+                                  const media::Catalog& catalog,
+                                  const ScaleParams& params,
+                                  const RequestBatchSink& sink);
+
+/// Streams the workload into a chunked vor-bin/1 trace via `write` (a
+/// raw byte sink, e.g. an ofstream writer).  O(1) memory in the request
+/// count; the result is TraceStream-streamable.
+ScaleTraceInfo WriteScaleTrace(
+    const net::Topology& topology, const media::Catalog& catalog,
+    const ScaleParams& params,
+    const std::function<void(const char*, std::size_t)>& write);
+
+}  // namespace vor::workload

@@ -10,6 +10,7 @@ Scenario MakeScenario(const ScenarioParams& params) {
 
   net::PaperTopologyParams topo;
   topo.storage_count = params.storage_count;
+  if (params.hub_count > 0) topo.hub_count = params.hub_count;
   topo.storage_capacity = params.is_capacity;
   topo.srate = params.srate();
   topo.base_nrate = params.nrate();

@@ -38,6 +38,9 @@ struct ScenarioParams {
 
   // --- fixed environment ----------------------------------------------
   std::size_t storage_count = 19;   // + 1 warehouse = 20 nodes
+  /// Warehouse-adjacent hub tier width (0 = topology default).  Hubs seed
+  /// the natural regions, so this is also the region-sharded SORP fan-out.
+  std::size_t hub_count = 0;
   std::size_t users_per_neighborhood = 10;
   std::size_t catalog_size = 500;
   util::Bytes mean_video_size = util::GB(3.3);

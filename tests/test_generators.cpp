@@ -126,3 +126,211 @@ TEST(TopologyFamilyShapes, GeometricRatesScaleWithDistance) {
 
 }  // namespace
 }  // namespace vor::net
+
+// ---- scale generator (workload/scale.hpp) --------------------------------
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <set>
+
+#include "media/catalog.hpp"
+#include "workload/scale.hpp"
+#include "workload/trace_stream.hpp"
+
+namespace vor::workload {
+namespace {
+
+net::Topology ScaleTopo() { return net::MakePaperTopology({}); }
+
+media::Catalog ScaleCatalog(std::size_t count) {
+  media::CatalogParams params;
+  params.count = count;
+  return media::MakeSyntheticCatalog(params);
+}
+
+ScaleParams SmallScale() {
+  ScaleParams p;
+  p.users = 20000;
+  p.buckets = 64;
+  return p;
+}
+
+std::vector<Request> Collect(const net::Topology& topo,
+                             const media::Catalog& catalog,
+                             const ScaleParams& params,
+                             ScaleTraceInfo* info = nullptr,
+                             std::size_t* max_batch = nullptr) {
+  std::vector<Request> all;
+  const ScaleTraceInfo got = GenerateScaleTrace(
+      topo, catalog, params, [&](const Request* batch, std::size_t n) {
+        if (max_batch != nullptr) *max_batch = std::max(*max_batch, n);
+        all.insert(all.end(), batch, batch + n);
+      });
+  if (info != nullptr) *info = got;
+  return all;
+}
+
+TEST(ScaleTraceTest, ExactTotalAndCanonicalOrder) {
+  const net::Topology topo = ScaleTopo();
+  const media::Catalog catalog = ScaleCatalog(200);
+  const ScaleParams params = SmallScale();
+  ScaleTraceInfo info;
+  std::size_t max_batch = 0;
+  const std::vector<Request> all =
+      Collect(topo, catalog, params, &info, &max_batch);
+
+  // Largest-remainder apportionment is exact: no request lost or doubled.
+  ASSERT_EQ(all.size(), params.users * params.requests_per_user);
+  EXPECT_EQ(info.total_requests, all.size());
+
+  // Concatenated buckets form the canonical replay order.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const Request& a = all[i - 1];
+    const Request& b = all[i];
+    const bool ordered =
+        a.start_time < b.start_time ||
+        (a.start_time == b.start_time &&
+         (a.user < b.user ||
+          (a.user == b.user &&
+           (a.video < b.video ||
+            (a.video == b.video && a.neighborhood <= b.neighborhood)))));
+    ASSERT_TRUE(ordered) << "order violated at " << i;
+  }
+
+  // O(bucket) memory shape: no batch materializes more than a diurnal
+  // peak's worth of one bucket.
+  const double mean =
+      static_cast<double>(all.size()) / static_cast<double>(params.buckets);
+  EXPECT_LE(static_cast<double>(max_batch),
+            mean * (1.0 + params.diurnal_depth) + 2.0);
+}
+
+TEST(ScaleTraceTest, BitReproducibleAcrossRuns) {
+  const net::Topology topo = ScaleTopo();
+  const media::Catalog catalog = ScaleCatalog(200);
+  const ScaleParams params = SmallScale();
+  const std::vector<Request> a = Collect(topo, catalog, params);
+  const std::vector<Request> b = Collect(topo, catalog, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].user, b[i].user);
+    ASSERT_EQ(a[i].video, b[i].video);
+    ASSERT_EQ(a[i].start_time, b[i].start_time);
+    ASSERT_EQ(a[i].neighborhood, b[i].neighborhood);
+  }
+  // A different seed moves the draws.
+  ScaleParams reseeded = params;
+  reseeded.seed ^= 0xBEEF;
+  const std::vector<Request> c = Collect(topo, catalog, reseeded);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].user != c[i].user || a[i].video != c[i].video;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScaleTraceTest, DiurnalCurveShapesBucketCounts) {
+  const net::Topology topo = ScaleTopo();
+  const media::Catalog catalog = ScaleCatalog(100);
+  ScaleParams params = SmallScale();
+  params.diurnal_depth = 0.8;
+  std::vector<std::size_t> batch_sizes;
+  GenerateScaleTrace(topo, catalog, params,
+                     [&](const Request*, std::size_t n) {
+                       batch_sizes.push_back(n);
+                     });
+  ASSERT_EQ(batch_sizes.size(), params.buckets);
+  // Peak (3/4 through the cycle) carries more than trough (1/4 through).
+  const std::size_t trough = batch_sizes[params.buckets / 4];
+  const std::size_t peak = batch_sizes[(3 * params.buckets) / 4];
+  EXPECT_GT(peak, trough);
+}
+
+TEST(ScaleTraceTest, FullAffinityPartitionsTitlesByRegion) {
+  const net::Topology topo = ScaleTopo();
+  const media::Catalog catalog = ScaleCatalog(200);
+  ScaleParams params = SmallScale();
+  params.region_affinity = 1.0;
+  const std::vector<Request> all = Collect(topo, catalog, params);
+
+  const net::RegionMap rmap = net::MakeRegions(topo, 0);
+  ASSERT_GT(rmap.count, 1u);
+  std::map<std::uint32_t, std::set<media::VideoId>> titles_by_region;
+  for (const Request& r : all) {
+    titles_by_region[rmap.RegionOf(r.neighborhood)].insert(r.video);
+  }
+  for (auto a = titles_by_region.begin(); a != titles_by_region.end(); ++a) {
+    for (auto b = std::next(a); b != titles_by_region.end(); ++b) {
+      std::vector<media::VideoId> shared;
+      std::set_intersection(a->second.begin(), a->second.end(),
+                            b->second.begin(), b->second.end(),
+                            std::back_inserter(shared));
+      EXPECT_TRUE(shared.empty())
+          << "regions " << a->first << " and " << b->first << " share "
+          << shared.size() << " title(s)";
+    }
+  }
+}
+
+TEST(ScaleTraceTest, FlashCrowdCarvesRequestsInsideWindow) {
+  const net::Topology topo = ScaleTopo();
+  const media::Catalog catalog = ScaleCatalog(100);
+  ScaleParams params = SmallScale();
+  params.flash_fraction = 0.1;
+  params.flash_start = util::Hours(17.0);
+  params.flash_length = util::Hours(2.0);
+  ScaleTraceInfo info;
+  const std::vector<Request> all = Collect(topo, catalog, params, &info);
+
+  // Replacement semantics: the total is unchanged, the carve is close to
+  // the requested fraction (only bucket-capacity clipping may shave it).
+  ASSERT_EQ(all.size(), params.users);
+  const auto want = static_cast<std::size_t>(
+      params.flash_fraction * static_cast<double>(params.users));
+  EXPECT_GT(info.flash_requests, want / 2);
+  EXPECT_LE(info.flash_requests, want);
+
+  std::size_t hot_in_window = 0;
+  for (const Request& r : all) {
+    if (r.video == 0 && r.start_time >= params.flash_start &&
+        r.start_time <= params.flash_start + params.flash_length) {
+      ++hot_in_window;
+    }
+  }
+  EXPECT_GE(hot_in_window, info.flash_requests);
+}
+
+TEST(ScaleTraceTest, WrittenTraceStreamsBackIdentically) {
+  const net::Topology topo = ScaleTopo();
+  const media::Catalog catalog = ScaleCatalog(100);
+  ScaleParams params = SmallScale();
+  params.users = 9000;  // not a chunk multiple: exercises the tail chunk
+
+  std::string bytes;
+  const ScaleTraceInfo info = WriteScaleTrace(
+      topo, catalog, params,
+      [&bytes](const char* data, std::size_t n) { bytes.append(data, n); });
+  const std::vector<Request> direct = Collect(topo, catalog, params);
+  ASSERT_EQ(info.total_requests, direct.size());
+
+  auto stream = TraceStream::FromBytes(std::move(bytes));
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  std::size_t i = 0;
+  Request r;
+  while (true) {
+    const auto more = stream->Next(r);
+    ASSERT_TRUE(more.ok()) << more.error().message;
+    if (!*more) break;
+    ASSERT_LT(i, direct.size());
+    EXPECT_EQ(r.user, direct[i].user);
+    EXPECT_EQ(r.video, direct[i].video);
+    EXPECT_EQ(r.start_time, direct[i].start_time);
+    EXPECT_EQ(r.neighborhood, direct[i].neighborhood);
+    ++i;
+  }
+  EXPECT_EQ(i, direct.size());
+}
+
+}  // namespace
+}  // namespace vor::workload

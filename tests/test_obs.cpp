@@ -54,6 +54,77 @@ TEST(SeriesTest, AppendsInOrder) {
   EXPECT_EQ(s.Values(), (std::vector<double>{3.0, 1.0, 2.0}));
 }
 
+TEST(SeriesTest, DecimationKeepsEveryKthSampleUnderCap) {
+  Series s;
+  const std::size_t appends = Series::kCapacity * 5;
+  for (std::size_t i = 0; i < appends; ++i) {
+    s.Append(static_cast<double>(i));
+  }
+  EXPECT_EQ(s.AppendCount(), appends);
+  const std::vector<double> values = s.Values();
+  ASSERT_LE(values.size(), Series::kCapacity);
+  ASSERT_GT(values.size(), Series::kCapacity / 2);
+  // The retained set is exactly the appends {0, k, 2k, ...}: the first
+  // sample always survives, and so does every stride multiple.
+  const std::uint64_t k = s.Stride();
+  ASSERT_GT(k, 1u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(values[i], static_cast<double>(i * k));
+  }
+}
+
+TEST(SeriesTest, DecimationIsAppendSequenceDeterministic) {
+  // Two series fed the same sequence hold the same values — decimation
+  // depends on nothing but the append order (no clocks, no randomness).
+  Series a;
+  Series b;
+  for (std::size_t i = 0; i < Series::kCapacity * 3 + 17; ++i) {
+    a.Append(static_cast<double>(i) * 0.5);
+    b.Append(static_cast<double>(i) * 0.5);
+  }
+  EXPECT_EQ(a.Values(), b.Values());
+  EXPECT_EQ(a.Stride(), b.Stride());
+}
+
+TEST(TimerTest, MergeFoldsSnapshots) {
+  Timer a;
+  a.Observe(1.0);
+  a.Observe(3.0);
+  Timer b;
+  b.Observe(0.25);
+  a.Merge(b.Snap());
+  const Timer::Snapshot s = a.Snap();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 4.25);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  // Merging an empty snapshot is a no-op.
+  a.Merge(Timer::Snapshot{});
+  EXPECT_EQ(a.Snap().count, 3u);
+}
+
+TEST(MetricsRegistryTest, AbsorbFoldsAllInstrumentKinds) {
+  MetricsRegistry into;
+  into.GetCounter("c").Add(2);
+  into.GetTimer("t").Observe(1.0);
+  into.GetSeries("s").Append(1.0);
+
+  MetricsRegistry from;
+  from.GetCounter("c").Add(5);
+  from.GetCounter("only_from").Add(1);
+  from.GetTimer("t").Observe(9.0);
+  from.GetSeries("s").Append(2.0);
+
+  into.Absorb(from);
+  EXPECT_EQ(into.GetCounter("c").value(), 7u);
+  EXPECT_EQ(into.GetCounter("only_from").value(), 1u);
+  const Timer::Snapshot t = into.GetTimer("t").Snap();
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_DOUBLE_EQ(t.max, 9.0);
+  EXPECT_EQ(into.GetSeries("s").Values(),
+            (std::vector<double>{1.0, 2.0}));
+}
+
 TEST(MetricsRegistryTest, InstrumentsAreStableByName) {
   MetricsRegistry registry;
   Counter& a = registry.GetCounter("x");

@@ -1,0 +1,210 @@
+// Golden byte-identity of region-sharded SORP: for every (regions x
+// threads x incremental) combination the sharded engine must emit exactly
+// the bytes of the monolithic reference.  The workload comes from the
+// scale generator at full region affinity, so the file population
+// actually partitions into multiple route-closed shards (the interesting
+// regime — a collapsed single shard would make the grid vacuous), plus a
+// boundary regression where global draws and a flash crowd straddle
+// regions and force shard merging.  The service-level test pins the same
+// identity through the speculative cycle close and a snapshot restore.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ivsp.hpp"
+#include "core/sorp.hpp"
+#include "io/binary.hpp"
+#include "io/serialize.hpp"
+#include "net/routing.hpp"
+#include "obs/metrics.hpp"
+#include "svc/reservation_service.hpp"
+#include "svc/snapshot.hpp"
+#include "workload/scale.hpp"
+#include "workload/scenario.hpp"
+#include "workload/trace.hpp"
+
+namespace vor::core {
+namespace {
+
+/// Region-skewed tight operating point: the Table-4 metro topology with
+/// the request stream replaced by a scale-generator trace.  At affinity
+/// 1.0 every region requests only its private catalog slice, so the file
+/// population splits into one shard per natural region; `affinity` < 1
+/// and a flash crowd re-couple the regions.
+struct RegionEnv {
+  explicit RegionEnv(double affinity, double flash_fraction = 0.0) {
+    workload::ScenarioParams params;
+    params.storage_count = 12;
+    params.users_per_neighborhood = 1;  // replaced below
+    params.catalog_size = 120;
+    params.is_capacity = util::GB(7);
+    params.nrate_per_gb = 1000;
+    params.srate_per_gb_hour = 3;
+    scenario = workload::MakeScenario(params);
+
+    workload::ScaleParams sp;
+    sp.users = 1200;
+    sp.region_affinity = affinity;
+    sp.flash_fraction = flash_fraction;
+    sp.flash_start = util::Hours(17.0);
+    sp.flash_length = util::Hours(2.0);
+    sp.buckets = 64;
+    scenario.requests.clear();
+    workload::GenerateScaleTrace(
+        scenario.topology, scenario.catalog, sp,
+        [this](const workload::Request* batch, std::size_t n) {
+          scenario.requests.insert(scenario.requests.end(), batch, batch + n);
+        });
+
+    router.emplace(scenario.topology);
+    cm.emplace(scenario.topology, *router, scenario.catalog);
+    phase1 = IvspSolve(scenario.requests, *cm, IvspOptions{});
+  }
+
+  workload::Scenario scenario;
+  std::optional<net::Router> router;
+  std::optional<CostModel> cm;
+  Schedule phase1;
+};
+
+struct EngineRun {
+  std::string bytes;
+  SorpStats stats;
+};
+
+EngineRun RunEngine(const RegionEnv& env, std::size_t regions,
+                    std::size_t threads, bool incremental,
+                    obs::MetricsRegistry* metrics = nullptr) {
+  Schedule schedule = env.phase1;
+  SorpOptions options;
+  options.regions = regions;
+  options.parallel.threads = threads;
+  options.incremental = incremental;
+  options.metrics = metrics;
+  EngineRun run;
+  run.stats = SorpSolve(schedule, env.scenario.requests, *env.cm, options);
+  run.bytes = io::ScheduleToBinary(schedule);
+  return run;
+}
+
+TEST(SorpRegionGoldenTest, GridMatchesMonolithic) {
+  const RegionEnv env(/*affinity=*/1.0);
+  const EngineRun reference =
+      RunEngine(env, /*regions=*/1, /*threads=*/1, /*incremental=*/false);
+  ASSERT_TRUE(reference.stats.HadOverflow()) << "scenario must engage SORP";
+  ASSERT_TRUE(reference.stats.Resolved());
+  EXPECT_EQ(reference.stats.region_shards, 0u)
+      << "regions=1 must stay on the monolithic engine";
+
+  bool saw_multiple_shards = false;
+  for (const std::size_t regions : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}, std::size_t{0}}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      for (const bool incremental : {false, true}) {
+        const EngineRun run = RunEngine(env, regions, threads, incremental);
+        EXPECT_EQ(run.bytes, reference.bytes)
+            << "diverged at regions=" << regions << " threads=" << threads
+            << " incremental=" << incremental;
+        EXPECT_EQ(run.stats.victims_rescheduled,
+                  reference.stats.victims_rescheduled)
+            << "victim count drifted at regions=" << regions
+            << " threads=" << threads;
+        saw_multiple_shards |= run.stats.region_shards > 1;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_multiple_shards)
+      << "affinity-1.0 workload should split into >1 shard somewhere in "
+         "the grid, or the test is vacuous";
+}
+
+// A global-draw + flash-crowd workload leaves files whose footprint spans
+// several base regions.  Closure merging must fold the straddled regions
+// into one shard and still reproduce the monolithic bytes — a victim on a
+// boundary file is resolved by exactly one shard, never two.
+TEST(SorpRegionGoldenTest, BoundaryStraddlingVictimsMatch) {
+  const RegionEnv env(/*affinity=*/0.85, /*flash_fraction=*/0.05);
+  const EngineRun reference =
+      RunEngine(env, /*regions=*/1, /*threads=*/1, /*incremental=*/false);
+  ASSERT_TRUE(reference.stats.HadOverflow()) << "scenario must engage SORP";
+
+  obs::MetricsRegistry metrics;
+  const EngineRun sharded =
+      RunEngine(env, /*regions=*/0, /*threads=*/2, /*incremental=*/true,
+                &metrics);
+  EXPECT_EQ(sharded.bytes, reference.bytes);
+  EXPECT_GT(metrics.GetCounter("sorp.regions.cross_files").value(), 0u)
+      << "workload should produce boundary-straddling files";
+  // Straddling files merge their regions: fewer shards than base regions.
+  EXPECT_LT(metrics.GetCounter("sorp.regions.shards").value(),
+            metrics.GetCounter("sorp.regions.base").value());
+
+  for (const std::size_t regions : {std::size_t{2}, std::size_t{8}}) {
+    const EngineRun run =
+        RunEngine(env, regions, /*threads=*/8, /*incremental=*/true);
+    EXPECT_EQ(run.bytes, reference.bytes)
+        << "diverged at regions=" << regions;
+  }
+}
+
+// The service stack must stay byte-deterministic with regions on: the
+// speculative (pipelined) close and a mid-stream snapshot/restore both
+// commit exactly what a regions=1, non-speculative service commits.
+TEST(SorpRegionGoldenTest, ServiceSpeculativeCloseAndSnapshotRestore) {
+  const RegionEnv env(/*affinity=*/1.0);
+  std::vector<workload::Request> requests = env.scenario.requests;
+  workload::SortForReplay(requests);
+  const std::size_t half = requests.size() / 2;
+
+  const auto submit = [&requests](svc::ReservationService& service,
+                                  std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      (void)service.Submit(requests[i], requests[i].start_time);
+    }
+  };
+
+  // Reference: monolithic SORP, plain closes.
+  svc::ServiceConfig plain_config;
+  plain_config.scheduler.sorp_regions = 1;
+  svc::ReservationService plain(env.scenario.topology, env.scenario.catalog,
+                                plain_config);
+  submit(plain, 0, half);
+  ASSERT_TRUE(plain.CloseCycle().ok());
+  submit(plain, half, requests.size());
+  ASSERT_TRUE(plain.CloseCycle().ok());
+  const std::string plain_bytes =
+      io::ScheduleToBinary(plain.CommittedSchedule());
+
+  // Region-sharded + speculative close, snapshotted between the cycles
+  // and restored into a fresh service for the second half.
+  svc::ServiceConfig region_config;
+  region_config.scheduler.sorp_regions = 0;  // auto
+  region_config.scheduler.parallel.threads = 2;
+  region_config.speculate = true;
+  svc::ReservationService sharded(env.scenario.topology, env.scenario.catalog,
+                                  region_config);
+  submit(sharded, 0, half / 2);
+  (void)sharded.Speculate();  // half-window speculation: exercises repair
+  submit(sharded, half / 2, half);
+  sharded.WaitForSpeculation();
+  ASSERT_TRUE(sharded.CloseCycle().ok());
+
+  const svc::ServiceSnapshot snapshot = sharded.Snapshot();
+  svc::ReservationService restored(env.scenario.topology,
+                                   env.scenario.catalog, region_config);
+  ASSERT_TRUE(restored.Restore(snapshot).ok());
+  submit(restored, half, requests.size());
+  (void)restored.Speculate();
+  restored.WaitForSpeculation();
+  ASSERT_TRUE(restored.CloseCycle().ok());
+
+  EXPECT_EQ(io::ScheduleToBinary(restored.CommittedSchedule()), plain_bytes)
+      << "region-sharded speculative service diverged from the monolithic "
+         "reference across snapshot restore";
+}
+
+}  // namespace
+}  // namespace vor::core

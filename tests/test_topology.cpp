@@ -146,5 +146,73 @@ TEST(TopologyTest, WithoutLinkRemovesExactlyOne) {
   EXPECT_FALSE(bridged.Validate().ok());
 }
 
+TEST(RegionMapTest, NaturalRegionsFollowWarehouseAdjacency) {
+  // VW - A - B and VW - C - D: two warehouse-adjacent seeds, so two
+  // natural regions, each the seed plus its downstream chain.
+  Topology topo;
+  const NodeId vw = topo.AddWarehouse("VW");
+  const util::StorageRate srate{1.0 / (1e9 * 3600.0)};
+  const NodeId a = topo.AddStorage("A", util::GB(10), srate);
+  const NodeId b = topo.AddStorage("B", util::GB(10), srate);
+  const NodeId c = topo.AddStorage("C", util::GB(10), srate);
+  const NodeId d = topo.AddStorage("D", util::GB(10), srate);
+  const util::NetworkRate nrate{1.0 / 1e9};
+  topo.AddLink(vw, a, nrate);
+  topo.AddLink(a, b, nrate);
+  topo.AddLink(vw, c, nrate);
+  topo.AddLink(c, d, nrate);
+
+  const RegionMap map = MakeRegions(topo, 0);
+  EXPECT_EQ(map.count, 2u);
+  EXPECT_EQ(map.RegionOf(vw), kInvalidRegion);
+  EXPECT_EQ(map.RegionOf(a), map.RegionOf(b));
+  EXPECT_EQ(map.RegionOf(c), map.RegionOf(d));
+  EXPECT_NE(map.RegionOf(a), map.RegionOf(c));
+  // Canonical labeling: the region containing the smallest node id is 0.
+  EXPECT_EQ(map.RegionOf(a), 0u);
+
+  const auto members = map.Members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(members[1], (std::vector<NodeId>{c, d}));
+}
+
+TEST(RegionMapTest, CoalescesDownToTargetAndAssignsEveryStorage) {
+  PaperTopologyParams params;
+  const Topology topo = MakePaperTopology(params);
+
+  const RegionMap natural = MakeRegions(topo, 0);
+  ASSERT_GT(natural.count, 1u);
+  const RegionMap two = MakeRegions(topo, 2);
+  EXPECT_LE(two.count, 2u);
+  // A target above the natural count changes nothing.
+  const RegionMap many = MakeRegions(topo, natural.count + 10);
+  EXPECT_EQ(many.count, natural.count);
+
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    if (topo.node(n).kind == NodeKind::kWarehouse) {
+      EXPECT_EQ(two.RegionOf(n), kInvalidRegion);
+    } else {
+      ASSERT_LT(two.RegionOf(n), two.count) << "unassigned storage " << n;
+    }
+  }
+  // Region ids are dense: every id in [0, count) is used.
+  std::vector<bool> seen(two.count, false);
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    if (two.RegionOf(n) != kInvalidRegion) seen[two.RegionOf(n)] = true;
+  }
+  for (std::size_t r = 0; r < two.count; ++r) EXPECT_TRUE(seen[r]);
+}
+
+TEST(RegionMapTest, DeterministicAcrossCalls) {
+  PaperTopologyParams params;
+  params.storage_count = 31;
+  const Topology topo = MakePaperTopology(params);
+  const RegionMap one = MakeRegions(topo, 0);
+  const RegionMap two = MakeRegions(topo, 0);
+  EXPECT_EQ(one.region_of, two.region_of);
+  EXPECT_EQ(one.count, two.count);
+}
+
 }  // namespace
 }  // namespace vor::net

@@ -1,19 +1,26 @@
 // vorctl — command-line front end to the VOR scheduling library.
 //
 //   vorctl gen-scenario [--nrate N] [--srate N] [--capacity-gb N]
-//                       [--alpha A] [--storages N] [--users N]
+//                       [--alpha A] [--storages N] [--hubs N] [--users N]
 //                       [--catalog N] [--seed N] [--evening]
 //                       [--out scenario.json] [--trace-out trace.csv]
 //       Generates a self-contained scenario document (topology + catalog
 //       + one cycle of reservations), optionally exporting the request
-//       trace as CSV.
+//       trace as CSV.  --hubs widens the warehouse-adjacent tier, which
+//       also sets the natural region count for --regions auto.
+//
+//   vorctl gen-trace <scenario.json> --out trace.bin [--users N] ...
+//       Streams a million-user-scale workload (Zipf titles, region-skewed
+//       placement, diurnal curve, flash crowd) into a chunked vor-bin
+//       trace without ever materializing it; see workload/scale.hpp.
 //
 //   vorctl solve <scenario.json> [--heat m1|m2|m3|m4] [--out schedule.json]
-//                [--trace trace.csv] [--bandwidth]
+//                [--trace trace.csv] [--bandwidth] [--regions N|auto]
 //       Runs the two-phase scheduler and prints the schedule report.
 //       --trace substitutes a CSV reservation log for the scenario's
 //       requests; --bandwidth uses the link-capacity-aware scheduler
-//       (meaningful when the topology carries bandwidth caps).
+//       (meaningful when the topology carries bandwidth caps); --regions
+//       shards SORP by topology region (byte-identical schedule).
 //
 //   vorctl validate <scenario.json> <schedule.json>
 //       Re-validates a schedule against its scenario: service coverage,
@@ -59,6 +66,7 @@
 //       schedule stays byte-identical either way).
 #include <charconv>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -82,6 +90,7 @@
 #include "svc/snapshot.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "workload/scale.hpp"
 #include "workload/scenario.hpp"
 #include "workload/trace.hpp"
 #include "workload/trace_stream.hpp"
@@ -181,6 +190,14 @@ util::Result<core::Schedule> LoadSchedule(const std::string& path) {
   return io::ScheduleFromJson(*json);
 }
 
+/// --regions N|auto: SORP region sharding.  "auto" (or 0) = one shard per
+/// route-closed neighborhood cluster; 1 (default) = the monolithic loop;
+/// N >= 2 coalesces the natural clusters to at most N.
+std::size_t ParseRegions(const Args& args) {
+  if (args.Str("regions", "") == "auto") return 0;
+  return args.Count("regions", 1);
+}
+
 std::optional<core::HeatMetric> ParseHeat(const std::string& name) {
   if (name == "m1") return core::HeatMetric::kImprovedLength;
   if (name == "m2") return core::HeatMetric::kLengthPerCost;
@@ -196,6 +213,7 @@ int CmdGenScenario(const Args& args) {
   params.is_capacity = util::GB(args.Number("capacity-gb", 5.0));
   params.zipf_alpha = args.Number("alpha", params.zipf_alpha);
   params.storage_count = args.Count("storages", 19);
+  params.hub_count = args.Count("hubs", 0);
   params.users_per_neighborhood = args.Count("users", 10);
   params.catalog_size = args.Count("catalog", 500);
   params.seed = args.Count("seed", 1997);
@@ -237,6 +255,50 @@ int CmdGenScenario(const Args& args) {
   return 0;
 }
 
+// vorctl gen-trace <scenario.json> --out trace.bin — streams a
+// million-user-scale synthetic workload (Zipf popularity, region-skewed
+// placement, diurnal curve, optional flash crowd) straight into a chunked
+// vor-bin trace.  Memory stays O(time bucket), never O(requests), so the
+// request count is bounded by disk, not RAM; the output replays through
+// `solve --trace` / `serve --trace` as a stream.
+int CmdGenTrace(const Args& args) {
+  if (args.positional.empty()) return Fail("gen-trace needs a scenario file");
+  auto scenario = LoadScenario(args.positional[0]);
+  if (!scenario.ok()) return Fail(scenario.error().message);
+  const std::string out = args.Str("out", "");
+  if (out.empty()) return Fail("gen-trace needs --out FILE");
+
+  workload::ScaleParams params;
+  params.users = args.Count("users", params.users);
+  params.requests_per_user =
+      args.Count("requests-per-user", params.requests_per_user);
+  params.zipf_alpha = args.Number("alpha", params.zipf_alpha);
+  params.region_affinity = args.Number("affinity", params.region_affinity);
+  params.diurnal_depth = args.Number("diurnal", params.diurnal_depth);
+  params.flash_fraction = args.Number("flash-fraction", 0.0);
+  params.flash_start = util::Seconds{args.Number("flash-start", 0.0)};
+  params.flash_length = util::Seconds{args.Number("flash-length", 0.0)};
+  params.cycle_length =
+      util::Seconds{args.Number("cycle-length", params.cycle_length.value())};
+  params.buckets = args.Count("buckets", params.buckets);
+  params.seed = args.Count("seed", params.seed);
+  if (params.users == 0) return Fail("--users must be >= 1");
+
+  std::ofstream file(out, std::ios::binary | std::ios::trunc);
+  if (!file) return Fail("cannot open " + out);
+  const workload::ScaleTraceInfo info = workload::WriteScaleTrace(
+      scenario->topology, scenario->catalog, params,
+      [&file](const char* data, std::size_t n) {
+        file.write(data, static_cast<std::streamsize>(n));
+      });
+  file.close();
+  if (!file) return Fail("write failed for " + out);
+  std::cout << "wrote " << out << " (" << info.total_requests
+            << " requests, " << info.flash_requests << " flash, "
+            << info.regions << " regions)\n";
+  return 0;
+}
+
 int CmdSolve(const Args& args) {
   if (args.positional.empty()) return Fail("solve needs a scenario file");
   auto scenario = LoadScenario(args.positional[0]);
@@ -273,6 +335,9 @@ int CmdSolve(const Args& args) {
   // (1 = serial, 0 = one per hardware thread).  The schedule is
   // byte-identical at any setting.
   options.parallel.threads = args.Count("threads", 1);
+  // --regions N|auto: shard SORP by topology region and resolve the
+  // shards concurrently.  Byte-identical schedule at any setting.
+  options.sorp_regions = ParseRegions(args);
 
   // --metrics-out FILE: attach a registry and export phase timings and
   // solver counters as JSON after the solve.
@@ -459,6 +524,7 @@ int CmdServe(const Args& args) {
   config.shards = args.Count("shards", config.shards);
   if (config.shards == 0) return Fail("--shards must be >= 1");
   config.scheduler.parallel.threads = args.Count("threads", 1);
+  config.scheduler.sorp_regions = ParseRegions(args);
   if (clock_ms > 0) config.cycle_period_seconds = clock_ms / 1000.0;
   config.speculate = args.Flag("speculate");
 
@@ -746,15 +812,21 @@ void PrintUsage() {
   std::cout <<
       "usage: vorctl <command> [args]\n"
       "  gen-scenario [--nrate N] [--srate N] [--capacity-gb N] [--alpha A]\n"
-      "               [--storages N] [--users N] [--catalog N] [--seed N]\n"
-      "               [--evening] [--out FILE] [--trace-out FILE] [--binary]\n"
+      "               [--storages N] [--hubs N] [--users N] [--catalog N]\n"
+      "               [--seed N] [--evening] [--out FILE] [--trace-out FILE]\n"
+      "               [--binary]\n"
+      "  gen-trace <scenario.json> --out trace.bin [--users N]\n"
+      "            [--requests-per-user N] [--alpha A] [--affinity F]\n"
+      "            [--diurnal F] [--flash-fraction F] [--flash-start S]\n"
+      "            [--flash-length S] [--cycle-length S] [--buckets N]\n"
+      "            [--seed N]      (streamed vor-bin, O(bucket) memory)\n"
       "  solve <scenario.json> [--heat m1|m2|m3|m4] [--out schedule]\n"
-      "        [--trace FILE] [--bandwidth] [--threads N] [--binary]\n"
-      "        [--metrics-out FILE.json]\n"
+      "        [--trace FILE] [--bandwidth] [--threads N] [--regions N|auto]\n"
+      "        [--binary] [--metrics-out FILE.json]\n"
       "  serve <scenario.json> --cycle SECS [--trace FILE]\n"
-      "        [--producers N] [--shards N] [--threads N] [--snapshot FILE]\n"
-      "        [--clock-ms MS] [--speculate] [--out FILE] [--binary]\n"
-      "        [--metrics-out FILE.json]\n"
+      "        [--producers N] [--shards N] [--threads N] [--regions N|auto]\n"
+      "        [--snapshot FILE] [--clock-ms MS] [--speculate] [--out FILE]\n"
+      "        [--binary] [--metrics-out FILE.json]\n"
       "  convert <in> <out>        (csv/json <-> vor-bin, format sniffed)\n"
       "  validate <scenario.json> <schedule>\n"
       "  simulate <scenario.json> <schedule>\n"
@@ -775,6 +847,7 @@ int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv, 2);
   try {
     if (command == "gen-scenario") return CmdGenScenario(args);
+    if (command == "gen-trace") return CmdGenTrace(args);
     if (command == "solve") return CmdSolve(args);
     if (command == "serve") return CmdServe(args);
     if (command == "convert") return CmdConvert(args);
