@@ -34,6 +34,9 @@
 #include "net/topology.hpp"
 #include "net/routing.hpp"
 #include "obs/metrics.hpp"
+#include "rpc/load.hpp"
+#include "rpc/server.hpp"
+#include "rpc/socket.hpp"
 #include "storage/usage_timeline.hpp"
 #include "svc/reservation_service.hpp"
 #include "util/json.hpp"
@@ -976,6 +979,84 @@ util::Json RunSvcSoakSection() {
   return util::Json(std::move(doc));
 }
 
+/// One RPC loopback replay: fresh service + rpc::Server on an ephemeral
+/// port, the trace streamed through rpc::RunLoad at `connections`
+/// concurrent connections.  Reports per-submit latency percentiles,
+/// throughput, and the committed-schedule JSON for the identity check.
+util::Json RpcLoopbackSide(const workload::Scenario& scenario,
+                           std::size_t connections,
+                           std::string* schedule_json) {
+  util::JsonObject side;
+  svc::ReservationService service(scenario.topology, scenario.catalog, {});
+  rpc::ServerConfig server_config;
+  server_config.listen = rpc::Endpoint{"127.0.0.1", 0};
+  server_config.poll_seconds = 0.02;
+  rpc::Server server(service, server_config);
+  if (const util::Status s = server.Start(); !s.ok()) {
+    side["error"] = s.error().message;
+    return util::Json(std::move(side));
+  }
+  rpc::LoadConfig load_config;
+  load_config.endpoints = {rpc::Endpoint{"127.0.0.1", server.port()}};
+  load_config.connections = connections;
+  load_config.cycle_seconds = scenario.params.cycle_length.value() / 8.0;
+  workload::TraceStream stream =
+      workload::TraceStream::FromVector(scenario.requests);
+  const auto report = rpc::RunLoad(stream, load_config);
+  server.Stop();
+  if (!report.ok()) {
+    side["error"] = report.error().message;
+    return util::Json(std::move(side));
+  }
+  side["connections"] = connections;
+  side["submitted"] = report->submitted;
+  side["cycles_closed"] = report->CyclesClosed();
+  side["transport_errors"] = report->transport_errors;
+  side["wall_seconds"] = report->wall_seconds;
+  side["submits_per_second"] =
+      report->wall_seconds > 0.0
+          ? static_cast<double>(report->submitted) / report->wall_seconds
+          : 0.0;
+  side["ack_p50_seconds"] = util::Percentile(report->ack_seconds, 50);
+  side["ack_p95_seconds"] = util::Percentile(report->ack_seconds, 95);
+  side["commit_p50_seconds"] = util::Percentile(report->commit_seconds, 50);
+  side["commit_p95_seconds"] = util::Percentile(report->commit_seconds, 95);
+  *schedule_json = io::ToJson(service.CommittedSchedule()).Dump(2);
+  return util::Json(std::move(side));
+}
+
+/// vor-rpc/1 front-end over loopback: the same trace replayed at 1, 4,
+/// and 8 connections.  Beyond the latency/throughput trajectory, the
+/// section asserts the subsystem's core invariant — every connection
+/// count commits a byte-identical schedule.
+util::Json RunRpcLoopbackSection() {
+  workload::ScenarioParams params;
+  params.storage_count = 9;
+  params.users_per_neighborhood = 8;
+  params.catalog_size = 120;
+  params.is_capacity = util::GB(20);
+  params.seed = 71;
+  const workload::Scenario scenario = workload::MakeScenario(params);
+
+  util::JsonObject doc;
+  doc["scenario"] = "9 IS x 72 users, 120 titles, 20GB IS";
+  doc["hardware_threads"] =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
+  doc["requests"] = scenario.requests.size();
+  std::vector<std::string> schedules;
+  for (const std::size_t connections : {std::size_t{1}, std::size_t{4},
+                                        std::size_t{8}}) {
+    std::string schedule_json;
+    doc["connections_" + std::to_string(connections)] =
+        RpcLoopbackSide(scenario, connections, &schedule_json);
+    schedules.push_back(std::move(schedule_json));
+  }
+  doc["schedules_identical"] =
+      schedules[0] == schedules[1] && schedules[1] == schedules[2] &&
+      !schedules[0].empty();
+  return util::Json(std::move(doc));
+}
+
 /// Wall-times the scheduler end-to-end (tight capacity, SORP engaged) at
 /// a given thread count, repeated to amortize noise.
 double TimeSolves(const workload::Scenario& scenario, std::size_t threads,
@@ -1063,6 +1144,7 @@ int RunBaseline(const std::string& out_path, std::size_t threads) {
   doc["sorp_region"] = RunSorpRegionSection(1000000);
   doc["svc_soak"] = RunSvcSoakSection();
   doc["codec"] = RunCodecSection();
+  doc["rpc_loopback"] = RunRpcLoopbackSection();
   const std::string text = util::Json(std::move(doc)).Dump(2) + "\n";
   if (const util::Status s = io::WriteFile(out_path, text); !s.ok()) {
     std::cerr << "bench_perf: " << s.error().message << '\n';

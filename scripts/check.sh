@@ -37,10 +37,19 @@
 # and a binary-trace serve must commit byte-identical schedules to the
 # CSV-trace serve.
 #
-# `all` runs lint first (cheapest gate, fails fastest), then the
-# sanitizer builds, then the codec diff, then the soak.
+# `rpc-soak` exercises the vor-rpc/1 socket front-end under both
+# sanitizers: a tsan-built `vorctl serve --listen` takes a 4-connection
+# `vorctl load` replay over loopback (accept thread + connection pool +
+# intake producers all under the race detector) and the committed
+# schedule must be byte-identical to a plain file replay of the same
+# trace; then the asan-ubsan test binary runs the adversarial frame
+# suite (truncation/bit-flip sweeps, hostile length prefixes, malformed
+# bytes over a real socket) with the memory checkers watching.
 #
-# Usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|bench-region|codec-diff|soak|all]   (default: all)
+# `all` runs lint first (cheapest gate, fails fastest), then the
+# sanitizer builds, then the codec diff, then the soaks.
+#
+# Usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|bench-region|codec-diff|soak|rpc-soak|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -219,6 +228,55 @@ soak() {
   echo "==> soak clean (no tsan reports)"
 }
 
+rpc_soak() {
+  echo "==> configure tsan"
+  cmake --preset tsan >/dev/null
+  echo "==> build vorctl (tsan)"
+  cmake --build --preset tsan -j "${jobs}" --target vorctl
+  local workdir
+  workdir=$(mktemp -d)
+  trap 'rm -rf "${workdir}"' RETURN
+  local vorctl=./build-tsan/tools/vorctl
+  echo "==> generate rpc soak scenario + trace"
+  "${vorctl}" gen-scenario --storages 6 --users 4 --catalog 40 \
+    --capacity-gb 5 --seed 29 \
+    --out "${workdir}/scenario.json" --trace-out "${workdir}/trace.csv"
+  echo "==> reference file replay (tsan)"
+  TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+    "${vorctl}" serve "${workdir}/scenario.json" \
+    --trace "${workdir}/trace.csv" --cycle 21600 --producers 2 \
+    --out "${workdir}/sched-file.json" >/dev/null
+  echo "==> vorctl serve --listen under tsan, 4-connection vorctl load"
+  # The server's accept thread, connection pool, and the service's
+  # intake shards all run under the race detector while four client
+  # connections submit concurrently over loopback.
+  TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+    "${vorctl}" serve "${workdir}/scenario.json" \
+    --listen 127.0.0.1:0 --port-file "${workdir}/port" \
+    --out "${workdir}/sched-rpc.json" >/dev/null &
+  local server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "${workdir}/port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "${workdir}/port" ]] || { echo "error: server wrote no port" >&2
+    kill "${server_pid}" 2>/dev/null; exit 1; }
+  TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+    "${vorctl}" load --connect "127.0.0.1:$(cat "${workdir}/port")" \
+    --trace "${workdir}/trace.csv" --cycle 21600 --connections 4 \
+    --shutdown >/dev/null
+  wait "${server_pid}"
+  echo "==> rpc replay commits bytes identical to file replay"
+  cmp "${workdir}/sched-file.json" "${workdir}/sched-rpc.json"
+  echo "==> configure asan-ubsan"
+  cmake --preset asan-ubsan >/dev/null
+  echo "==> build vor_tests (asan-ubsan)"
+  cmake --build --preset asan-ubsan -j "${jobs}" --target vor_tests
+  echo "==> adversarial frame suite under asan-ubsan"
+  ./build-asan-ubsan/tests/vor_tests --gtest_filter='Rpc*'
+  echo "==> rpc soak clean (no reports, schedules byte-identical)"
+}
+
 case "${which}" in
   lint)        lint ;;
   asan-ubsan)  run_preset asan-ubsan ;;
@@ -227,6 +285,7 @@ case "${which}" in
   bench-region) bench_region ;;
   codec-diff)  codec_diff ;;
   soak)        soak ;;
+  rpc-soak)    rpc_soak ;;
   all)
     lint
     run_preset asan-ubsan
@@ -234,9 +293,10 @@ case "${which}" in
     bench_region
     codec_diff
     soak
+    rpc_soak
     ;;
   *)
-    echo "usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|bench-region|codec-diff|soak|all]" >&2
+    echo "usage: scripts/check.sh [lint|asan-ubsan|tsan|bench-smoke|bench-region|codec-diff|soak|rpc-soak|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,175 @@
+#include "rpc/client.hpp"
+
+#include <utility>
+
+namespace vor::rpc {
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+util::Status Client::Connect() {
+  if (socket_.valid()) return util::Status::Ok();
+  if (config_.endpoints.empty()) {
+    return util::InvalidArgument("client has no endpoints");
+  }
+  residue_.clear();
+  std::string failures;
+  // Sticky-first rotation: endpoints[sticky_], then the rest in order.
+  for (std::size_t i = 0; i < config_.endpoints.size(); ++i) {
+    const std::size_t idx = (sticky_ + i) % config_.endpoints.size();
+    auto socket =
+        ConnectTcp(config_.endpoints[idx], config_.connect_timeout_seconds);
+    if (socket.ok()) {
+      socket_ = std::move(*socket);
+      sticky_ = idx;
+      return util::Status::Ok();
+    }
+    if (!failures.empty()) failures += "; ";
+    failures += socket.error().message;
+  }
+  return util::Internal("all endpoints unreachable: " + failures);
+}
+
+util::Result<Frame> Client::Call(MsgType type, const std::string& body) {
+  if (auto status = Connect(); !status.ok()) return status.error();
+
+  Frame request;
+  request.type = type;
+  request.seq = next_seq_++;
+  request.body = body;
+  const std::string wire = EncodeFrame(request);
+  if (auto sent = socket_.SendAll(wire.data(), wire.size()); !sent.ok()) {
+    // The frame may or may not have reached the server: drop the
+    // connection and surface the error.  No automatic resend (kSubmit is
+    // not idempotent); the next Call() will re-dial with failover.
+    socket_.Close();
+    return sent.error();
+  }
+
+  std::string buffer = std::move(residue_);
+  residue_.clear();
+  char chunk[4096];
+  double waited = 0.0;
+  constexpr double kPollSeconds = 0.2;
+  while (true) {
+    const DecodeResult decoded = DecodeFrame(buffer.data(), buffer.size());
+    if (decoded.verdict == DecodeVerdict::kMalformed) {
+      socket_.Close();
+      return util::Internal("malformed response frame: " + decoded.error);
+    }
+    if (decoded.verdict == DecodeVerdict::kOk) {
+      buffer.erase(0, decoded.consumed);
+      if (decoded.frame.seq != request.seq) {
+        // A stale response (e.g. from an abandoned earlier call) is
+        // skipped, not fatal: seqs are strictly increasing.
+        continue;
+      }
+      residue_ = std::move(buffer);
+      if (decoded.frame.type == MsgType::kError) {
+        auto text = DecodeTextBody(decoded.frame.body);
+        socket_.Close();  // the server closes after kError; mirror it
+        if (!text.ok()) return text.error();
+        return util::Internal("server error " + std::to_string(text->first) +
+                              ": " + text->second);
+      }
+      return decoded.frame;
+    }
+
+    const auto received =
+        socket_.RecvSome(chunk, sizeof chunk, kPollSeconds);
+    if (!received.ok()) {
+      socket_.Close();
+      return received.error();
+    }
+    if (received->eof) {
+      socket_.Close();
+      return util::Internal("connection closed awaiting response from " +
+                            current_endpoint().ToString());
+    }
+    if (received->timed_out) {
+      waited += kPollSeconds;
+      if (waited >= config_.call_timeout_seconds) {
+        socket_.Close();
+        return util::Internal("call timed out after " +
+                              std::to_string(waited) + "s");
+      }
+      continue;
+    }
+    buffer.append(chunk, received->n);
+  }
+}
+
+util::Result<svc::SubmitOutcome> Client::Submit(
+    const workload::Request& request, util::Seconds arrival) {
+  auto response =
+      Call(MsgType::kSubmit, EncodeSubmitBody(request, arrival));
+  if (!response.ok()) return response.error();
+  if (response->type != MsgType::kSubmitAck) {
+    return util::Internal(std::string("unexpected response type ") +
+                          ToString(response->type));
+  }
+  return DecodeSubmitAckBody(response->body);
+}
+
+util::Result<StatusInfo> Client::Status() {
+  auto response = Call(MsgType::kStatus, std::string());
+  if (!response.ok()) return response.error();
+  if (response->type != MsgType::kStatusInfo) {
+    return util::Internal(std::string("unexpected response type ") +
+                          ToString(response->type));
+  }
+  return DecodeStatusBody(response->body);
+}
+
+util::Result<svc::CycleStats> Client::CloseCycle() {
+  auto response = Call(MsgType::kCycleClose, std::string());
+  if (!response.ok()) return response.error();
+  if (response->type != MsgType::kCycleStats) {
+    return util::Internal(std::string("unexpected response type ") +
+                          ToString(response->type));
+  }
+  auto stats = DecodeCycleStatsBody(response->body);
+  if (!stats.ok()) return stats.error();
+  if (!stats->first) {
+    return util::Internal("cycle close returned empty stats");
+  }
+  return stats->second;
+}
+
+util::Result<std::pair<bool, svc::CycleStats>> Client::QueryCycle() {
+  auto response = Call(MsgType::kCycleQuery, std::string());
+  if (!response.ok()) return response.error();
+  if (response->type != MsgType::kCycleStats) {
+    return util::Internal(std::string("unexpected response type ") +
+                          ToString(response->type));
+  }
+  return DecodeCycleStatsBody(response->body);
+}
+
+util::Result<std::string> Client::TriggerSnapshot() {
+  auto response = Call(MsgType::kSnapshotTrigger, std::string());
+  if (!response.ok()) return response.error();
+  if (response->type != MsgType::kSnapshotAck) {
+    return util::Internal(std::string("unexpected response type ") +
+                          ToString(response->type));
+  }
+  auto text = DecodeTextBody(response->body);
+  if (!text.ok()) return text.error();
+  if (text->first != 0) {
+    return util::Internal("snapshot failed (code " +
+                          std::to_string(text->first) + "): " + text->second);
+  }
+  return text->second;
+}
+
+util::Status Client::Shutdown() {
+  auto response = Call(MsgType::kShutdown, std::string());
+  if (!response.ok()) return response.error();
+  if (response->type != MsgType::kShutdownAck) {
+    return util::Internal(std::string("unexpected response type ") +
+                          ToString(response->type));
+  }
+  socket_.Close();  // the server closes its side after the ack
+  return util::Status::Ok();
+}
+
+}  // namespace vor::rpc

@@ -1,0 +1,93 @@
+// rpc::Client — one synchronous vor-rpc/1 connection with sticky-host
+// failover.
+//
+// The client holds an ordered endpoint list.  Connect() walks it until
+// one host answers and then *sticks* to that host; a later transport
+// error tears the connection down and the next call dials again from the
+// sticky host first, falling through the rest of the list.  That is the
+// classic multi-host client shape: failover is automatic, but a healthy
+// endpoint is never abandoned mid-stream, so per-connection frame order
+// (and therefore ack order) is preserved.
+//
+// Calls are strictly synchronous request/response: Call() sends one
+// frame and blocks for the response with a matching seq.  A transport
+// failure is NOT retried for kSubmit — the server may have applied the
+// submit before the connection died, and a blind retry would double-file
+// the reservation.  Idempotent reads (status / cycle query) may simply
+// be called again by the caller.
+//
+// Not thread-safe: one Client per connection, one owner thread.  The
+// load generator opens N clients for N concurrent connections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rpc/protocol.hpp"
+#include "rpc/socket.hpp"
+#include "util/result.hpp"
+
+namespace vor::rpc {
+
+struct ClientConfig {
+  /// Failover list in preference order; Connect() requires >= 1 entry.
+  std::vector<Endpoint> endpoints;
+  /// Bound on one connect attempt.
+  double connect_timeout_seconds = 5.0;
+  /// Bound on waiting for a response frame.
+  double call_timeout_seconds = 30.0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  /// Dials the sticky endpoint first, then the rest of the list in
+  /// order.  No-op when already connected.
+  [[nodiscard]] util::Status Connect();
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+  /// Endpoint of the live (or most recently live) connection.
+  [[nodiscard]] const Endpoint& current_endpoint() const {
+    return config_.endpoints[sticky_];
+  }
+
+  /// Sends one frame and blocks for the response with the same seq.
+  /// Reconnects (with failover) before sending if the connection is
+  /// down; never retries after bytes were sent.  A kError response is
+  /// surfaced as a util error carrying the server's code and message.
+  [[nodiscard]] util::Result<Frame> Call(MsgType type,
+                                         const std::string& body);
+
+  // ---- typed wrappers ----------------------------------------------------
+  [[nodiscard]] util::Result<svc::SubmitOutcome> Submit(
+      const workload::Request& request, util::Seconds arrival);
+  [[nodiscard]] util::Result<StatusInfo> Status();
+  [[nodiscard]] util::Result<svc::CycleStats> CloseCycle();
+  /// (present, stats) of the server's most recent close.
+  [[nodiscard]] util::Result<std::pair<bool, svc::CycleStats>> QueryCycle();
+  /// Returns the path the server wrote the snapshot to.
+  [[nodiscard]] util::Result<std::string> TriggerSnapshot();
+  [[nodiscard]] util::Status Shutdown();
+
+  void Close() { socket_.Close(); }
+
+ private:
+  ClientConfig config_;
+  Socket socket_;
+  /// Index into config_.endpoints of the host Connect() stuck to.
+  std::size_t sticky_ = 0;
+  std::uint64_t next_seq_ = 1;
+  /// Bytes received past the previous response frame (pipelined tail).
+  std::string residue_;
+};
+
+}  // namespace vor::rpc

@@ -1,0 +1,269 @@
+#include "rpc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+namespace vor::rpc {
+
+namespace {
+
+[[nodiscard]] util::Error ErrnoError(const std::string& what) {
+  return util::Internal(what + ": " + std::strerror(errno));
+}
+
+[[nodiscard]] int PollMillis(double timeout_seconds) {
+  if (timeout_seconds < 0.0) return -1;
+  const double ms = timeout_seconds * 1000.0;
+  if (ms >= 2147483647.0) return 2147483647;
+  const int whole = static_cast<int>(ms);
+  // Round up so a sub-millisecond timeout still waits, not busy-spins.
+  return static_cast<double>(whole) < ms ? whole + 1 : whole;
+}
+
+/// poll() one fd for `events`, retrying on EINTR.  Returns 0 on timeout,
+/// 1 when ready, negative errno failures as util errors via out-param.
+[[nodiscard]] util::Result<int> PollOne(int fd, short events,
+                                        double timeout_seconds) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, PollMillis(timeout_seconds));
+    if (rc >= 0) return rc;
+    if (errno == EINTR) continue;
+    return ErrnoError("poll");
+  }
+}
+
+/// Resolves host -> IPv4 sockaddr_in (numeric or named, e.g.
+/// "localhost").
+[[nodiscard]] util::Result<sockaddr_in> ResolveIpv4(const std::string& host,
+                                                    std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return util::NotFound("cannot resolve host '" + host +
+                          "': " + ::gai_strerror(rc));
+  }
+  sockaddr_in addr{};
+  std::memcpy(&addr, res->ai_addr, sizeof addr);
+  addr.sin_port = htons(port);
+  ::freeaddrinfo(res);
+  return addr;
+}
+
+}  // namespace
+
+util::Result<Endpoint> ParseEndpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    return util::InvalidArgument("endpoint '" + text +
+                                 "' is not HOST:PORT");
+  }
+  Endpoint ep;
+  ep.host = text.substr(0, colon);
+  const char* first = text.data() + colon + 1;
+  const char* last = text.data() + text.size();
+  std::uint32_t port = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, port);
+  if (ec != std::errc{} || ptr != last || port > 65535) {
+    return util::InvalidArgument("endpoint '" + text +
+                                 "' has a bad port");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+util::Result<std::vector<Endpoint>> ParseEndpointList(
+    const std::string& text) {
+  std::vector<Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string piece = text.substr(start, comma - start);
+    if (!piece.empty()) {
+      auto ep = ParseEndpoint(piece);
+      if (!ep.ok()) return ep.error();
+      endpoints.push_back(std::move(*ep));
+    }
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    return util::InvalidArgument("empty endpoint list");
+  }
+  return endpoints;
+}
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status Socket::SendAll(const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return ErrnoError("send");
+  }
+  return util::Status::Ok();
+}
+
+util::Result<Socket::RecvOutcome> Socket::RecvSome(char* dst, std::size_t cap,
+                                                   double timeout_seconds) {
+  RecvOutcome out;
+  const auto ready = PollOne(fd_, POLLIN, timeout_seconds);
+  if (!ready.ok()) return ready.error();
+  if (*ready == 0) {
+    out.timed_out = true;
+    return out;
+  }
+  while (true) {
+    const ssize_t rc = ::recv(fd_, dst, cap, 0);
+    if (rc > 0) {
+      out.n = static_cast<std::size_t>(rc);
+      return out;
+    }
+    if (rc == 0) {
+      out.eof = true;
+      return out;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoError("recv");
+  }
+}
+
+util::Result<Socket> ConnectTcp(const Endpoint& endpoint,
+                                double timeout_seconds) {
+  auto addr = ResolveIpv4(endpoint.host, endpoint.port);
+  if (!addr.ok()) return addr.error();
+
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return ErrnoError("socket");
+
+  // Bounded connect: flip to non-blocking, connect, poll for
+  // writability, then restore blocking mode for plain send/recv.
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoError("fcntl");
+  }
+  const int rc = ::connect(
+      socket.fd(), reinterpret_cast<const sockaddr*>(&*addr), sizeof *addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    return ErrnoError("connect to " + endpoint.ToString());
+  }
+  if (rc != 0) {
+    const auto ready = PollOne(socket.fd(), POLLOUT, timeout_seconds);
+    if (!ready.ok()) return ready.error();
+    if (*ready == 0) {
+      return util::Internal("connect to " + endpoint.ToString() +
+                            " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return ErrnoError("getsockopt");
+    }
+    if (err != 0) {
+      return util::Internal("connect to " + endpoint.ToString() + ": " +
+                            std::strerror(err));
+    }
+  }
+  if (::fcntl(socket.fd(), F_SETFL, flags) < 0) return ErrnoError("fcntl");
+
+  // Submit frames are tiny request/response pairs; Nagle would add a
+  // full RTT of latency to every ack.
+  int one = 1;
+  (void)::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof one);
+  return socket;
+}
+
+util::Result<Listener> Listener::Bind(const Endpoint& endpoint,
+                                      int backlog) {
+  auto addr = ResolveIpv4(endpoint.host, endpoint.port);
+  if (!addr.ok()) return addr.error();
+
+  Listener listener;
+  listener.socket_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listener.socket_.valid()) return ErrnoError("socket");
+  int one = 1;
+  (void)::setsockopt(listener.socket_.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+  if (::bind(listener.socket_.fd(),
+             reinterpret_cast<const sockaddr*>(&*addr), sizeof *addr) != 0) {
+    return ErrnoError("bind " + endpoint.ToString());
+  }
+  if (::listen(listener.socket_.fd(), backlog) != 0) {
+    return ErrnoError("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listener.socket_.fd(),
+                    reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return ErrnoError("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+util::Result<Socket> Listener::AcceptOnce(double timeout_seconds) {
+  const auto ready = PollOne(socket_.fd(), POLLIN, timeout_seconds);
+  if (!ready.ok()) return ready.error();
+  if (*ready == 0) return Socket();  // timeout: invalid socket, no error
+  while (true) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket accepted(fd);
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return accepted;
+    }
+    if (errno == EINTR) continue;
+    // A connection that reset between poll and accept is not fatal to
+    // the listener; report it as a timeout-shaped miss.
+    if (errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return Socket();
+    }
+    return ErrnoError("accept");
+  }
+}
+
+}  // namespace vor::rpc

@@ -1,0 +1,112 @@
+// Thin RAII layer over POSIX blocking TCP sockets for the vor-rpc
+// front-end: a move-only fd owner with poll-bounded receives, a
+// listener whose Accept never blocks past a timeout (so the accept loop
+// can observe shutdown without signals), and host:port endpoint
+// parsing shared by the server and the client.
+//
+// All operations translate errno into util::Error values; nothing here
+// throws.  Receives distinguish three stream states the frame decoder
+// cares about — bytes arrived, orderly EOF, timeout with no data — so
+// the connection loops above can enforce idle deadlines precisely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace vor::rpc {
+
+/// One "host:port" address.  Port 0 asks the kernel for an ephemeral
+/// port (listeners only; Listener::port() reports the binding).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string ToString() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Parses "HOST:PORT".  Errors on a missing colon or a non-numeric /
+/// out-of-range port.
+[[nodiscard]] util::Result<Endpoint> ParseEndpoint(const std::string& text);
+
+/// Parses a comma-separated endpoint list ("h1:p1,h2:p2") in failover
+/// order; errors if any element is malformed or the list is empty.
+[[nodiscard]] util::Result<std::vector<Endpoint>> ParseEndpointList(
+    const std::string& text);
+
+/// Move-only owner of a connected stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Writes the whole buffer (looping over partial sends, EINTR-safe,
+  /// SIGPIPE suppressed).  Error when the peer is gone.
+  [[nodiscard]] util::Status SendAll(const char* data, std::size_t n);
+
+  struct RecvOutcome {
+    /// Bytes filled into the destination (0 for eof/timeout).
+    std::size_t n = 0;
+    /// Orderly peer shutdown.
+    bool eof = false;
+    /// No data within the timeout; the connection is still alive.
+    bool timed_out = false;
+  };
+
+  /// Waits up to `timeout_seconds` for readability, then reads at most
+  /// `cap` bytes.  A negative timeout blocks indefinitely.
+  [[nodiscard]] util::Result<RecvOutcome> RecvSome(char* dst, std::size_t cap,
+                                                   double timeout_seconds);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to `endpoint` with a bounded connect timeout; the returned
+/// socket is blocking.
+[[nodiscard]] util::Result<Socket> ConnectTcp(const Endpoint& endpoint,
+                                              double timeout_seconds);
+
+/// Listening socket bound to one endpoint.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+
+  /// Binds + listens (SO_REUSEADDR).  Port 0 selects an ephemeral port;
+  /// the resolved one is available via port().
+  [[nodiscard]] static util::Result<Listener> Bind(const Endpoint& endpoint,
+                                                   int backlog);
+
+  [[nodiscard]] bool valid() const { return socket_.valid(); }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Waits up to the timeout for one connection.  Returns an invalid
+  /// Socket on timeout (not an error), so accept loops can poll a stop
+  /// flag between waits.
+  [[nodiscard]] util::Result<Socket> AcceptOnce(double timeout_seconds);
+
+  void Close() { socket_.Close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace vor::rpc

@@ -248,6 +248,7 @@ SubmitOutcome ReservationService::Submit(const workload::Request& request,
     std::lock_guard lock(shard.mutex);
     if (shard.queue.size() < config_.shard_capacity) {
       shard.queue.push_back(stamped);
+      shard.enqueued.push_back(IntakeNow());
       obs::Add(config_.metrics, "svc.submit.accepted");
       if (index != home) {
         obs::Add(config_.metrics, "svc.submit.accepted_second_choice");
@@ -260,6 +261,7 @@ SubmitOutcome ReservationService::Submit(const workload::Request& request,
     std::lock_guard lock(spill_mutex_);
     if (spill_.size() < config_.deferred_capacity) {
       spill_.push_back(stamped);
+      spill_enqueued_.push_back(IntakeNow());
       obs::Add(config_.metrics, "svc.submit.deferred");
       return SubmitOutcome::kDeferred;
     }
@@ -269,16 +271,28 @@ SubmitOutcome ReservationService::Submit(const workload::Request& request,
 }
 
 std::vector<StampedRequest> ReservationService::DrainIntake() {
+  // How long each request sat in intake before a close picked it up —
+  // the queue-wait half of the submit->commit latency the RPC load
+  // generator measures end to end.
+  const double now = IntakeNow();
   std::vector<StampedRequest> drained;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     drained.insert(drained.end(), shard->queue.begin(), shard->queue.end());
+    for (const double stamp : shard->enqueued) {
+      obs::Observe(config_.metrics, "svc.submit.queue_wait", now - stamp);
+    }
     shard->queue.clear();
+    shard->enqueued.clear();
   }
   {
     std::lock_guard lock(spill_mutex_);
     drained.insert(drained.end(), spill_.begin(), spill_.end());
+    for (const double stamp : spill_enqueued_) {
+      obs::Observe(config_.metrics, "svc.submit.queue_wait", now - stamp);
+    }
     spill_.clear();
+    spill_enqueued_.clear();
   }
   return drained;
 }
@@ -724,17 +738,22 @@ util::Status ReservationService::Restore(const ServiceSnapshot& snapshot) {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     shard->queue.clear();
+    shard->enqueued.clear();
   }
   {
     std::lock_guard lock(spill_mutex_);
     spill_.clear();
+    spill_enqueued_.clear();
   }
   // Pending intake re-enters through the shards so the next close drains
-  // it exactly like live traffic.
+  // it exactly like live traffic.  Queue-wait stamps restart at the
+  // restore (the original wait is not serialized).
+  const double now = IntakeNow();
   for (const StampedRequest& s : snapshot.pending) {
     Shard& shard = *shards_[s.request.user % shards_.size()];
     std::lock_guard lock(shard.mutex);
     shard.queue.push_back(s);
+    shard.enqueued.push_back(now);
   }
   obs::Add(config_.metrics, "svc.restores");
   return util::Status::Ok();

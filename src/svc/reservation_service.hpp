@@ -38,6 +38,7 @@
 // caller.  Lock order is cycle mutex -> shard/spill mutexes.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -279,6 +280,11 @@ class ReservationService {
   struct Shard {
     std::mutex mutex;
     std::vector<StampedRequest> queue;
+    /// Wall-clock enqueue stamp (seconds since intake_epoch_) parallel to
+    /// `queue` — feeds the svc.submit.queue_wait timer at drain.  Kept
+    /// beside the queue, not inside StampedRequest, so the serialized
+    /// snapshot shape and the canonical drain order never see it.
+    std::vector<double> enqueued;
   };
   /// Result of one background speculative solve (defined in the .cpp).
   struct SpecResult;
@@ -289,6 +295,12 @@ class ReservationService {
   [[nodiscard]] std::vector<StampedRequest> PeekIntake() const;
   [[nodiscard]] util::Status ValidateRequest(
       const workload::Request& request) const;
+  /// Seconds since intake_epoch_ (monotonic), for queue-wait stamps.
+  [[nodiscard]] double IntakeNow() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         intake_epoch_)
+        .count();
+  }
 
   const net::Topology* topology_;
   const media::Catalog* catalog_;
@@ -299,6 +311,11 @@ class ReservationService {
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex spill_mutex_;
   std::vector<StampedRequest> spill_;
+  /// Enqueue stamps parallel to spill_ (see Shard::enqueued).
+  std::vector<double> spill_enqueued_;
+  /// Monotonic origin for the queue-wait stamps above.
+  std::chrono::steady_clock::time_point intake_epoch_ =
+      std::chrono::steady_clock::now();
 
   /// Guards everything below (the cycle state).
   mutable std::mutex cycle_mutex_;

@@ -143,6 +143,9 @@ TEST(VorlintScope, NearestDirectoryWins) {
             Scope::kDeterministic);
   EXPECT_EQ(ClassifyPath("src/storage/usage_timeline.cpp"),
             Scope::kDeterministic);
+  // The wire protocol must encode deterministically (byte-identity
+  // across connection counts), so src/rpc lints as deterministic too.
+  EXPECT_EQ(ClassifyPath("src/rpc/protocol.cpp"), Scope::kDeterministic);
   EXPECT_EQ(ClassifyPath("src/util/thread_pool.cpp"), Scope::kExempt);
   EXPECT_EQ(ClassifyPath("bench/bench_perf.cpp"), Scope::kExempt);
   EXPECT_EQ(ClassifyPath("tools/vorctl.cpp"), Scope::kExempt);

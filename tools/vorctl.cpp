@@ -47,6 +47,7 @@
 //                [--producers N] [--shards N] [--threads N]
 //                [--snapshot FILE] [--clock-ms MS] [--speculate]
 //                [--out FILE] [--metrics-out FILE] [--binary]
+//                [--listen HOST:PORT] [--port-file FILE] [--connections N]
 //       Replays the request trace through the online ReservationService:
 //       requests are partitioned into virtual-time windows of --cycle
 //       seconds and each window is submitted by --producers concurrent
@@ -64,7 +65,28 @@
 //       submitting and the close repairs in the late delta (the "spec"
 //       column reports hit/repair/fallback per cycle; the committed
 //       schedule stays byte-identical either way).
+//       --listen HOST:PORT serves reservations over the "vor-rpc/1"
+//       socket protocol instead of replaying a trace: remote clients
+//       submit requests, close cycles, query status, trigger snapshots,
+//       and shut the server down (see docs/FORMATS.md).  Port 0 picks an
+//       ephemeral port; --port-file writes the resolved port for
+//       scripts.  SIGINT/SIGTERM (and a client kShutdown) stop the
+//       server gracefully: the cycle clock is stopped and the final
+//       --out/--snapshot/--metrics-out files are still written.
+//
+//   vorctl load --connect HOST:PORT[,HOST:PORT...] --trace FILE
+//               --cycle SECS [--connections N] [--no-drain] [--shutdown]
+//               [--metrics-out FILE]
+//       Concurrent load generator: streams the trace to a serving vorctl
+//       over N connections in virtual-time windows of --cycle seconds
+//       (connection p submits indices p, p+N, ...), closing the server's
+//       cycle at each window boundary — the committed schedule on the
+//       server is byte-identical to `vorctl serve --trace` of the same
+//       file at any connection count.  Reports submit->ack and
+//       submit->commit latency percentiles; a comma-separated --connect
+//       list enables sticky-host failover.
 #include <charconv>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -84,6 +106,9 @@
 #include "io/binary.hpp"
 #include "io/serialize.hpp"
 #include "obs/metrics.hpp"
+#include "rpc/load.hpp"
+#include "rpc/server.hpp"
+#include "rpc/socket.hpp"
 #include "sim/playback_sim.hpp"
 #include "sim/validator.hpp"
 #include "svc/reservation_service.hpp"
@@ -103,6 +128,20 @@ using namespace vor;
 struct UsageError {
   std::string message;
 };
+
+/// Set by SIGINT/SIGTERM in the long-running serve modes (--clock-ms
+/// soak, --listen).  The serve loops poll it and fall through to the
+/// normal exit path, so the cycle clock is stopped and the final
+/// --out/--snapshot/--metrics-out files are still written on ^C.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void HandleStopSignal(int) { g_stop_signal = 1; }
+
+void InstallStopHandlers() {
+  g_stop_signal = 0;
+  (void)std::signal(SIGINT, HandleStopSignal);
+  (void)std::signal(SIGTERM, HandleStopSignal);
+}
 
 /// "--key value" and bare "--flag" arguments after the subcommand.
 struct Args {
@@ -513,12 +552,18 @@ int CmdServe(const Args& args) {
   auto scenario = LoadScenario(args.positional[0]);
   if (!scenario.ok()) return Fail(scenario.error().message);
 
+  const std::string listen_spec = args.Str("listen", "");
   const double cycle = args.Number("cycle", 0.0);
-  if (cycle <= 0.0) return Fail("serve needs --cycle SECS (> 0)");
+  if (listen_spec.empty() && cycle <= 0.0) {
+    return Fail("serve needs --cycle SECS (> 0) unless --listen is given");
+  }
   const std::size_t producers = args.Count("producers", 1);
   if (producers < 1) return Fail("--producers must be >= 1");
   const double clock_ms = args.Number("clock-ms", 0.0);
   if (clock_ms < 0) return Fail("--clock-ms must be >= 0");
+  // Long-running modes exit cleanly on ^C / SIGTERM: the flag is polled
+  // below and the run falls through to the output-writing epilogue.
+  if (clock_ms > 0 || !listen_spec.empty()) InstallStopHandlers();
 
   svc::ServiceConfig config;
   config.shards = args.Count("shards", config.shards);
@@ -555,6 +600,71 @@ int CmdServe(const Args& args) {
     }
   }
 
+  util::Table table({"cycle", "drained", "admitted", "deferred", "expired",
+                     "tries", "spec", "solve s", "cost $"});
+  auto add_row = [&table](const svc::CycleStats& s) {
+    table.AddRow({std::to_string(s.cycle), std::to_string(s.drained),
+                  std::to_string(s.admitted), std::to_string(s.deferred_out),
+                  std::to_string(s.rejected_expired),
+                  std::to_string(s.solve_attempts),
+                  svc::ToString(s.speculation),
+                  util::Table::Num(s.solve_seconds, 3),
+                  util::Table::Num(s.final_cost, 2)});
+  };
+
+  const bool binary_out = args.Flag("binary");
+  const bool listen_mode = !listen_spec.empty();
+  std::size_t total = 0;
+  std::size_t backpressured = 0;
+
+  if (listen_mode) {
+    // Network front door: requests arrive over "vor-rpc/1" sockets
+    // instead of a local trace.  Cycle closes are driven by the clients
+    // (kCycleClose frames) and/or the --clock-ms background timer; the
+    // loop below just waits for a shutdown request or a signal.
+    auto endpoint = rpc::ParseEndpoint(listen_spec);
+    if (!endpoint.ok()) return Fail(endpoint.error().message);
+    rpc::ServerConfig server_config;
+    server_config.listen = *endpoint;
+    server_config.max_connections = args.Count("connections", 16);
+    server_config.metrics = config.metrics;
+    if (!snapshot_path.empty()) {
+      server_config.snapshot_writer =
+          [&service, snapshot_path, binary_out]() -> util::Result<std::string> {
+        const svc::ServiceSnapshot snap = service.Snapshot();
+        const std::string text = binary_out
+                                     ? svc::SnapshotToBinary(snap)
+                                     : svc::SnapshotToJson(snap).Dump(2);
+        if (const util::Status s = io::WriteFile(snapshot_path, text);
+            !s.ok()) {
+          return s.error();
+        }
+        return snapshot_path;
+      };
+    }
+    rpc::Server server(service, server_config);
+    if (const util::Status s = server.Start(); !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "listening on " << endpoint->host << ":" << server.port()
+              << " (vor-rpc/1)\n";
+    const std::string port_file = args.Str("port-file", "");
+    if (!port_file.empty()) {
+      if (const util::Status s = io::WriteFile(
+              port_file, std::to_string(server.port()) + "\n");
+          !s.ok()) {
+        return Fail(s.error().message);
+      }
+    }
+    if (clock_ms > 0) service.Start();
+    while (g_stop_signal == 0 && !server.WaitForShutdownRequest(0.2)) {
+    }
+    server.Stop();
+    if (clock_ms > 0) service.Stop();
+    for (const svc::CycleStats& s : service.History()) add_row(s);
+    total = service.CommittedRequests().size() + service.DeferredCount() +
+            service.PendingCount();
+  } else {
   // The trace is consumed as a stream in canonical replay order: a
   // vor-bin trace file is replayed chunk by chunk without ever holding
   // the full request vector; CSV and scenario requests are materialized
@@ -572,23 +682,9 @@ int CmdServe(const Args& args) {
 
   if (clock_ms > 0) service.Start();
 
-  util::Table table({"cycle", "drained", "admitted", "deferred", "expired",
-                     "tries", "spec", "solve s", "cost $"});
-  auto add_row = [&table](const svc::CycleStats& s) {
-    table.AddRow({std::to_string(s.cycle), std::to_string(s.drained),
-                  std::to_string(s.admitted), std::to_string(s.deferred_out),
-                  std::to_string(s.rejected_expired),
-                  std::to_string(s.solve_attempts),
-                  svc::ToString(s.speculation),
-                  util::Table::Num(s.solve_seconds, 3),
-                  util::Table::Num(s.final_cost, 2)});
-  };
-
   const std::size_t skip_windows =
       static_cast<std::size_t>(service.cycle_index());
   std::size_t w = 0;
-  std::size_t total = 0;
-  std::size_t backpressured = 0;
   std::vector<workload::Request> window;
 
   // Submits the buffered window with --producers concurrent threads and
@@ -633,6 +729,9 @@ int CmdServe(const Args& args) {
   double t0 = 0.0;
   workload::Request r;
   while (true) {
+    // Soak mode (--clock-ms) runs long; ^C/SIGTERM ends the replay early
+    // but still stops the clock and writes snapshot/metrics below.
+    if (g_stop_signal != 0) break;
     auto more = stream->Next(r);
     if (!more.ok()) return Fail(more.error().message);
     if (!*more) break;
@@ -649,7 +748,9 @@ int CmdServe(const Args& args) {
     window.push_back(r);
     ++total;
   }
-  if (total == 0) return Fail("serve: no requests to replay");
+  if (total == 0 && g_stop_signal == 0) {
+    return Fail("serve: no requests to replay");
+  }
   if (const int rc = close_window(); rc != 0) return rc;
 
   if (clock_ms > 0) service.Stop();
@@ -664,6 +765,7 @@ int CmdServe(const Args& args) {
     if (now >= backlog) break;
     backlog = now;
   }
+  }  // !listen_mode
   table.PrintPretty(std::cout);
   if (backpressured > 0) {
     std::cout << backpressured << " submit(s) rejected at intake\n";
@@ -694,7 +796,6 @@ int CmdServe(const Args& args) {
   std::cout << "cycle close p50 " << util::Percentile(close_times, 50)
             << " s, p95 " << util::Percentile(close_times, 95) << " s\n";
 
-  const bool binary_out = args.Flag("binary");
   const std::string out = args.Str("out", "");
   if (!out.empty()) {
     const std::string text = binary_out ? io::ScheduleToBinary(schedule)
@@ -714,6 +815,80 @@ int CmdServe(const Args& args) {
     }
     std::cout << "wrote " << snapshot_path << '\n';
   }
+  if (!metrics_out.empty()) {
+    util::Json doc = registry.ToJson();
+    doc.as_object()["version"] = "vor-metrics/1";
+    if (const util::Status s = io::WriteFile(metrics_out, doc.Dump(2));
+        !s.ok()) {
+      return Fail(s.error().message);
+    }
+    std::cout << "wrote " << metrics_out << '\n';
+  }
+  return 0;
+}
+
+// vorctl load — the client half of the RPC front-end: streams a trace
+// file to a `vorctl serve --listen` instance over N concurrent
+// connections, mirroring the in-process replay's virtual-time windows,
+// and reports the latency distributions the wire adds.
+int CmdLoad(const Args& args) {
+  const std::string connect = args.Str("connect", "");
+  if (connect.empty()) {
+    return Fail("load needs --connect HOST:PORT[,HOST:PORT...]");
+  }
+  auto endpoints = rpc::ParseEndpointList(connect);
+  if (!endpoints.ok()) return Fail(endpoints.error().message);
+  const std::string trace_path = args.Str("trace", "");
+  if (trace_path.empty()) return Fail("load needs --trace FILE");
+  const double cycle = args.Number("cycle", 0.0);
+  if (cycle <= 0.0) return Fail("load needs --cycle SECS (> 0)");
+
+  rpc::LoadConfig config;
+  config.endpoints = std::move(*endpoints);
+  config.connections = args.Count("connections", 4);
+  if (config.connections < 1) return Fail("--connections must be >= 1");
+  config.cycle_seconds = cycle;
+  config.drain = !args.Flag("no-drain");
+  config.shutdown_after = args.Flag("shutdown");
+
+  const std::string metrics_out = args.Str("metrics-out", "");
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty()) config.metrics = &registry;
+
+  auto stream = workload::TraceStream::OpenFile(trace_path);
+  if (!stream.ok()) return Fail(stream.error().message);
+
+  auto report = rpc::RunLoad(*stream, config);
+  if (!report.ok()) return Fail(report.error().message);
+
+  util::Table table({"cycle", "drained", "admitted", "deferred", "expired",
+                     "tries", "spec", "solve s", "cost $"});
+  for (const svc::CycleStats& s : report->closes) {
+    table.AddRow({std::to_string(s.cycle), std::to_string(s.drained),
+                  std::to_string(s.admitted), std::to_string(s.deferred_out),
+                  std::to_string(s.rejected_expired),
+                  std::to_string(s.solve_attempts),
+                  svc::ToString(s.speculation),
+                  util::Table::Num(s.solve_seconds, 3),
+                  util::Table::Num(s.final_cost, 2)});
+  }
+  table.PrintPretty(std::cout);
+
+  std::cout << "submitted " << report->submitted << " request(s) over "
+            << config.connections << " connection(s): " << report->accepted
+            << " accepted, " << report->deferred << " deferred, "
+            << report->rejected_invalid << " invalid, "
+            << report->rejected_backpressure << " backpressured, "
+            << report->transport_errors << " transport error(s)\n";
+  std::cout << "closed " << report->CyclesClosed() << " cycle(s) in "
+            << util::Table::Num(report->wall_seconds, 2) << " s\n";
+  std::cout << "submit->ack    p50 "
+            << util::Percentile(report->ack_seconds, 50) << " s, p95 "
+            << util::Percentile(report->ack_seconds, 95) << " s\n";
+  std::cout << "submit->commit p50 "
+            << util::Percentile(report->commit_seconds, 50) << " s, p95 "
+            << util::Percentile(report->commit_seconds, 95) << " s\n";
+
   if (!metrics_out.empty()) {
     util::Json doc = registry.ToJson();
     doc.as_object()["version"] = "vor-metrics/1";
@@ -827,6 +1002,14 @@ void PrintUsage() {
       "        [--producers N] [--shards N] [--threads N] [--regions N|auto]\n"
       "        [--snapshot FILE] [--clock-ms MS] [--speculate] [--out FILE]\n"
       "        [--binary] [--metrics-out FILE.json]\n"
+      "        [--listen HOST:PORT] [--port-file FILE] [--connections N]\n"
+      "            (--listen serves vor-rpc/1 sockets instead of a local\n"
+      "             replay; port 0 = ephemeral, resolved into --port-file)\n"
+      "  load --connect HOST:PORT[,...] --trace FILE --cycle SECS\n"
+      "       [--connections N] [--no-drain] [--shutdown]\n"
+      "       [--metrics-out FILE.json]\n"
+      "            (streams the trace to a serving vorctl over N\n"
+      "             concurrent connections; failover across the list)\n"
       "  convert <in> <out>        (csv/json <-> vor-bin, format sniffed)\n"
       "  validate <scenario.json> <schedule>\n"
       "  simulate <scenario.json> <schedule>\n"
@@ -850,6 +1033,7 @@ int main(int argc, char** argv) {
     if (command == "gen-trace") return CmdGenTrace(args);
     if (command == "solve") return CmdSolve(args);
     if (command == "serve") return CmdServe(args);
+    if (command == "load") return CmdLoad(args);
     if (command == "convert") return CmdConvert(args);
     if (command == "validate") return CmdValidate(args);
     if (command == "simulate") return CmdSimulate(args);

@@ -413,7 +413,8 @@ Scope ClassifyPath(std::string_view path) {
   if (!parts.empty()) parts.pop_back();  // drop the filename
   for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
     const std::string_view dir = *it;
-    if (dir == "core" || dir == "svc" || dir == "io" || dir == "storage") {
+    if (dir == "core" || dir == "svc" || dir == "io" || dir == "storage" ||
+        dir == "rpc") {
       return Scope::kDeterministic;
     }
     if (dir == "util" || dir == "bench" || dir == "tools" ||
