@@ -10,8 +10,14 @@
 # The sanitizer gate builds the asan-ubsan and tsan presets and runs
 # ctest under each.  The ASan/UBSan run covers the whole suite; the TSan
 # run covers the concurrency-bearing suites (thread pool, scheduler,
-# SORP, IVSP, shootout, incremental, determinism) — the full suite under
-# TSan is an order of magnitude slower for no extra thread coverage.
+# SORP, IVSP, shootout, incremental, determinism, ranked mutex) — the
+# full suite under TSan is an order of magnitude slower for no extra
+# thread coverage.  The tsan preset also compiles with
+# VOR_LOCK_ORDER_CHECK=ON, so every svc/rpc/obs mutex runs the runtime
+# lock-order witness (util::RankedMutex): a rank breach aborts with the
+# held-stack dump instead of deadlocking under the race detector.  That
+# flag rides along into the `soak` and `rpc-soak` gates below, which
+# build from the same preset.
 #
 # `bench-smoke` instead builds the plain tree and runs the bench_perf
 # self-checking smoke (the SORP stress scenario): metrics schema, memo
@@ -100,6 +106,11 @@ lint() {
   cmake --build build -j "${jobs}" --target vorlint
   echo "==> vorlint src tools"
   ./build/tools/vorlint/vorlint src tools
+  echo "==> vorlint --format json smoke"
+  # The JSON rendering is what CI dashboards consume; make sure it stays
+  # parseable (python ships everywhere this script runs).
+  ./build/tools/vorlint/vorlint --format json src tools \
+    | python3 -c 'import json,sys; json.load(sys.stdin)'
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "==> clang-tidy (compile_commands.json from build/)"
     # shellcheck disable=SC2046

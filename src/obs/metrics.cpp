@@ -129,20 +129,44 @@ util::Json MetricsRegistry::ToJson() const {
 
 void MetricsRegistry::Absorb(const MetricsRegistry& src) {
   // Instrument maps are std::map, so the fold visits names in sorted
-  // order — deterministic given a deterministic source registry.  Lock
-  // only the source map structure; instrument ops take their own locks
-  // (GetCounter/GetTimer/GetSeries lock this->mutex_, so self-absorption
-  // would deadlock — callers fold distinct per-shard registries).
-  std::lock_guard lock(src.mutex_);
-  for (const auto& [name, counter] : src.counters_) {
+  // order — deterministic given a deterministic source registry.
+  //
+  // Two-step on purpose: snapshot the source's name->instrument pointers
+  // under its map lock, then fold with no registry lock held.  Both
+  // registries have the same lock rank, so holding src.mutex_ across
+  // GetCounter/GetTimer/GetSeries (which take this->mutex_) would nest
+  // equal ranks — the ordering ambiguity CONC-4 and the runtime witness
+  // forbid, and a real deadlock against a concurrent reverse fold.
+  // Instruments are never removed, so the snapshotted pointers stay
+  // valid after the source map lock is released; instrument reads take
+  // only their own leaf-rank locks.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Timer*>> timers;
+  std::vector<std::pair<std::string, const Series*>> series;
+  {
+    std::lock_guard lock(src.mutex_);
+    counters.reserve(src.counters_.size());
+    for (const auto& [name, counter] : src.counters_) {
+      counters.emplace_back(name, counter.get());
+    }
+    timers.reserve(src.timers_.size());
+    for (const auto& [name, timer] : src.timers_) {
+      timers.emplace_back(name, timer.get());
+    }
+    series.reserve(src.series_.size());
+    for (const auto& [name, s] : src.series_) {
+      series.emplace_back(name, s.get());
+    }
+  }
+  for (const auto& [name, counter] : counters) {
     GetCounter(name).Add(counter->value());
   }
-  for (const auto& [name, timer] : src.timers_) {
+  for (const auto& [name, timer] : timers) {
     GetTimer(name).Merge(timer->Snap());
   }
-  for (const auto& [name, series] : src.series_) {
+  for (const auto& [name, s] : series) {
     Series& dst = GetSeries(name);
-    for (const double v : series->Values()) dst.Append(v);
+    for (const double v : s->Values()) dst.Append(v);
   }
 }
 

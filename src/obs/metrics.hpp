@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/lock_order.hpp"
 
 namespace vor::util {
 class ThreadPool;
@@ -72,7 +73,8 @@ class Timer {
   void Merge(const Snapshot& other);
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::RankedMutex mutex_{util::LockRank::kObsInstrument,
+                                   "obs.timer"};
   Snapshot snap_;
 };
 
@@ -102,7 +104,8 @@ class Series {
   [[nodiscard]] std::uint64_t Stride() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::RankedMutex mutex_{util::LockRank::kObsInstrument,
+                                   "obs.series"};
   std::vector<double> values_;
   std::uint64_t appended_ = 0;
   std::uint64_t stride_ = 1;
@@ -132,7 +135,8 @@ class MetricsRegistry {
   void Absorb(const MetricsRegistry& src);
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::RankedMutex mutex_{util::LockRank::kObsRegistry,
+                                   "obs.registry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Timer>> timers_;
   std::map<std::string, std::unique_ptr<Series>> series_;

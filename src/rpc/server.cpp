@@ -86,7 +86,15 @@ void Server::AcceptLoop() {
     try {
       (void)pool_->Submit(
           [this, socket = std::move(*accepted)]() mutable {
-            ConnectionLoop(std::move(socket));
+            // The slot must be returned even if the handler throws
+            // (bad_alloc building a reply, say); a leaked decrement here
+            // would shrink max_connections permanently and eventually
+            // busy-reject every client.
+            try {
+              ConnectionLoop(std::move(socket));
+            } catch (const std::exception&) {
+              obs::Add(config_.metrics, "rpc.server.handler_errors", 1);
+            }
             active_.fetch_sub(1, std::memory_order_acq_rel);
           });
     } catch (const std::exception&) {

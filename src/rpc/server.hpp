@@ -41,6 +41,7 @@
 
 #include "rpc/protocol.hpp"
 #include "rpc/socket.hpp"
+#include "util/lock_order.hpp"
 #include "util/result.hpp"
 #include "util/thread_pool.hpp"
 
@@ -120,8 +121,9 @@ class Server {
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread accept_thread_;
 
-  mutable std::mutex shutdown_mutex_;
-  mutable std::condition_variable shutdown_cv_;
+  mutable util::RankedMutex shutdown_mutex_{util::LockRank::kRpcShutdown,
+                                            "rpc.shutdown"};
+  mutable std::condition_variable_any shutdown_cv_;
   bool shutdown_requested_ = false;
 };
 

@@ -360,6 +360,11 @@ util::Result<CycleStats> ReservationService::CloseCycle() {
           static_cast<double>(delta) <=
               config_.speculation_repair_fraction *
                   static_cast<double>(admitted.size())) {
+        // Bounded wait under cycle_mutex_, by design: the worker solves
+        // on private copies and takes no service locks, so the wait
+        // cannot deadlock, and the delta gate above means the close only
+        // ever waits for a result it will actually reuse.
+        // vorlint: ok(CONC-3)
         std::shared_ptr<SpecResult> harvested = job.result.get();
         if (harvested != nullptr && harvested->out.ok()) {
           spec = std::move(harvested);
@@ -530,48 +535,76 @@ util::Result<CycleStats> ReservationService::CloseCycle() {
 
 bool ReservationService::Speculate() {
   if (!config_.speculate) return false;
-  std::lock_guard cycle_lock(cycle_mutex_);
-  if (spec_.valid) return false;
 
-  // Non-destructive snapshot of the would-be close batch, through the
-  // same canonical order and admission estimates the close will use.
-  std::vector<StampedRequest> batch = PeekIntake();
-  batch.insert(batch.end(), deferred_.begin(), deferred_.end());
-  std::stable_sort(batch.begin(), batch.end(), DrainOrderLess);
-  AdmissionSplit split =
-      RunAdmissionEstimates(config_, *topology_, *catalog_, scheduler_,
-                            previous_, committed_, std::move(batch));
-  if (split.admitted.empty()) return false;
-
-  // The worker operates on copies only; the shared_ptrs keep them alive
-  // even if the job outlives its usefulness and is discarded unharvested.
-  auto prev = std::make_shared<const core::SolveOutput>(previous_);
-  auto committed = std::make_shared<const std::vector<workload::Request>>(
-      committed_);
+  // Everything the worker needs, captured by value/shared_ptr; the job
+  // itself is handed to the pool *after* the cycle lock is released —
+  // ThreadPool::Submit blocks on the pool's queue mutex, and handing off
+  // work while holding cycle_mutex_ is exactly the hold-and-wait pattern
+  // CONC-3 forbids.  The promise is published (spec_.valid) under the
+  // lock first, so a close that races ahead of the Submit below simply
+  // blocks in job.result.get() until the worker fulfils it.
+  std::shared_ptr<const core::SolveOutput> prev;
+  std::shared_ptr<const std::vector<workload::Request>> committed;
   auto plain = std::make_shared<std::vector<workload::Request>>();
-  plain->reserve(split.admitted.size());
-  for (const StampedRequest& s : split.admitted) {
-    plain->push_back(s.request);
+  auto done =
+      std::make_shared<std::promise<std::shared_ptr<SpecResult>>>();
+  util::ThreadPool* pool = nullptr;
+  {
+    std::lock_guard cycle_lock(cycle_mutex_);
+    if (spec_.valid) return false;
+
+    // Non-destructive snapshot of the would-be close batch, through the
+    // same canonical order and admission estimates the close will use.
+    std::vector<StampedRequest> batch = PeekIntake();
+    batch.insert(batch.end(), deferred_.begin(), deferred_.end());
+    std::stable_sort(batch.begin(), batch.end(), DrainOrderLess);
+    AdmissionSplit split =
+        RunAdmissionEstimates(config_, *topology_, *catalog_, scheduler_,
+                              previous_, committed_, std::move(batch));
+    if (split.admitted.empty()) return false;
+
+    // The worker operates on copies only; the shared_ptrs keep them
+    // alive even if the job outlives its usefulness and is discarded
+    // unharvested.
+    prev = std::make_shared<const core::SolveOutput>(previous_);
+    committed = std::make_shared<const std::vector<workload::Request>>(
+        committed_);
+    plain->reserve(split.admitted.size());
+    for (const StampedRequest& s : split.admitted) {
+      plain->push_back(s.request);
+    }
+
+    if (spec_pool_ == nullptr) {
+      spec_pool_ = std::make_unique<util::ThreadPool>(1);
+    }
+    pool = spec_pool_.get();
+    spec_.generation = spec_generation_;
+    spec_.admitted = std::move(split.admitted);
+    spec_.result = done->get_future().share();
+    spec_.valid = true;
+    obs::Add(config_.metrics, "svc.spec.started");
   }
 
-  if (spec_pool_ == nullptr) {
-    spec_pool_ = std::make_unique<util::ThreadPool>(1);
-  }
   const core::VorScheduler* scheduler = &scheduler_;
-  spec_.generation = spec_generation_;
-  spec_.admitted = std::move(split.admitted);
-  spec_.result =
-      spec_pool_
-          ->Submit([scheduler, prev, committed, plain] {
-            auto result = std::make_shared<SpecResult>();
-            result->out = core::IncrementalSolve(
-                *scheduler, *prev, *committed, *plain, &result->merged,
-                &result->stats, nullptr, &result->solution);
-            return result;
-          })
-          .share();
-  spec_.valid = true;
-  obs::Add(config_.metrics, "svc.spec.started");
+  try {
+    (void)pool->Submit([scheduler, prev, committed, plain, done] {
+      auto result = std::make_shared<SpecResult>();
+      try {
+        result->out = core::IncrementalSolve(
+            *scheduler, *prev, *committed, *plain, &result->merged,
+            &result->stats, nullptr, &result->solution);
+      } catch (...) {
+        // A throwing solve must still fulfil the promise, or a close
+        // that chose to harvest this job would wait forever.
+        result = nullptr;
+      }
+      done->set_value(std::move(result));
+    });
+  } catch (...) {
+    // Pool already shut down (service tearing down): fulfil the promise
+    // so any concurrent harvest sees a plain miss.
+    done->set_value(nullptr);
+  }
   return true;
 }
 

@@ -35,7 +35,9 @@
 // Thread-safety: Submit may be called from any number of threads.
 // CloseCycle, Snapshot, Restore, and the accessors serialize on an
 // internal cycle mutex; the background clock is just another CloseCycle
-// caller.  Lock order is cycle mutex -> shard/spill mutexes.
+// caller.  Lock order is cycle mutex -> shard/spill mutexes, enforced at
+// runtime by util::RankedMutex in VOR_LOCK_ORDER_CHECK builds (see
+// util/lock_order.hpp for the repo-wide rank table).
 #pragma once
 
 #include <chrono>
@@ -51,6 +53,7 @@
 #include "core/scheduler.hpp"
 #include "media/catalog.hpp"
 #include "net/topology.hpp"
+#include "util/lock_order.hpp"
 #include "util/result.hpp"
 #include "util/units.hpp"
 #include "workload/request.hpp"
@@ -278,7 +281,7 @@ class ReservationService {
 
  private:
   struct Shard {
-    std::mutex mutex;
+    util::RankedMutex mutex{util::LockRank::kSvcIntakeShard, "svc.shard"};
     std::vector<StampedRequest> queue;
     /// Wall-clock enqueue stamp (seconds since intake_epoch_) parallel to
     /// `queue` — feeds the svc.submit.queue_wait timer at drain.  Kept
@@ -309,7 +312,8 @@ class ReservationService {
 
   /// Lock-striped intake.  unique_ptr keeps Shard addresses stable.
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::mutex spill_mutex_;
+  mutable util::RankedMutex spill_mutex_{util::LockRank::kSvcSpill,
+                                         "svc.spill"};
   std::vector<StampedRequest> spill_;
   /// Enqueue stamps parallel to spill_ (see Shard::enqueued).
   std::vector<double> spill_enqueued_;
@@ -318,7 +322,8 @@ class ReservationService {
       std::chrono::steady_clock::now();
 
   /// Guards everything below (the cycle state).
-  mutable std::mutex cycle_mutex_;
+  mutable util::RankedMutex cycle_mutex_{util::LockRank::kSvcCycle,
+                                         "svc.cycle"};
   std::uint64_t cycle_index_ = 0;
   std::vector<workload::Request> committed_;
   core::SolveOutput previous_;
@@ -345,8 +350,8 @@ class ReservationService {
   std::unique_ptr<util::ThreadPool> spec_pool_;
 
   // ---- background clock ------------------------------------------------
-  std::mutex clock_mutex_;
-  std::condition_variable clock_cv_;
+  util::RankedMutex clock_mutex_{util::LockRank::kSvcClock, "svc.clock"};
+  std::condition_variable_any clock_cv_;
   bool clock_stop_ = false;
   std::thread clock_thread_;
 };

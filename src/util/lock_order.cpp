@@ -1,0 +1,111 @@
+#include "util/lock_order.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vor::util {
+namespace {
+
+/// Acquisition-ordered held stack for the current thread.  A plain
+/// vector: depth is tiny (the rank table has 7 tiers) and OnRelease
+/// searches from the back, so out-of-LIFO release stays O(depth).
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+void DefaultHandler(const LockOrderViolation& violation) {
+  const std::string witness = LockOrderRegistry::Describe(violation);
+  std::fputs(witness.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<LockOrderRegistry::Handler> g_handler{&DefaultHandler};
+
+}  // namespace
+
+LockOrderRegistry::Handler LockOrderRegistry::SetViolationHandler(
+    Handler handler) {
+  if (handler == nullptr) {
+    handler = &DefaultHandler;
+  }
+  Handler previous = g_handler.exchange(handler, std::memory_order_acq_rel);
+  return previous == &DefaultHandler ? nullptr : previous;
+}
+
+void LockOrderRegistry::OnAcquire(const void* mutex, std::uint16_t rank,
+                                  const char* name) {
+  std::vector<HeldLock>& stack = HeldStack();
+  const HeldLock attempted{mutex, rank, name};
+
+  const HeldLock* offender = nullptr;
+  bool recursive = false;
+  for (const HeldLock& held : stack) {
+    if (held.mutex == mutex) {
+      offender = &held;
+      recursive = true;
+      break;
+    }
+    // Equal ranks never nest either: two same-rank instances held
+    // together is exactly the ordering ambiguity the table forbids.
+    if (held.rank >= rank && offender == nullptr) {
+      offender = &held;
+    }
+  }
+
+  if (offender != nullptr) {
+    LockOrderViolation violation;
+    violation.kind = recursive ? LockOrderViolation::Kind::kRecursive
+                               : LockOrderViolation::Kind::kRankOrder;
+    violation.attempted = attempted;
+    violation.held = stack;
+    g_handler.load(std::memory_order_acquire)(violation);
+    // A returning (non-default) handler opted to continue: fall through
+    // and push, so the matching unlock keeps the stack balanced.
+  }
+
+  stack.push_back(attempted);
+}
+
+void LockOrderRegistry::OnRelease(const void* mutex) noexcept {
+  std::vector<HeldLock>& stack = HeldStack();
+  for (std::size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1].mutex == mutex) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  // Unlock of a never-acquired mutex: tolerated (the underlying
+  // std::mutex will surface the real misuse under the sanitizers).
+}
+
+std::vector<HeldLock> LockOrderRegistry::Held() { return HeldStack(); }
+
+std::string LockOrderRegistry::Describe(const LockOrderViolation& violation) {
+  std::string out = "vor: lock-order violation: ";
+  out += violation.kind == LockOrderViolation::Kind::kRecursive
+             ? "recursive acquisition of "
+             : "rank-order breach acquiring ";
+  out += violation.attempted.name;
+  out += " (rank " + std::to_string(violation.attempted.rank) + ")\n";
+  out += "  held by this thread (acquisition order):\n";
+  if (violation.held.empty()) {
+    out += "    <none>\n";
+  }
+  for (const HeldLock& held : violation.held) {
+    out += "    ";
+    out += held.name;
+    out += " (rank " + std::to_string(held.rank) + ")";
+    if (held.mutex == violation.attempted.mutex) {
+      out += "  <- same mutex";
+    } else if (held.rank >= violation.attempted.rank) {
+      out += "  <- blocks rank " + std::to_string(violation.attempted.rank);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vor::util

@@ -1,0 +1,27 @@
+// Fixture: CONC-3 negative — the two sanctioned shapes: an unlock window
+// around the blocking call (the svc clock-loop pattern), and a condition
+// wait under its own — and only — guard.  Expected: no CONC-3; the
+// window's manual guard calls carry their usual CONC-1 suppressions.
+#include <condition_variable>
+#include <mutex>
+
+struct C3NPool {
+  int Submit(int job);
+};
+
+std::mutex c3n_mu;
+std::condition_variable c3n_cv;
+
+int BlockOutsideWindow(C3NPool& pool) {
+  std::unique_lock lock(c3n_mu);
+  const int job = 7;
+  lock.unlock();  // vorlint: ok(CONC-1)
+  const int r = pool.Submit(job);
+  lock.lock();  // vorlint: ok(CONC-1)
+  return r;
+}
+
+void WaitOwnGuard() {
+  std::unique_lock lock(c3n_mu);
+  c3n_cv.wait(lock);
+}

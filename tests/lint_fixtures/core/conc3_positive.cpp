@@ -1,0 +1,31 @@
+// Fixture: CONC-3 positive — blocking calls made while a lock guard is
+// in scope: a pool submit, a parallel fan-out, and a condition wait with
+// a *second* (foreign) guard still held.  Expected: CONC-3 x3.
+#include <condition_variable>
+#include <mutex>
+
+struct C3Pool {
+  int Submit(int job);
+  void ParallelFor(int n);
+};
+
+std::mutex c3_state_mu;
+std::mutex c3_queue_mu;
+std::condition_variable c3_cv;
+
+int SubmitUnderLock(C3Pool& pool) {
+  std::lock_guard guard(c3_state_mu);
+  return pool.Submit(1);
+}
+
+void FanOutUnderLock(C3Pool& pool) {
+  std::lock_guard guard(c3_state_mu);
+  pool.ParallelFor(8);
+}
+
+void WaitWithForeignLockHeld() {
+  std::lock_guard state(c3_state_mu);
+  std::unique_lock queue(c3_queue_mu);
+  // Waiting on c3_queue_mu is fine; still holding c3_state_mu is not.
+  c3_cv.wait(queue);
+}

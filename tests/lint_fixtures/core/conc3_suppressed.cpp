@@ -1,0 +1,16 @@
+// Fixture: CONC-3 suppressed — a blocking call under a guard with an
+// explicit justification comment.  Expected: CONC-3 x1, suppressed.
+#include <mutex>
+
+struct C3SPool {
+  int Submit(int job);
+};
+
+std::mutex c3s_mu;
+
+int HarvestUnderLock(C3SPool& pool) {
+  std::lock_guard guard(c3s_mu);
+  // The pool is otherwise idle here, so the submit cannot wait behind
+  // another task that needs c3s_mu.
+  return pool.Submit(2);  // vorlint: ok(CONC-3)
+}

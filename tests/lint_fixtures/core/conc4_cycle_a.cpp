@@ -1,0 +1,16 @@
+// Fixture: CONC-4 positive, half A of a cross-file cycle.  This side
+// takes the intake mutex and then calls into the commit side (defined in
+// conc4_cycle_b.cpp), which takes the commit mutex — while half B takes
+// them in the opposite order.  Expected: one CONC-4 cycle whose witness
+// names both files.
+#include <mutex>
+
+std::mutex c4_intake_order_mu;
+std::mutex c4_commit_order_mu;
+
+void CommitSide();
+
+void IntakeThenCommit() {
+  std::lock_guard intake(c4_intake_order_mu);
+  CommitSide();
+}

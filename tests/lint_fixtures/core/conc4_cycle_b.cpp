@@ -1,0 +1,22 @@
+// Fixture: CONC-4 positive, half B of the cross-file cycle started in
+// conc4_cycle_a.cpp: commit mutex first, then (through a call) the
+// intake mutex.
+#include <mutex>
+
+extern std::mutex c4_intake_order_mu;
+extern std::mutex c4_commit_order_mu;
+
+void GrabIntakeSide();
+
+void CommitThenIntake() {
+  std::lock_guard commit(c4_commit_order_mu);
+  GrabIntakeSide();
+}
+
+void CommitSide() {
+  std::lock_guard commit(c4_commit_order_mu);
+}
+
+void GrabIntakeSide() {
+  std::lock_guard intake(c4_intake_order_mu);
+}

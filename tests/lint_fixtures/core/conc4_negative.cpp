@@ -1,0 +1,17 @@
+// Fixture: CONC-4 negative — two mutexes nested by several functions,
+// always in the same order.  Nesting alone is fine; only opposite orders
+// form a cycle.  Expected: no CONC-4.
+#include <mutex>
+
+std::mutex c4n_outer_mu;
+std::mutex c4n_inner_mu;
+
+void C4NOrderedOne() {
+  std::lock_guard outer(c4n_outer_mu);
+  std::lock_guard inner(c4n_inner_mu);
+}
+
+void C4NOrderedTwo() {
+  std::lock_guard outer(c4n_outer_mu);
+  std::lock_guard inner(c4n_inner_mu);
+}

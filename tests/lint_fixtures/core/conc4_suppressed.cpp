@@ -1,0 +1,19 @@
+// Fixture: CONC-4 suppressed — a genuine in-file lock-order cycle where
+// one edge carries an ok(CONC-4): the suppression asserts that edge
+// cannot run concurrently with the other order, which breaks the cycle.
+// Expected: CONC-4 x1, suppressed.
+#include <mutex>
+
+std::mutex c4s_first_mu;
+std::mutex c4s_second_mu;
+
+void C4SForward() {
+  std::lock_guard first(c4s_first_mu);
+  std::lock_guard second(c4s_second_mu);
+}
+
+void C4SBackward() {
+  std::lock_guard second(c4s_second_mu);
+  // Runs only during single-threaded startup, before C4SForward exists.
+  std::lock_guard first(c4s_first_mu);  // vorlint: ok(CONC-4)
+}

@@ -1,0 +1,16 @@
+// Fixture: CONC-5 negative — work goes to the shared pool (no guard
+// held) and the helper thread is joined.  Expected: no findings.
+#include <thread>
+
+struct C5Pool {
+  int Submit(int job);
+};
+
+int C5Pooled(C5Pool& pool) {
+  return pool.Submit(4);
+}
+
+void C5Joined() {
+  std::thread worker([] {});
+  worker.join();
+}

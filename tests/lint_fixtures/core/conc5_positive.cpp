@@ -1,0 +1,15 @@
+// Fixture: CONC-5 positive — detached thread and std::async on a
+// deterministic path; both schedule work the replay cannot account for.
+// Expected: CONC-5 x2.
+#include <future>
+#include <thread>
+
+void C5FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+int C5AsyncHop() {
+  auto done = std::async([] { return 3; });
+  return done.get();
+}

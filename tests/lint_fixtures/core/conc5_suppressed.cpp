@@ -1,0 +1,9 @@
+// Fixture: CONC-5 suppressed — a sanctioned detach with its reason.
+// Expected: CONC-5 x1, suppressed.
+#include <thread>
+
+void C5Sanctioned() {
+  std::thread watchdog([] {});
+  // Process-lifetime watchdog; never touches schedule state.
+  watchdog.detach();  // vorlint: ok(CONC-5)
+}

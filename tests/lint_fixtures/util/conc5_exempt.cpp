@@ -1,0 +1,14 @@
+// Fixture: the same detach/async tokens as conc5_positive.cpp, but in
+// util/ scope — CONC-5 is deterministic-path only.  Expected: none.
+#include <future>
+#include <thread>
+
+void C5ExemptDetach() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+int C5ExemptAsync() {
+  auto done = std::async([] { return 3; });
+  return done.get();
+}

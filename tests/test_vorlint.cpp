@@ -164,7 +164,7 @@ TEST(VorlintScope, NearestDirectoryWins) {
 
 TEST(VorlintRules, CatalogHasEveryRuleWithHints) {
   const auto& rules = vorlint::Rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 9u);
   for (const auto& rule : rules) {
     EXPECT_FALSE(rule.id.empty());
     EXPECT_FALSE(rule.summary.empty());
@@ -220,6 +220,52 @@ TEST(VorlintFixtures, Conc2) {
   EXPECT_EQ(Count("conc2_suppressed.cpp", "CONC-2", false), 0u);
 }
 
+TEST(VorlintFixtures, Conc3) {
+  EXPECT_EQ(Count("conc3_positive.cpp", "CONC-3", false), 3u);
+  EXPECT_EQ(Count("conc3_negative.cpp", "CONC-3", false), 0u);
+  EXPECT_EQ(Count("conc3_negative.cpp", "CONC-3", true), 0u);
+  // The unlock window's manual guard calls are CONC-1, suppressed there.
+  EXPECT_EQ(Count("conc3_negative.cpp", "CONC-1", true), 2u);
+  EXPECT_EQ(Count("conc3_suppressed.cpp", "CONC-3", true), 1u);
+  EXPECT_EQ(Count("conc3_suppressed.cpp", "CONC-3", false), 0u);
+}
+
+TEST(VorlintFixtures, Conc4CrossFileCycle) {
+  // The cycle spans conc4_cycle_a.cpp / conc4_cycle_b.cpp through a call
+  // in each direction; it is reported once, anchored at the canonical
+  // (smallest-mutex-first) witness edge, which lives in half B.
+  EXPECT_EQ(Count("conc4_cycle_b.cpp", "CONC-4", false), 1u);
+  EXPECT_EQ(Count("conc4_cycle_a.cpp", "CONC-4", false), 0u);
+  std::string message;
+  for (const Finding& f : FixtureReport().findings) {
+    if (f.rule == "CONC-4" && !f.suppressed) message = f.message;
+  }
+  ASSERT_FALSE(message.empty());
+  // The witness path names both mutexes, both files, and the call that
+  // closes the cycle.
+  EXPECT_NE(message.find("c4_intake_order_mu"), std::string::npos) << message;
+  EXPECT_NE(message.find("c4_commit_order_mu"), std::string::npos) << message;
+  EXPECT_NE(message.find("conc4_cycle_a.cpp"), std::string::npos) << message;
+  EXPECT_NE(message.find("conc4_cycle_b.cpp"), std::string::npos) << message;
+  EXPECT_NE(message.find("via GrabIntakeSide()"), std::string::npos)
+      << message;
+}
+
+TEST(VorlintFixtures, Conc4NegativeAndSuppressed) {
+  EXPECT_EQ(AllFindingsIn("conc4_negative.cpp"), 0u);
+  EXPECT_EQ(Count("conc4_suppressed.cpp", "CONC-4", true), 1u);
+  EXPECT_EQ(Count("conc4_suppressed.cpp", "CONC-4", false), 0u);
+}
+
+TEST(VorlintFixtures, Conc5) {
+  EXPECT_EQ(Count("conc5_positive.cpp", "CONC-5", false), 2u);
+  EXPECT_EQ(AllFindingsIn("conc5_negative.cpp"), 0u);
+  EXPECT_EQ(Count("conc5_suppressed.cpp", "CONC-5", true), 1u);
+  EXPECT_EQ(Count("conc5_suppressed.cpp", "CONC-5", false), 0u);
+  // Same tokens in util/ scope: CONC-5 is deterministic-path only.
+  EXPECT_EQ(AllFindingsIn("conc5_exempt.cpp"), 0u);
+}
+
 TEST(VorlintFixtures, Hyg1) {
   EXPECT_EQ(Count("hyg1_positive.hpp", "HYG-1", false), 2u);
   EXPECT_EQ(Count("hyg1_guard_positive.hpp", "HYG-1", false), 1u);
@@ -263,6 +309,112 @@ TEST(VorlintReport, FormatCarriesRuleIdAndHint) {
   EXPECT_NE(text.find("[DET-1]"), std::string::npos);
   EXPECT_NE(text.find("hint:"), std::string::npos);
   EXPECT_NE(text.find("std::sort"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-TU concurrency analysis (inline batches)
+
+TEST(VorlintConc, MemberMutexResolvesAcrossHeaderSourceSiblings) {
+  // The header declares the members; the source nests them in opposite
+  // orders.  Resolution must agree on `Widget::...` for both files.
+  std::vector<FileInput> pair;
+  pair.push_back({"src/svc/widget.hpp",
+                  "#pragma once\n"
+                  "#include <mutex>\n"
+                  "class Widget {\n"
+                  " public:\n"
+                  "  void Forward();\n"
+                  "  void Backward();\n"
+                  " private:\n"
+                  "  std::mutex intake_mu_;\n"
+                  "  std::mutex commit_mu_;\n"
+                  "};\n"});
+  pair.push_back({"src/svc/widget.cpp",
+                  "#include \"widget.hpp\"\n"
+                  "void Widget::Forward() {\n"
+                  "  std::lock_guard a(intake_mu_);\n"
+                  "  std::lock_guard b(commit_mu_);\n"
+                  "}\n"
+                  "void Widget::Backward() {\n"
+                  "  std::lock_guard b(commit_mu_);\n"
+                  "  std::lock_guard a(intake_mu_);\n"
+                  "}\n"});
+  const Report report = LintFiles(pair);
+  ASSERT_EQ(report.active_count(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "CONC-4");
+  EXPECT_NE(report.findings[0].message.find("Widget::intake_mu_"),
+            std::string::npos)
+      << report.findings[0].message;
+  EXPECT_NE(report.findings[0].message.find("Widget::commit_mu_"),
+            std::string::npos)
+      << report.findings[0].message;
+}
+
+TEST(VorlintConc, UnlockWindowAndOwnGuardWaitAreClean) {
+  std::vector<FileInput> one;
+  one.push_back({"src/core/window.cpp",
+                 "#include <condition_variable>\n"
+                 "#include <mutex>\n"
+                 "struct Pool { int Submit(int); };\n"
+                 "std::mutex window_mu;\n"
+                 "std::condition_variable window_cv;\n"
+                 "int Window(Pool& pool) {\n"
+                 "  std::unique_lock lock(window_mu);\n"
+                 "  lock.unlock();  // vorlint: ok(CONC-1)\n"
+                 "  const int r = pool.Submit(1);\n"
+                 "  lock.lock();  // vorlint: ok(CONC-1)\n"
+                 "  window_cv.wait(lock);\n"
+                 "  return r;\n"
+                 "}\n"});
+  const Report report = LintFiles(one);
+  EXPECT_EQ(report.active_count(), 0u) << vorlint::FormatReport(report);
+}
+
+TEST(VorlintConc, LambdaBodyDoesNotInheritEnclosingGuards) {
+  // The lambda runs later on another thread; the guard held at Submit
+  // time is not held inside its body, so the inner Submit is clean —
+  // but the outer Submit (made while the guard is live) is not.
+  std::vector<FileInput> one;
+  one.push_back({"src/core/lambda.cpp",
+                 "#include <mutex>\n"
+                 "struct Pool { template <class F> int Submit(F f); };\n"
+                 "std::mutex lambda_mu;\n"
+                 "int Spawn(Pool& pool, Pool& inner) {\n"
+                 "  std::lock_guard guard(lambda_mu);\n"
+                 "  return pool.Submit([&inner] { return inner.Submit(0); });\n"
+                 "}\n"});
+  const Report report = LintFiles(one);
+  std::size_t conc3 = 0;
+  for (const Finding& f : report.findings) {
+    if (f.rule == "CONC-3") ++conc3;
+  }
+  EXPECT_EQ(conc3, 1u) << vorlint::FormatReport(report);
+}
+
+TEST(VorlintReport, JsonFormatCarriesFindingsAndRuleTable) {
+  std::vector<FileInput> one;
+  one.push_back({"src/core/json\"quote.cpp",
+                 "#include <mutex>\n"
+                 "std::mutex json_mu;\n"
+                 "void Bad() {\n"
+                 "  json_mu.lock();  // vorlint: ok(CONC-1)\n"
+                 "  int x = 0;\n"
+                 "  (void)x;\n"
+                 "  json_mu.unlock();\n"
+                 "}\n"});
+  const Report report = LintFiles(one);
+  const std::string json = vorlint::FormatReportJson(report);
+  EXPECT_NE(json.find("\"files_linted\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"active\": 1"), std::string::npos) << json;
+  // Suppressed findings are present and flagged.
+  EXPECT_NE(json.find("\"suppressed\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"CONC-1\": {\"active\": 1, \"suppressed\": 1}"),
+            std::string::npos)
+      << json;
+  // The quote in the path is escaped, never raw.
+  EXPECT_NE(json.find("json\\\"quote.cpp"), std::string::npos) << json;
+  EXPECT_EQ(json.find("json\"quote.cpp\", "), std::string::npos) << json;
 }
 
 TEST(VorlintReport, FixtureBatchIsDeterministic) {

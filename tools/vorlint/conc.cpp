@@ -1,0 +1,977 @@
+// Concurrency passes for vorlint: mutex symbol resolution, guard-scope
+// tracking, blocking-call detection, and the batch-global lock graph.
+//
+// The walker is a brace-depth scope tracker over the token stream, not a
+// parser: each `{` is classified from the tokens before it (namespace,
+// class/struct, function — named, lambda, or anonymous — or plain
+// block/initializer), which is enough to attribute mutex members to
+// classes, give every function body its own guard scope, and keep lambda
+// bodies separate from their enclosing function (a lambda runs later, on
+// some other thread's stack — guards outside it are not held inside, and
+// its acquisitions do not belong to the enclosing function).
+#include "vorlint/conc.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vorlint::conc {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+bool IsMutexType(const std::string& text) {
+  return text == "mutex" || text == "timed_mutex" ||
+         text == "recursive_mutex" || text == "shared_mutex" ||
+         text == "shared_timed_mutex" || text == "RankedMutex" ||
+         text == "BasicRankedMutex";
+}
+
+bool IsGuardType(const std::string& text) {
+  return text == "lock_guard" || text == "unique_lock" ||
+         text == "scoped_lock" || text == "shared_lock";
+}
+
+/// Names whose call blocks (queues, joins, condition waits, sockets,
+/// RPC).  `get` is handled separately via the receiver heuristic.
+bool IsBlockingCallName(const std::string& text) {
+  return text == "Submit" || text == "ParallelFor" || text == "wait" ||
+         text == "wait_for" || text == "wait_until" || text == "join" ||
+         text == "RecvSome" || text == "SendAll" || text == "SendFrame" ||
+         text == "AcceptOnce" || text == "Connect" || text == "Call";
+}
+
+bool IsControlKeyword(const std::string& text) {
+  return text == "if" || text == "for" || text == "while" ||
+         text == "switch" || text == "catch";
+}
+
+/// Identifiers that look like calls syntactically but never are.
+bool IsNonCallKeyword(const std::string& text) {
+  return IsControlKeyword(text) || text == "return" || text == "sizeof" ||
+         text == "alignof" || text == "decltype" || text == "noexcept" ||
+         text == "assert" || text == "defined" || text == "throw" ||
+         text == "new" || text == "delete" || text == "co_return" ||
+         text == "co_await" || text == "alignas";
+}
+
+bool IsSpecifierIdent(const std::string& text) {
+  return text == "const" || text == "noexcept" || text == "mutable" ||
+         text == "override" || text == "final" || text == "volatile" ||
+         text == "try";
+}
+
+/// toks[i] == "<": index one past the matching ">", or npos when the
+/// angles don't balance before a statement boundary.
+std::size_t SkipAngles(const Tokens& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    if (t.text == ">" && --depth == 0) return j + 1;
+    if (t.text == ";" || t.text == "{") return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+/// toks[close] == ")": index of the matching "(", or npos.
+std::size_t MatchParenBack(const Tokens& toks, std::size_t close) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > 0;) {
+    if (toks[j].kind != TokKind::kPunct) continue;
+    if (toks[j].text == ")") ++depth;
+    if (toks[j].text == "(" && --depth == 0) return j;
+  }
+  return std::string::npos;
+}
+
+enum class FrameKind { kNamespace, kClass, kFunction, kOther };
+
+struct BraceInfo {
+  FrameKind kind = FrameKind::kOther;
+  std::string name;           // class/namespace/function name
+  std::string owner_class;    // for functions: Class in Class::Func
+  std::string display_chain;  // qualified chain for messages
+  bool named_function = false;
+};
+
+/// Classifies the `{` at toks[i] from the tokens before it.
+BraceInfo ClassifyBrace(const Tokens& toks, std::size_t i) {
+  BraceInfo info;
+  if (i == 0) return info;
+  std::size_t j = i - 1;
+
+  // Walk back over trailing function decorations: cv-qualifiers,
+  // noexcept, override/final, and a trailing return type (`-> T`).
+  // Bounded so a long brace-init expression cannot masquerade.
+  for (int hops = 0; hops < 48; ++hops) {
+    if (toks[j].kind == TokKind::kIdentifier && IsSpecifierIdent(toks[j].text)) {
+      if (j == 0) return info;
+      --j;
+      continue;
+    }
+    // Scan back over a type-ish chain ending the trailing return type.
+    if ((toks[j].kind == TokKind::kIdentifier ||
+         toks[j].kind == TokKind::kNumber ||
+         IsPunct(toks[j], "::") || IsPunct(toks[j], "<") ||
+         IsPunct(toks[j], ">") || IsPunct(toks[j], ",") ||
+         IsPunct(toks[j], "*") || IsPunct(toks[j], "&")) &&
+        j > 0) {
+      // Only keep walking if an `->` actually terminates the chain; probe
+      // backwards without committing.
+      std::size_t k = j;
+      int probe = 0;
+      while (k > 0 && probe++ < 40 &&
+             (toks[k].kind == TokKind::kIdentifier ||
+              toks[k].kind == TokKind::kNumber || IsPunct(toks[k], "::") ||
+              IsPunct(toks[k], "<") || IsPunct(toks[k], ">") ||
+              IsPunct(toks[k], ",") || IsPunct(toks[k], "*") ||
+              IsPunct(toks[k], "&"))) {
+        --k;
+      }
+      if (IsPunct(toks[k], "->")) {
+        if (k == 0) return info;
+        j = k - 1;
+        continue;
+      }
+      break;  // ordinary identifier before `{` — handled below
+    }
+    break;
+  }
+
+  if (IsPunct(toks[j], ")")) {
+    const std::size_t open = MatchParenBack(toks, j);
+    if (open == std::string::npos || open == 0) {
+      info.kind = FrameKind::kFunction;
+      return info;
+    }
+    const Token& before = toks[open - 1];
+    if (before.kind == TokKind::kIdentifier &&
+        IsControlKeyword(before.text)) {
+      return info;  // if/for/while/switch/catch block
+    }
+    if (IsPunct(before, "]")) {
+      info.kind = FrameKind::kFunction;  // lambda with parameter list
+      return info;
+    }
+    if (before.kind == TokKind::kIdentifier) {
+      // Collect the qualified chain: A::B::Name (also ~Name for dtors).
+      std::vector<std::string> chain{before.text};
+      std::size_t k = open - 1;
+      while (k >= 2 && IsPunct(toks[k - 1], "~")) --k;  // step over dtor ~
+      while (k >= 2 && IsPunct(toks[k - 1], "::") &&
+             toks[k - 2].kind == TokKind::kIdentifier) {
+        chain.insert(chain.begin(), toks[k - 2].text);
+        k -= 2;
+      }
+      info.kind = FrameKind::kFunction;
+      info.named_function = true;
+      info.name = chain.back();
+      if (chain.size() >= 2) info.owner_class = chain[chain.size() - 2];
+      std::string display;
+      for (const std::string& part : chain) {
+        if (!display.empty()) display += "::";
+        display += part;
+      }
+      info.display_chain = display;
+      return info;
+    }
+    info.kind = FrameKind::kFunction;  // operator overloads and friends
+    return info;
+  }
+
+  if (IsPunct(toks[j], "]")) {
+    info.kind = FrameKind::kFunction;  // capture-only lambda: []{ }
+    return info;
+  }
+
+  if (toks[j].kind == TokKind::kIdentifier) {
+    if (toks[j].text == "namespace") {
+      info.kind = FrameKind::kNamespace;  // anonymous namespace
+      return info;
+    }
+    if (j >= 1 && IsIdent(toks[j - 1], "namespace")) {
+      info.kind = FrameKind::kNamespace;
+      info.name = toks[j].text;
+      return info;
+    }
+    // Scan back a bounded window for class/struct/union vs enum.
+    for (std::size_t k = j + 1, hops = 0; k-- > 0 && hops < 32; ++hops) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}" ||
+           t.text == ")" || t.text == "=")) {
+        break;  // braced initializer or unrecognised — plain block
+      }
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (t.text == "enum") return info;
+      if (t.text == "class" || t.text == "struct" || t.text == "union") {
+        if (k > 0 && IsIdent(toks[k - 1], "enum")) return info;
+        info.kind = FrameKind::kClass;
+        // Name is the token right after the keyword; for qualified
+        // definitions (struct Outer::Inner) take the last identifier
+        // before any base clause / brace.
+        std::size_t n = k + 1;
+        std::string name;
+        while (n < toks.size() && !IsPunct(toks[n], "{") &&
+               !IsPunct(toks[n], ":") && !IsPunct(toks[n], ";")) {
+          if (toks[n].kind == TokKind::kIdentifier &&
+              toks[n].text != "final") {
+            name = toks[n].text;
+          }
+          ++n;
+        }
+        info.name = name;
+        return info;
+      }
+    }
+    return info;  // identifier + `{` with no class keyword: brace init
+  }
+
+  return info;  // `= {`, `, {`, `( {`, `: {`, bare `{` blocks, ...
+}
+
+// ---------------------------------------------------------------------------
+// Walker
+
+struct Guard {
+  std::string var;  // "" for synthetic (manual mu.lock()) guards
+  std::vector<std::string> mutexes;
+  bool active = true;
+  int line = 0;
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kOther;
+  std::string class_name;   // class frames
+  std::string owner_class;  // function frames: class whose members resolve
+  std::size_t guard_mark = 0;
+  int func_index = -1;  // function frames: index into out.funcs
+};
+
+class Walker {
+ public:
+  Walker(const FileInput& file, const LexedFile& lexed, Scope scope,
+         MutexTable* collect, const MutexTable* resolve, FileConc* out,
+         const EmitFn* emit)
+      : file_(file),
+        toks_(lexed.tokens),
+        scope_(scope),
+        collect_(collect),
+        resolve_(resolve),
+        out_(out),
+        emit_(emit) {}
+
+  void Run() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (IsPunct(t, "{")) {
+        EnterFrame(i);
+        continue;
+      }
+      if (IsPunct(t, "}")) {
+        LeaveFrame();
+        continue;
+      }
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (IsMutexType(t.text) && !PrecededByAccess(i)) {
+        const std::size_t next = TryMutexDecl(i);
+        if (next != std::string::npos) {
+          i = next;
+          continue;
+        }
+      }
+      if (collect_ != nullptr) continue;  // pass A stops at declarations
+      if (CurrentFunc() == nullptr) continue;
+      if (IsGuardType(t.text) && !PrecededByAccess(i)) {
+        const std::size_t next = TryGuardDecl(i);
+        if (next != std::string::npos) {
+          i = next;
+          continue;
+        }
+      }
+      if ((t.text == "lock" || t.text == "unlock") &&
+          PrecededByAccess(i) && i + 2 < toks_.size() &&
+          IsPunct(toks_[i + 1], "(") && IsPunct(toks_[i + 2], ")")) {
+        HandleManualLock(i);
+        i += 2;
+        continue;
+      }
+      if (t.text == "detach" && PrecededByAccess(i) &&
+          i + 1 < toks_.size() && IsPunct(toks_[i + 1], "(")) {
+        if (scope_ == Scope::kDeterministic && emit_ != nullptr) {
+          (*emit_)("CONC-5", t.line,
+                   "detach() leaves a free-running thread on a "
+                   "deterministic path");
+        }
+        continue;
+      }
+      if (t.text == "async" && IsStdQualified(i) && i + 1 < toks_.size() &&
+          (IsPunct(toks_[i + 1], "(") || IsPunct(toks_[i + 1], "<"))) {
+        if (scope_ == Scope::kDeterministic && emit_ != nullptr) {
+          (*emit_)("CONC-5", t.line,
+                   "std::async schedules work outside the shared "
+                   "ThreadPool on a deterministic path");
+        }
+        continue;
+      }
+      if (i + 1 < toks_.size() && IsPunct(toks_[i + 1], "(") &&
+          !IsNonCallKeyword(t.text) && !IsGuardType(t.text) &&
+          !IsMutexType(t.text)) {
+        HandleCall(i);
+      }
+    }
+  }
+
+ private:
+  // ---- frame machinery ----------------------------------------------------
+
+  void EnterFrame(std::size_t i) {
+    const BraceInfo info = ClassifyBrace(toks_, i);
+    Frame frame;
+    frame.kind = info.kind;
+    frame.guard_mark = guards_.size();
+    if (info.kind == FrameKind::kClass) frame.class_name = info.name;
+    if (info.kind == FrameKind::kFunction) {
+      frame.owner_class =
+          !info.owner_class.empty() ? info.owner_class : EnclosingClass();
+      if (out_ != nullptr) {
+        FuncInfo fn;
+        fn.name = info.named_function ? info.name : "";
+        fn.display = !info.display_chain.empty()
+                         ? info.display_chain
+                         : (info.named_function ? info.name : "<lambda>");
+        fn.file = file_.path;
+        frame.func_index = static_cast<int>(out_->funcs.size());
+        out_->funcs.push_back(std::move(fn));
+      }
+      func_frames_.push_back(frames_.size());
+      locals_.emplace_back();
+    }
+    frames_.push_back(std::move(frame));
+  }
+
+  void LeaveFrame() {
+    if (frames_.empty()) return;
+    const Frame& frame = frames_.back();
+    if (guards_.size() > frame.guard_mark) guards_.resize(frame.guard_mark);
+    if (frame.kind == FrameKind::kFunction) {
+      if (!func_frames_.empty()) func_frames_.pop_back();
+      if (!locals_.empty()) locals_.pop_back();
+    }
+    frames_.pop_back();
+  }
+
+  [[nodiscard]] const Frame* CurrentFuncFrame() const {
+    if (func_frames_.empty()) return nullptr;
+    return &frames_[func_frames_.back()];
+  }
+
+  [[nodiscard]] FuncInfo* CurrentFunc() {
+    const Frame* frame = CurrentFuncFrame();
+    if (frame == nullptr) return nullptr;
+    if (out_ == nullptr || frame->func_index < 0) return nullptr;
+    return &out_->funcs[static_cast<std::size_t>(frame->func_index)];
+  }
+
+  /// Innermost lexical class; lambdas inherit the enclosing function's
+  /// owner class so `[this] { ... member ... }` resolves members.
+  [[nodiscard]] std::string EnclosingClass() const {
+    for (std::size_t i = frames_.size(); i-- > 0;) {
+      if (frames_[i].kind == FrameKind::kClass) return frames_[i].class_name;
+      if (frames_[i].kind == FrameKind::kFunction &&
+          !frames_[i].owner_class.empty()) {
+        return frames_[i].owner_class;
+      }
+    }
+    return "";
+  }
+
+  [[nodiscard]] bool InsideFunction() const { return !func_frames_.empty(); }
+
+  // ---- token helpers ------------------------------------------------------
+
+  [[nodiscard]] bool PrecededByAccess(std::size_t i) const {
+    return i > 0 && (IsPunct(toks_[i - 1], ".") || IsPunct(toks_[i - 1], "->"));
+  }
+
+  [[nodiscard]] bool IsStdQualified(std::size_t i) const {
+    return i >= 2 && IsPunct(toks_[i - 1], "::") && IsIdent(toks_[i - 2], "std");
+  }
+
+  /// Receiver identifier of a member call at toks_[i] (`recv.name(...)`).
+  [[nodiscard]] std::string ReceiverOf(std::size_t i) const {
+    if (i < 2 || !PrecededByAccess(i)) return "";
+    const Token& recv = toks_[i - 2];
+    return recv.kind == TokKind::kIdentifier ? recv.text : "";
+  }
+
+  // ---- mutex declarations -------------------------------------------------
+
+  /// toks_[i] is a mutex type name.  Returns the index to resume after
+  /// when this is a declaration, npos otherwise.
+  std::size_t TryMutexDecl(std::size_t i) {
+    std::size_t j = i + 1;
+    if (j < toks_.size() && IsPunct(toks_[j], "<")) {
+      j = SkipAngles(toks_, j);
+      if (j == std::string::npos) return std::string::npos;
+    }
+    while (j < toks_.size() &&
+           (IsPunct(toks_[j], "&") || IsPunct(toks_[j], "*"))) {
+      ++j;
+    }
+    if (j + 1 >= toks_.size() || toks_[j].kind != TokKind::kIdentifier) {
+      return std::string::npos;
+    }
+    const Token& next = toks_[j + 1];
+    if (!(IsPunct(next, ";") || IsPunct(next, "{") || IsPunct(next, "=") ||
+          IsPunct(next, ",") || IsPunct(next, ")"))) {
+      return std::string::npos;
+    }
+    const std::string& name = toks_[j].text;
+    if (InsideFunction()) {
+      if (collect_ == nullptr && !locals_.empty()) {
+        const FuncInfo* fn =
+            out_ != nullptr && CurrentFuncFrame()->func_index >= 0
+                ? &out_->funcs[static_cast<std::size_t>(
+                      CurrentFuncFrame()->func_index)]
+                : nullptr;
+        const std::string qualified =
+            (fn != nullptr ? fn->display : std::string("<fn>")) + "::" + name;
+        locals_.back()[name] = qualified;
+      }
+    } else if (collect_ != nullptr) {
+      const std::string cls = EnclosingClass();
+      if (!cls.empty()) {
+        collect_->members[name].insert(cls);
+      } else {
+        collect_->globals.insert(name);
+      }
+    }
+    return j;  // resume after the declared name
+  }
+
+  /// Resolves a mutex use by its last identifier: function locals, the
+  /// current function's class members, a unique class member across the
+  /// batch, then namespace-scope globals; bare name as a last resort so
+  /// intra-file consistency still holds for unknown mutexes.
+  [[nodiscard]] std::string ResolveMutex(const std::string& name) const {
+    for (std::size_t i = locals_.size(); i-- > 0;) {
+      const auto it = locals_[i].find(name);
+      if (it != locals_[i].end()) return it->second;
+    }
+    if (resolve_ != nullptr) {
+      const auto member = resolve_->members.find(name);
+      if (member != resolve_->members.end()) {
+        const std::string cls = EnclosingClass();
+        if (!cls.empty() && member->second.count(cls) > 0) {
+          return cls + "::" + name;
+        }
+        if (member->second.size() == 1) {
+          return *member->second.begin() + "::" + name;
+        }
+      }
+      if (resolve_->globals.count(name) > 0) return name;
+    }
+    return name;
+  }
+
+  /// Is `name` a declared mutex at this point (not just a bare fallback)?
+  [[nodiscard]] bool IsKnownMutex(const std::string& name) const {
+    for (std::size_t i = locals_.size(); i-- > 0;) {
+      if (locals_[i].count(name) > 0) return true;
+    }
+    if (resolve_ != nullptr) {
+      if (resolve_->members.count(name) > 0) return true;
+      if (resolve_->globals.count(name) > 0) return true;
+    }
+    return false;
+  }
+
+  // ---- guards -------------------------------------------------------------
+
+  /// Active guard mutexes of the *current function* (lambda scopes mask
+  /// the enclosing function's guards), acquisition order, deduped.
+  [[nodiscard]] std::vector<std::pair<std::string, int>> HeldMutexes() const {
+    std::vector<std::pair<std::string, int>> held;
+    const Frame* frame = CurrentFuncFrame();
+    const std::size_t base = frame != nullptr ? frame->guard_mark : 0;
+    for (std::size_t i = base; i < guards_.size(); ++i) {
+      if (!guards_[i].active) continue;
+      for (const std::string& m : guards_[i].mutexes) {
+        bool seen = false;
+        for (const auto& [name, line] : held) {
+          if (name == m) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) held.emplace_back(m, guards_[i].line);
+      }
+    }
+    return held;
+  }
+
+  /// Records edges + acquisition sites for newly acquired mutexes.
+  void RecordAcquire(const std::vector<std::string>& acquired, int line) {
+    if (out_ == nullptr) return;
+    FuncInfo* fn = CurrentFunc();
+    const auto held = HeldMutexes();
+    for (const std::string& m : acquired) {
+      if (fn != nullptr && fn->acquires.find(m) == fn->acquires.end()) {
+        fn->acquires.emplace(m, AcqSite{file_.path, line});
+      }
+      for (const auto& [from, from_line] : held) {
+        LockEdge edge;
+        edge.from = from;
+        edge.to = m;
+        edge.file = file_.path;
+        edge.line = line;
+        edge.from_line = from_line;
+        out_->direct_edges.push_back(std::move(edge));
+      }
+    }
+  }
+
+  /// toks_[i] is a guard type name.  Returns resume index, or npos.
+  std::size_t TryGuardDecl(std::size_t i) {
+    std::size_t j = i + 1;
+    if (j < toks_.size() && IsPunct(toks_[j], "<")) {
+      j = SkipAngles(toks_, j);
+      if (j == std::string::npos) return std::string::npos;
+    }
+    if (j >= toks_.size() || toks_[j].kind != TokKind::kIdentifier) {
+      return std::string::npos;
+    }
+    const std::string var = toks_[j].text;
+    const int line = toks_[j].line;
+    ++j;
+    Guard guard;
+    guard.var = var;
+    guard.line = line;
+    if (j < toks_.size() && IsPunct(toks_[j], ";")) {
+      guard.active = false;  // declared empty: std::unique_lock<M> lk;
+      guards_.push_back(std::move(guard));
+      return j;
+    }
+    if (j >= toks_.size() ||
+        !(IsPunct(toks_[j], "(") || IsPunct(toks_[j], "{"))) {
+      return std::string::npos;
+    }
+    const std::string open = toks_[j].text;
+    const std::string close = open == "(" ? ")" : "}";
+    // Split constructor arguments at top-level commas; each argument's
+    // mutex is its last identifier (handles shard->mutex, src.mutex_).
+    int depth = 0;
+    std::string last_ident;
+    bool deferred = false;
+    std::size_t end = j;
+    for (std::size_t k = j; k < toks_.size(); ++k) {
+      const Token& t = toks_[k];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == "(" || t.text == "{" || t.text == "[")) {
+        ++depth;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ")" || t.text == "}" || t.text == "]")) {
+        --depth;
+        if (depth == 0) {
+          end = k;
+          break;
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier) last_ident = t.text;
+      if (t.kind == TokKind::kPunct && t.text == "," && depth == 1) {
+        if (!last_ident.empty()) {
+          if (last_ident == "defer_lock" || last_ident == "try_to_lock") {
+            deferred = true;
+          } else if (last_ident != "adopt_lock") {
+            guard.mutexes.push_back(ResolveMutex(last_ident));
+          }
+        }
+        last_ident.clear();
+      }
+    }
+    if (!last_ident.empty()) {
+      if (last_ident == "defer_lock" || last_ident == "try_to_lock") {
+        deferred = true;
+      } else if (last_ident != "adopt_lock") {
+        guard.mutexes.push_back(ResolveMutex(last_ident));
+      }
+    }
+    guard.active = !deferred && !guard.mutexes.empty();
+    if (guard.active) RecordAcquire(guard.mutexes, line);
+    guards_.push_back(std::move(guard));
+    return end;
+  }
+
+  /// `x.lock()` / `x.unlock()` where x is a guard variable (deactivate /
+  /// reactivate windows, like the svc clock loop) or a known mutex
+  /// (synthetic guard, so manual-locking code still feeds the graph).
+  void HandleManualLock(std::size_t i) {
+    const std::string recv = ReceiverOf(i);
+    if (recv.empty()) return;
+    const bool locking = toks_[i].text == "lock";
+    const Frame* frame = CurrentFuncFrame();
+    const std::size_t base = frame != nullptr ? frame->guard_mark : 0;
+    // Guard variable first (innermost match wins).
+    for (std::size_t g = guards_.size(); g-- > base;) {
+      if (guards_[g].var == recv) {
+        if (locking && !guards_[g].active) {
+          guards_[g].active = true;
+          guards_[g].line = toks_[i].line;
+          RecordAcquireExcept(g, toks_[i].line);
+        } else if (!locking) {
+          guards_[g].active = false;
+        }
+        return;
+      }
+    }
+    if (!IsKnownMutex(recv)) return;
+    const std::string resolved = ResolveMutex(recv);
+    if (locking) {
+      Guard guard;
+      guard.var = "";
+      guard.mutexes.push_back(resolved);
+      guard.line = toks_[i].line;
+      RecordAcquire(guard.mutexes, toks_[i].line);
+      guards_.push_back(std::move(guard));
+    } else {
+      for (std::size_t g = guards_.size(); g-- > base;) {
+        if (guards_[g].var.empty() && guards_[g].active &&
+            guards_[g].mutexes.size() == 1 &&
+            guards_[g].mutexes[0] == resolved) {
+          guards_[g].active = false;
+          return;
+        }
+      }
+    }
+  }
+
+  /// RecordAcquire for a reactivated guard: edges from the *other*
+  /// active guards only.
+  void RecordAcquireExcept(std::size_t guard_index, int line) {
+    if (out_ == nullptr) return;
+    guards_[guard_index].active = false;  // mask self while snapshotting
+    RecordAcquire(guards_[guard_index].mutexes, line);
+    guards_[guard_index].active = true;
+  }
+
+  // ---- calls + CONC-3 -----------------------------------------------------
+
+  /// First constructor-style argument of the call at toks_[i] (name
+  /// followed by "("), when it is a single identifier; "" otherwise.
+  [[nodiscard]] std::string FirstArgIdent(std::size_t i) const {
+    std::size_t j = i + 1;  // the "("
+    if (j + 1 >= toks_.size()) return "";
+    const Token& first = toks_[j + 1];
+    if (first.kind != TokKind::kIdentifier) return "";
+    if (j + 2 >= toks_.size()) return "";
+    const Token& after = toks_[j + 2];
+    if (IsPunct(after, ",") || IsPunct(after, ")")) return first.text;
+    return "";
+  }
+
+  void HandleCall(std::size_t i) {
+    const std::string& name = toks_[i].text;
+    const int line = toks_[i].line;
+    auto held = HeldMutexes();
+
+    FuncInfo* fn = CurrentFunc();
+    if (fn != nullptr) {
+      CallSite call;
+      call.callee = name;
+      call.line = line;
+      call.held = held;
+      fn->calls.push_back(std::move(call));
+    }
+
+    if (emit_ == nullptr || held.empty()) return;
+
+    bool blocking = IsBlockingCallName(name);
+    if (name == "wait" || name == "wait_for" || name == "wait_until") {
+      // Waiting on a condition variable with its own lock is the
+      // correct pattern: exempt the guard passed as first argument.
+      const std::string arg = FirstArgIdent(i);
+      if (!arg.empty()) {
+        const Frame* frame = CurrentFuncFrame();
+        const std::size_t base = frame != nullptr ? frame->guard_mark : 0;
+        for (std::size_t g = guards_.size(); g-- > base;) {
+          if (guards_[g].var != arg) continue;
+          for (const std::string& m : guards_[g].mutexes) {
+            held.erase(std::remove_if(held.begin(), held.end(),
+                                      [&](const auto& h) {
+                                        return h.first == m;
+                                      }),
+                       held.end());
+          }
+          break;
+        }
+      }
+      if (held.empty()) return;
+    }
+    if (!blocking && name == "get") {
+      // `.get()` blocks on futures but is also the accessor of every
+      // smart pointer; only receivers that read as futures count.
+      std::string recv = ReceiverOf(i);
+      std::transform(recv.begin(), recv.end(), recv.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      blocking = recv.find("result") != std::string::npos ||
+                 recv.find("future") != std::string::npos ||
+                 recv.find("promise") != std::string::npos;
+    }
+    if (!blocking) return;
+
+    std::string held_names;
+    for (const auto& [m, l] : held) {
+      if (!held_names.empty()) held_names += ", ";
+      held_names += m;
+    }
+    (*emit_)("CONC-3", line,
+             "blocking call " + name + "() while holding " + held_names);
+  }
+
+  const FileInput& file_;
+  const Tokens& toks_;
+  Scope scope_;
+  MutexTable* collect_;
+  const MutexTable* resolve_;
+  FileConc* out_;
+  const EmitFn* emit_;
+
+  std::vector<Frame> frames_;
+  std::vector<std::size_t> func_frames_;  // indices into frames_
+  std::vector<Guard> guards_;
+  /// Per-function-local mutex declarations (name -> qualified).
+  std::vector<std::map<std::string, std::string>> locals_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass A / B entry points
+
+void CollectMutexDecls(const LexedFile& lexed, MutexTable& table) {
+  const FileInput dummy{"", ""};
+  Walker walker(dummy, lexed, Scope::kGeneral, &table, nullptr, nullptr,
+                nullptr);
+  walker.Run();
+}
+
+FileConc AnalyzeFile(const FileInput& file, const LexedFile& lexed,
+                     Scope scope, const MutexTable& table,
+                     const EmitFn& emit) {
+  FileConc out;
+  Walker walker(file, lexed, scope, nullptr, &table, &out, &emit);
+  walker.Run();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass C: global graph + cycles
+
+namespace {
+
+std::string EdgeWitness(const LockEdge& e) {
+  std::string w = e.from + " held (" + e.file + ":" +
+                  std::to_string(e.from_line) + ") when " + e.to +
+                  " acquired at " + e.file + ":" + std::to_string(e.line);
+  if (!e.via.empty()) w += " " + e.via;
+  return w;
+}
+
+}  // namespace
+
+std::vector<CycleFinding> BuildLockGraph(
+    const std::vector<FileConc>& files,
+    const std::function<bool(const std::string& file, int line)>&
+        conc4_suppressed) {
+  // Unique-name function index: a bare name maps to its definition only
+  // when the batch has exactly one; ambiguous names (Solve, Add, ...)
+  // contribute no call edges rather than false ones.
+  std::map<std::string, const FuncInfo*> unique;
+  std::set<std::string> ambiguous;
+  for (const FileConc& fc : files) {
+    for (const FuncInfo& fn : fc.funcs) {
+      if (fn.name.empty()) continue;
+      if (ambiguous.count(fn.name) > 0) continue;
+      const auto [it, inserted] = unique.emplace(fn.name, &fn);
+      if (!inserted) {
+        unique.erase(it);
+        ambiguous.insert(fn.name);
+      }
+    }
+  }
+
+  // Transitive acquires to a fixpoint: what calling `f` may lock, and
+  // where (the deepest witness site is kept for messages).
+  struct Acq {
+    AcqSite site;
+    std::string via;  // call-path note from the function's own frame
+  };
+  std::map<const FuncInfo*, std::map<std::string, Acq>> acquires;
+  for (const FileConc& fc : files) {
+    for (const FuncInfo& fn : fc.funcs) {
+      auto& mine = acquires[&fn];
+      for (const auto& [m, site] : fn.acquires) {
+        mine.emplace(m, Acq{site, ""});
+      }
+    }
+  }
+  bool changed = true;
+  std::size_t rounds = 0;
+  while (changed && rounds++ < files.size() + 8) {
+    changed = false;
+    for (const FileConc& fc : files) {
+      for (const FuncInfo& fn : fc.funcs) {
+        auto& mine = acquires[&fn];
+        for (const CallSite& call : fn.calls) {
+          const auto target = unique.find(call.callee);
+          if (target == unique.end()) continue;
+          for (const auto& [m, acq] : acquires[target->second]) {
+            if (mine.count(m) > 0) continue;
+            Acq propagated = acq;
+            if (propagated.via.empty()) {
+              propagated.via = "via " + call.callee + "()";
+            }
+            mine.emplace(m, std::move(propagated));
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Edge set: direct nestings plus call-derived edges, deduped on
+  // (from, to) keeping the first witness.
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+  const auto add_edge = [&edges](LockEdge edge) {
+    edges.emplace(std::make_pair(edge.from, edge.to), std::move(edge));
+  };
+  for (const FileConc& fc : files) {
+    for (const LockEdge& e : fc.direct_edges) add_edge(e);
+  }
+  for (const FileConc& fc : files) {
+    for (const FuncInfo& fn : fc.funcs) {
+      for (const CallSite& call : fn.calls) {
+        if (call.held.empty()) continue;
+        const auto target = unique.find(call.callee);
+        if (target == unique.end()) continue;
+        for (const auto& [m, acq] : acquires[target->second]) {
+          for (const auto& [from, from_line] : call.held) {
+            LockEdge edge;
+            edge.from = from;
+            edge.to = m;
+            edge.file = fn.file;
+            edge.line = call.line;
+            edge.from_line = from_line;
+            edge.via = "via " + call.callee + "() -> " + m +
+                       " acquired at " + acq.site.file + ":" +
+                       std::to_string(acq.site.line);
+            add_edge(std::move(edge));
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle search.  The graph is tiny (one node per distinct mutex), so a
+  // DFS from every node looking for a path back to it is plenty; each
+  // cycle is canonicalised (rotated to its smallest node) and reported
+  // once.
+  std::map<std::string, std::vector<const LockEdge*>> out_edges;
+  for (const auto& [key, edge] : edges) {
+    out_edges[key.first].push_back(&edge);
+  }
+
+  std::set<std::string> reported;  // canonical cycle keys
+  std::vector<CycleFinding> findings;
+
+  for (const auto& [start, unused] : out_edges) {
+    (void)unused;
+    // DFS for a path start -> ... -> start.
+    std::vector<const LockEdge*> path;
+    std::set<std::string> on_path;
+    std::function<bool(const std::string&)> dfs =
+        [&](const std::string& node) -> bool {
+      const auto it = out_edges.find(node);
+      if (it == out_edges.end()) return false;
+      for (const LockEdge* edge : it->second) {
+        if (edge->to == start) {
+          path.push_back(edge);
+          return true;
+        }
+        if (on_path.count(edge->to) > 0) continue;
+        on_path.insert(edge->to);
+        path.push_back(edge);
+        if (dfs(edge->to)) return true;
+        path.pop_back();
+        on_path.erase(edge->to);
+      }
+      return false;
+    };
+    on_path.insert(start);
+    if (!dfs(start)) continue;
+
+    // Canonical key: rotate so the smallest node comes first.
+    std::vector<std::string> nodes;
+    nodes.reserve(path.size());
+    for (const LockEdge* e : path) nodes.push_back(e->from);
+    std::size_t smallest = 0;
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      if (nodes[i] < nodes[smallest]) smallest = i;
+    }
+    std::string key;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      key += nodes[(smallest + i) % nodes.size()];
+      key += "->";
+    }
+    if (!reported.insert(key).second) continue;
+
+    std::vector<const LockEdge*> rotated;
+    rotated.reserve(path.size());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      rotated.push_back(path[(smallest + i) % path.size()]);
+    }
+
+    CycleFinding finding;
+    finding.file = rotated.front()->file;
+    finding.line = rotated.front()->line;
+    if (rotated.size() == 1 && rotated.front()->from == rotated.front()->to) {
+      finding.message = "recursive lock order: " + rotated.front()->from +
+                        " acquired while already held — " +
+                        EdgeWitness(*rotated.front());
+    } else {
+      std::string cycle_names;
+      for (const LockEdge* e : rotated) cycle_names += e->from + " -> ";
+      cycle_names += rotated.front()->from;
+      finding.message = "lock-order cycle: " + cycle_names + "; witness: ";
+      for (std::size_t i = 0; i < rotated.size(); ++i) {
+        if (i > 0) finding.message += "; ";
+        finding.message += EdgeWitness(*rotated[i]);
+      }
+    }
+    finding.suppressed = false;
+    for (const LockEdge* e : rotated) {
+      if (conc4_suppressed(e->file, e->line)) {
+        finding.suppressed = true;
+        break;
+      }
+    }
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+}  // namespace vorlint::conc

@@ -1,0 +1,116 @@
+// Cross-translation-unit concurrency analysis for vorlint (CONC-3/4/5).
+//
+// Three passes over the batch:
+//   A. CollectMutexDecls — every file contributes mutex identities to a
+//      global symbol table: `Class::member` for members (the class is the
+//      innermost enclosing class/struct, so nested Shard::mutex resolves
+//      as such), bare names for namespace-scope globals.  Header/source
+//      siblings agree automatically because members are keyed by class,
+//      not by file.
+//   B. AnalyzeFile — a brace-scope walker tracks functions (including
+//      lambdas, which form their own guard scope: a guard outside a
+//      lambda is not held inside its deferred body), RAII guard scopes
+//      (lock_guard/unique_lock/scoped_lock/shared_lock, plus synthetic
+//      guards for manual mu.lock()/mu.unlock() and guard.unlock()/
+//      guard.lock() deactivation windows), direct nested acquisitions,
+//      and every call site with the guard set held at it.  CONC-3 and
+//      CONC-5 findings are emitted here.
+//   C. BuildLockGraph — call sites are resolved cross-file by bare name
+//      (only when exactly one function in the batch defines that name —
+//      ambiguous names contribute no edges rather than false ones),
+//      transitive acquisitions are computed to a fixpoint, and the
+//      resulting "A held when B acquired" edge set is searched for
+//      cycles.  Each cycle is reported once with the full witness path:
+//      every edge's file:line plus the call chain that produced it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vorlint/lint.hpp"
+
+namespace vorlint::conc {
+
+/// Batch-global mutex symbol table (pass A output).
+struct MutexTable {
+  /// member name -> classes declaring a mutex member with that name.
+  std::map<std::string, std::set<std::string>> members;
+  /// namespace-scope mutex names.
+  std::set<std::string> globals;
+};
+
+void CollectMutexDecls(const LexedFile& lexed, MutexTable& table);
+
+/// Where a mutex is (transitively) acquired, for witness messages.
+struct AcqSite {
+  std::string file;
+  int line = 0;
+};
+
+/// One call site inside a function body, with the guards held across it.
+struct CallSite {
+  std::string callee;  // bare name
+  int line = 0;
+  /// Qualified mutex names held (acquisition order, deduped) and the
+  /// line each was acquired on.
+  std::vector<std::pair<std::string, int>> held;
+};
+
+/// Direct "from held when to acquired" edge observed inside one function.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;  // where `to` was acquired
+  int line = 0;
+  int from_line = 0;  // where `from` was acquired (same file)
+  std::string via;    // call chain note, "" for a direct nesting
+};
+
+struct FuncInfo {
+  std::string name;     // bare name; "" for lambdas / unnamed bodies
+  std::string display;  // qualified name for messages
+  std::string file;
+  /// Mutexes this function acquires directly (first site each).
+  std::map<std::string, AcqSite> acquires;
+  std::vector<CallSite> calls;
+};
+
+/// Pass B output for one file.
+struct FileConc {
+  std::vector<FuncInfo> funcs;
+  std::vector<LockEdge> direct_edges;
+};
+
+using EmitFn =
+    std::function<void(std::string_view rule, int line, std::string message)>;
+
+/// Pass B.  Emits CONC-3 findings (every scope) and CONC-5 findings
+/// (deterministic scope only) through `emit`; returns the symbols the
+/// global graph needs.
+[[nodiscard]] FileConc AnalyzeFile(const FileInput& file,
+                                   const LexedFile& lexed, Scope scope,
+                                   const MutexTable& table,
+                                   const EmitFn& emit);
+
+/// A lock-order cycle over the batch-global edge set.
+struct CycleFinding {
+  std::string file;  // first witness edge's acquisition site
+  int line = 0;
+  std::string message;  // full witness path
+  bool suppressed = false;
+};
+
+/// Pass C.  `conc4_suppressed(file, line)` reports whether an ok(CONC-4)
+/// suppression covers that site; a cycle with any sanctioned edge is
+/// reported as suppressed (the suppression asserts that edge cannot
+/// deadlock, which breaks the cycle).
+[[nodiscard]] std::vector<CycleFinding> BuildLockGraph(
+    const std::vector<FileConc>& files,
+    const std::function<bool(const std::string& file, int line)>&
+        conc4_suppressed);
+
+}  // namespace vorlint::conc

@@ -120,4 +120,10 @@ struct Report {
 /// the rule's fix-it hint) followed by a per-rule summary table.
 [[nodiscard]] std::string FormatReport(const Report& report);
 
+/// Machine-readable rendering: {"files_linted", "active", "findings":
+/// [{file, line, rule, suppressed, message}...], "rules": {id: {active,
+/// suppressed}}}.  Findings include suppressed ones (flagged), so CI can
+/// audit the suppression inventory as well as the failures.
+[[nodiscard]] std::string FormatReportJson(const Report& report);
+
 }  // namespace vorlint

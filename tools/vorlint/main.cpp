@@ -1,7 +1,7 @@
 // vorlint CLI: lints the files/directories given on the command line and
 // exits non-zero when any unsuppressed finding remains.
 //
-//   vorlint [--quiet] [--list-rules] <file|dir>...
+//   vorlint [--quiet] [--format text|json] [--list-rules] <file|dir>...
 //
 // Directories are walked recursively for C++ sources/headers; build
 // trees (any directory starting with "build") and the lint fixture
@@ -33,7 +33,8 @@ bool IsSkippedDir(const fs::path& path) {
 }
 
 int Usage() {
-  std::cerr << "usage: vorlint [--quiet] [--list-rules] <file|dir>...\n";
+  std::cerr << "usage: vorlint [--quiet] [--format text|json] [--list-rules] "
+               "<file|dir>...\n";
   return 2;
 }
 
@@ -41,11 +42,20 @@ int Usage() {
 
 int main(int argc, char** argv) {
   bool quiet = false;
+  bool json = false;
   std::vector<fs::path> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) return Usage();
+      const std::string format = argv[++i];
+      if (format == "json") {
+        json = true;
+      } else if (format != "text") {
+        return Usage();
+      }
     } else if (arg == "--list-rules") {
       for (const vorlint::RuleInfo& rule : vorlint::Rules()) {
         std::cout << rule.id << (rule.deterministic_only
@@ -105,7 +115,11 @@ int main(int argc, char** argv) {
   }
 
   const vorlint::Report report = vorlint::LintFiles(files);
-  if (!quiet || report.active_count() > 0) {
+  if (json) {
+    // JSON is for machine consumers: always emit the document, even
+    // under --quiet with nothing to report.
+    std::cout << vorlint::FormatReportJson(report);
+  } else if (!quiet || report.active_count() > 0) {
     std::cout << vorlint::FormatReport(report);
   }
   return report.active_count() == 0 ? 0 : 1;

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "vorlint/conc.hpp"
+
 namespace vorlint {
 
 namespace {
@@ -41,6 +43,24 @@ const std::vector<RuleInfo> kRules = {
      "join in the destructor (or a Stop() the destructor calls), or hold "
      "std::jthread semantics explicitly",
      false},
+    {"CONC-3",
+     "blocking call (pool submit, condition wait, socket I/O, RPC, future "
+     "get) while a lock guard is in scope",
+     "shrink the critical section: copy what the call needs under the "
+     "lock, release, then block; or hand the work a snapshot",
+     false},
+    {"CONC-4",
+     "lock-order cycle in the batch-global lock graph (two paths acquire "
+     "the same mutexes in opposite orders)",
+     "pick one order and stick to it everywhere (see the rank table in "
+     "docs/vorlint.md); or collapse the two mutexes into one",
+     false},
+    {"CONC-5",
+     "detached/unpooled concurrency (std::thread::detach, std::async) on a "
+     "deterministic path",
+     "run the work on the shared util::ThreadPool so it is joined, "
+     "counted, and replayable",
+     true},
     {"HYG-1",
      "header hygiene: missing #pragma once, or using-namespace at header "
      "scope",
@@ -451,11 +471,15 @@ Report LintFiles(const std::vector<FileInput>& files) {
   std::vector<LexedFile> lexed;
   lexed.reserve(files.size());
   GlobalContext ctx;
+  conc::MutexTable mutexes;
   for (const FileInput& file : files) {
     lexed.push_back(Lex(file.source));
     CollectGlobalContext(file, lexed.back(), ctx);
+    conc::CollectMutexDecls(lexed.back(), mutexes);
   }
 
+  std::vector<conc::FileConc> conc_files;
+  conc_files.reserve(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
     const Scope scope = ClassifyPath(files[i].path);
     const FileLint fl{files[i], lexed[i], scope, ctx, report.findings};
@@ -467,6 +491,40 @@ Report LintFiles(const std::vector<FileInput>& files) {
     CheckConc1(fl);
     CheckConc2(fl);
     CheckHyg1(fl);
+    conc_files.push_back(conc::AnalyzeFile(
+        files[i], lexed[i], scope, mutexes,
+        [&fl](std::string_view rule, int line, std::string message) {
+          fl.Emit(rule, line, std::move(message));
+        }));
+  }
+
+  // CONC-4 runs over the whole batch at once; a cycle's suppression can
+  // sit on any of its edges, so findings are built here rather than
+  // through FileLint::Emit (which checks the finding line only).
+  std::map<std::string, const LexedFile*> lexed_by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    lexed_by_path.emplace(files[i].path, &lexed[i]);
+  }
+  const auto conc4_suppressed = [&lexed_by_path](const std::string& file,
+                                                 int line) {
+    const auto it = lexed_by_path.find(file);
+    if (it == lexed_by_path.end()) return false;
+    const auto check = [&](int l) {
+      const auto s = it->second->suppressions.find(l);
+      return s != it->second->suppressions.end() &&
+             s->second.count("CONC-4") > 0;
+    };
+    return check(line) || check(line - 1);
+  };
+  for (conc::CycleFinding& cycle :
+       conc::BuildLockGraph(conc_files, conc4_suppressed)) {
+    Finding f;
+    f.file = cycle.file;
+    f.line = cycle.line;
+    f.rule = "CONC-4";
+    f.message = std::move(cycle.message);
+    f.suppressed = cycle.suppressed;
+    report.findings.push_back(std::move(f));
   }
 
   std::stable_sort(report.findings.begin(), report.findings.end(),
@@ -514,6 +572,66 @@ std::string FormatReport(const Report& report) {
     for (std::size_t i = supp.size(); i < 10; ++i) os << ' ';
     os << supp << "\n";
   }
+  return os.str();
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// finding messages carry file paths and witness text, nothing exotic.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatReportJson(const Report& report) {
+  std::ostringstream os;
+  os << "{\n  \"files_linted\": " << report.files_linted
+     << ",\n  \"active\": " << report.active_count()
+     << ",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"file\": \"" << JsonEscape(f.file)
+       << "\", \"line\": " << f.line << ", \"rule\": \"" << JsonEscape(f.rule)
+       << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+       << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+  }
+  os << (first ? "]" : "\n  ]") << ",\n  \"rules\": {";
+  first = true;
+  for (const RuleInfo& rule : kRules) {
+    const auto it = report.per_rule.find(std::string(rule.id));
+    const auto counts = it == report.per_rule.end()
+                            ? std::make_pair(std::size_t{0}, std::size_t{0})
+                            : it->second;
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << rule.id << "\": {\"active\": " << counts.first
+       << ", \"suppressed\": " << counts.second << "}";
+  }
+  os << (first ? "}" : "\n  }") << "\n}\n";
   return os.str();
 }
 
